@@ -1,0 +1,275 @@
+// Ablations over the design choices DESIGN.md calls out — not a paper
+// figure, but the knobs the paper argues about:
+//
+//  A. Chunk size: foreground 8KB-write latency, background flush traffic
+//     and dedup ratio across 8..128KB static chunks (extends Table 2 with
+//     the performance dimension).
+//  B. Fixed vs content-defined chunking on a shifted backup stream: the
+//     dedup ratio CDC buys vs the CPU it costs (the Section 5 trade-off
+//     that made the paper choose static chunking).
+//  C. Hotness threshold: a zipfian workload under different Hitcount
+//     settings — chunk-pool churn vs read latency (the cache manager's
+//     reason to exist).
+//  D. Fingerprint algorithm: SHA-1 vs SHA-256 engine throughput.
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "dedup/chunker.h"
+#include "dedup/ratio_analyzer.h"
+#include "hash/fingerprint.h"
+#include "workload/vm_corpus.h"
+
+using namespace gdedup;
+using namespace gdedup::bench;
+
+namespace {
+
+// ------------------------------------------------------------ A: chunk size
+
+void ablate_chunk_size() {
+  print_header("Ablation A — chunk size: latency vs space",
+               "design choice: 32KB static chunks (Section 5 / Table 2)");
+  std::printf("\n%-8s %14s %14s %14s %12s\n", "chunk", "8K-wr lat ms",
+              "flush ops", "chunk objs", "dedup %");
+  std::printf("%s\n", std::string(68, '-').c_str());
+
+  workload::CloudCorpusConfig ccfg;
+  ccfg.num_vms = 8;
+  ccfg.vm_bytes = 8ull << 20;
+  workload::CloudCorpus corpus(ccfg);
+
+  for (uint32_t cs : {8u * 1024, 16u * 1024, 32u * 1024, 64u * 1024,
+                      128u * 1024}) {
+    Cluster c;
+    const PoolId meta = c.create_replicated_pool("meta", 2);
+    const PoolId chunks = c.create_replicated_pool("chunks", 2);
+    auto t = bench_tier_config(cs);
+    t.rate_control = false;
+    t.max_dedup_per_tick = 2048;
+    t.hitcount_threshold = 1 << 30;
+    c.enable_dedup(meta, chunks, t);
+    RadosClient client(&c, c.client_node(0));
+
+    // Ingest the corpus as 4MB objects.
+    const uint64_t atoms_per_obj = (4 << 20) / ccfg.atom_size;
+    uint64_t logical = 0;
+    for (int vm = 0; vm < corpus.num_vms(); vm++) {
+      for (uint64_t at = 0; at < corpus.atoms_per_vm(); at += atoms_per_obj) {
+        const uint64_t n =
+            std::min<uint64_t>(atoms_per_obj, corpus.atoms_per_vm() - at);
+        Buffer d = corpus.read(vm, at, n);
+        logical += d.size();
+        sync_write(c, client, meta,
+                   "vm" + std::to_string(vm) + "." + std::to_string(at),
+                   0, std::move(d));
+      }
+    }
+    c.drain_dedup();
+
+    // Foreground 8KB random writes against the flushed dataset.
+    BlockDevice bd(&client, meta, "vm0.0", 4 << 20);
+    auto wops = workload::make_random_ops(4 << 20, 8192, 400, true, 0.0,
+                                          static_cast<uint64_t>(cs));
+    auto issue = make_bdev_issuer(c, bd, wops);
+    const LoadResult w = run_closed_loop(c, wops.size(), 8, issue);
+    c.drain_dedup();
+
+    const auto ts = c.tier_stats(meta);
+    const auto ck = c.pool_stats(chunks);
+    const double ratio =
+        100.0 * (1.0 - static_cast<double>(ck.stored_data_bytes) / 2 /
+                           static_cast<double>(logical));
+    uint64_t chunk_objs = ck.objects / 2;
+    std::printf("%-8u %14.3f %14llu %14llu %12.2f\n", cs / 1024,
+                w.mean_latency_ms(),
+                static_cast<unsigned long long>(ts.chunks_flushed),
+                static_cast<unsigned long long>(chunk_objs), ratio);
+  }
+  std::printf("\nsmaller chunks: better ratio, more metadata + flush ops;"
+              " larger chunks: cheaper engine, coarser dedup.\n");
+}
+
+// ---------------------------------------------------- B: fixed vs CDC
+
+void ablate_cdc() {
+  print_header("Ablation B — fixed vs content-defined chunking",
+               "Section 5: CDC rejected on the data path for CPU cost");
+
+  // A backup-like stream: version 2 = version 1 with small insertions,
+  // the pathological case for fixed chunking.
+  Rng rng(31);
+  Buffer v1(8 << 20);
+  rng.fill(v1.mutable_data(), v1.size());
+  Buffer v2;
+  {
+    // Insert 16 random short blobs.
+    size_t pos = 0;
+    Buffer acc;
+    for (int i = 0; i < 16; i++) {
+      const size_t cut = pos + (v1.size() - pos) / (16 - i);
+      acc = Buffer::concat(acc, v1.slice(pos, cut - pos));
+      Buffer ins(64 + rng.below(512));
+      rng.fill(ins.mutable_data(), ins.size());
+      acc = Buffer::concat(acc, ins);
+      pos = cut;
+    }
+    v2 = std::move(acc);
+  }
+
+  auto dedup_ratio = [](const std::vector<Chunk>& a,
+                        const std::vector<Chunk>& b) {
+    std::unordered_set<Fingerprint> seen;
+    uint64_t total = 0, unique = 0;
+    for (const auto* vec : {&a, &b}) {
+      for (const auto& ch : *vec) {
+        total += ch.data.size();
+        if (seen.insert(Fingerprint::compute(FingerprintAlgo::kSha256,
+                                             ch.data.span()))
+                .second) {
+          unique += ch.data.size();
+        }
+      }
+    }
+    return 100.0 * (1.0 - static_cast<double>(unique) / total);
+  };
+
+  FixedChunker fixed(32 * 1024);
+  CdcChunker cdc(8 * 1024, 32 * 1024, 128 * 1024);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f1 = fixed.split(v1);
+  auto f2 = fixed.split(v2);
+  const auto t1 = std::chrono::steady_clock::now();
+  auto c1 = cdc.split(v1);
+  auto c2 = cdc.split(v2);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double fixed_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double cdc_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+  std::printf("\n%-8s %14s %16s %18s\n", "mode", "dedup %", "chunking ms",
+              "(v1+v2, 16MB)");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  std::printf("%-8s %14.2f %16.2f\n", "fixed", dedup_ratio(f1, f2), fixed_ms);
+  std::printf("%-8s %14.2f %16.2f\n", "cdc", dedup_ratio(c1, c2), cdc_ms);
+  std::printf("\nCDC recovers cross-version duplicates that insertions shift"
+              " off the fixed grid,\nat ~%0.0fx the chunking CPU — the trade"
+              " the paper declines for a CPU-bound data path.\n",
+              cdc_ms / std::max(0.01, fixed_ms));
+}
+
+// ------------------------------------------------- C: hotness threshold
+
+void ablate_hitcount() {
+  print_header("Ablation C — Hitcount threshold under a zipfian workload",
+               "cache manager: hot objects are not deduplicated (Section 3.2)");
+  std::printf("\n%-10s %12s %14s %14s %14s\n", "hitcount", "rd lat ms",
+              "hot skips", "flush ops", "meta cached");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (int threshold : {1, 2, 4, 16, 1 << 20}) {
+    Cluster c;
+    const PoolId meta = c.create_replicated_pool("meta", 2);
+    const PoolId chunks = c.create_replicated_pool("chunks", 2);
+    auto t = bench_tier_config(32 * 1024);
+    t.hitcount_threshold = threshold;
+    t.hitset_period = kSecond;
+    t.hitset_count = 4;
+    t.promote_on_read = true;
+    c.enable_dedup(meta, chunks, t);
+    RadosClient client(&c, c.client_node(0));
+
+    // 64 objects x 64KB; zipfian access (a few objects take most traffic).
+    const int nobj = 64;
+    for (int i = 0; i < nobj; i++) {
+      sync_write(c, client, meta, "o" + std::to_string(i), 0,
+                 workload::BlockContent::make(static_cast<uint64_t>(i),
+                                              64 * 1024));
+    }
+    c.drain_dedup();
+
+    ZipfDistribution zipf(nobj, 0.99);
+    auto rng = std::make_shared<Rng>(7);
+    Histogram rd;
+    auto issue = [&](size_t idx, std::function<void(uint64_t)> done) {
+      const auto oid = "o" + std::to_string(zipf.sample(*rng));
+      const SimTime t0 = c.sched().now();
+      if (idx % 4 == 0) {
+        client.write(meta, oid, (idx % 2) * 8192,
+                     workload::BlockContent::make(rng->next(), 8192),
+                     [&, t0, done = std::move(done)](Status) {
+                       rd.record(static_cast<uint64_t>(c.sched().now() - t0));
+                       done(8192);
+                     });
+      } else {
+        client.read(meta, oid, 0, 8192,
+                    [&, t0, done = std::move(done)](Result<Buffer>) {
+                      rd.record(static_cast<uint64_t>(c.sched().now() - t0));
+                      done(8192);
+                    });
+      }
+    };
+    run_closed_loop(c, 4000, 8, issue);
+    const auto ts = c.tier_stats(meta);
+    const auto ms = c.pool_stats(meta);
+    std::printf("%-10d %12.3f %14llu %14llu %14s\n", threshold,
+                rd.mean() / 1e6,
+                static_cast<unsigned long long>(ts.hot_skips),
+                static_cast<unsigned long long>(ts.chunks_flushed),
+                format_bytes(static_cast<double>(ms.stored_data_bytes)).c_str());
+  }
+  std::printf("\nlow thresholds keep the hot set cached (fast reads, less"
+              " churn); very high thresholds\ndedup everything and pay "
+              "redirects on the hot path.\n");
+}
+
+// ------------------------------------------------- D: fingerprint algo
+
+void ablate_fp_algo() {
+  print_header("Ablation D — fingerprint algorithm (engine throughput)",
+               "SHA-1 (Ceph dedup default) vs SHA-256 (ours)");
+  std::printf("\n%-10s %16s %16s %14s\n", "algo", "drain virt s",
+              "cpu busy ms", "flush ops");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (auto algo : {FingerprintAlgo::kSha1, FingerprintAlgo::kSha256}) {
+    Cluster c;
+    const PoolId meta = c.create_replicated_pool("meta", 2);
+    const PoolId chunks = c.create_replicated_pool("chunks", 2);
+    auto t = bench_tier_config(32 * 1024);
+    t.fp_algo = algo;
+    t.rate_control = false;
+    t.max_dedup_per_tick = 2048;
+    t.hitcount_threshold = 1 << 30;
+    c.enable_dedup(meta, chunks, t);
+    RadosClient client(&c, c.client_node(0));
+    for (int i = 0; i < 16; i++) {
+      sync_write(c, client, meta, "o" + std::to_string(i), 0,
+                 workload::BlockContent::make(static_cast<uint64_t>(i),
+                                              1 << 20));
+    }
+    const SimTime t0 = c.sched().now();
+    const uint64_t busy0 = c.storage_cpu_busy_ns();
+    c.drain_dedup();
+    const auto ts = c.tier_stats(meta);
+    std::printf("%-10s %16.3f %16.2f %14llu\n",
+                algo == FingerprintAlgo::kSha1 ? "sha1" : "sha256",
+                static_cast<double>(c.sched().now() - t0) / kSecond,
+                static_cast<double>(c.storage_cpu_busy_ns() - busy0) / 1e6,
+                static_cast<unsigned long long>(ts.chunks_flushed));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv, "");
+  opts.check_unused();
+  ablate_chunk_size();
+  ablate_cdc();
+  ablate_hitcount();
+  ablate_fp_algo();
+  return 0;
+}

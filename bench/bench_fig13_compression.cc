@@ -1,0 +1,133 @@
+// Figure 13: cumulative capacity as Ubuntu VM images are added, for six
+// configurations: rep, ec, rep+dedup, rep+dedup+comp, ec+dedup,
+// ec+dedup+comp.  (Paper: ten 8GB images; rep = 160GB, EC 2+1 = 120GB,
+// rep+dedup ~2.2GB with ~200MB per additional image; dedup+comp smallest.)
+//
+// Images are scaled (default 32MB) but keep the structural profile:
+// shared OS payload, per-VM unique home data, large zero tail.
+// Compression is the object store's at-rest LZ codec — real compressed
+// bytes, standing in for Btrfs.
+
+#include "bench_util.h"
+#include "workload/vm_corpus.h"
+
+using namespace gdedup;
+using namespace gdedup::bench;
+
+namespace {
+
+constexpr uint32_t kChunk = 32 * 1024;
+
+struct Config {
+  const char* name;
+  bool ec;
+  bool dedup;
+  bool compress;
+};
+
+struct Run {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<RadosClient> client;
+  PoolId pool = -1;
+};
+
+Run make_run(const Config& cfg) {
+  Run r;
+  r.cluster = std::make_unique<Cluster>();
+  Cluster& c = *r.cluster;
+  if (cfg.dedup) {
+    r.pool = c.create_replicated_pool("meta", 2);
+    const PoolId chunks =
+        cfg.ec ? c.create_ec_pool("chunks", 2, 1, 128, cfg.compress)
+               : c.create_replicated_pool("chunks", 2, 128, cfg.compress);
+    auto t = bench_tier_config(kChunk);
+    t.rate_control = false;
+    t.max_dedup_per_tick = 4096;
+    t.hitcount_threshold = 1 << 30;
+    c.enable_dedup(r.pool, chunks, t);
+  } else {
+    r.pool = cfg.ec ? c.create_ec_pool("data", 2, 1, 128, cfg.compress)
+                    : c.create_replicated_pool("data", 2, 128, cfg.compress);
+  }
+  r.client = std::make_unique<RadosClient>(&c, r.cluster->client_node(0));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv,
+               "images=<count, default 10> image_mb=<MB, default 32>");
+  const int images = static_cast<int>(opts.get_int("images", 10));
+  workload::VmImageConfig vcfg;
+  vcfg.image_bytes = static_cast<uint64_t>(opts.get_int("image_mb", 32)) << 20;
+  opts.check_unused();
+
+  print_header("Figure 13 — capacity vs number of VM images (log scale in "
+               "the paper)",
+               "Fig. 13: rep 160GB, ec 120GB, rep+dedup ~2.2GB (+~200MB per "
+               "image), ec+dedup+comp minimal — for ten 8GB images");
+  std::printf("image size scaled: %s (paper: 8GB)\n",
+              format_bytes(static_cast<double>(vcfg.image_bytes)).c_str());
+
+  const Config configs[] = {
+      {"rep", false, false, false},
+      {"ec", true, false, false},
+      {"rep+dedup", false, true, false},
+      {"rep+dedup+comp", false, true, true},
+      {"ec+dedup", true, true, false},
+      {"ec+dedup+comp", true, true, true},
+  };
+
+  workload::VmImageCorpus corpus(vcfg);
+  const uint64_t obj_bytes = 4 << 20;
+  const uint64_t blocks_per_obj = obj_bytes / vcfg.block_size;
+
+  std::vector<Run> runs;
+  for (const auto& cfg : configs) runs.push_back(make_run(cfg));
+
+  std::printf("\n%-8s", "images");
+  for (const auto& cfg : configs) std::printf(" %14s", cfg.name);
+  std::printf("\n%s\n", std::string(8 + 15 * 6, '-').c_str());
+
+  for (int vm = 0; vm < images; vm++) {
+    for (size_t ci = 0; ci < runs.size(); ci++) {
+      Run& r = runs[ci];
+      Cluster& c = *r.cluster;
+      // Stream this VM's image in as 4MB objects.
+      const uint64_t total_blocks = corpus.blocks_per_image();
+      run_closed_loop(
+          c, (total_blocks + blocks_per_obj - 1) / blocks_per_obj, 8,
+          [&](size_t idx, std::function<void(uint64_t)> done) {
+            Buffer obj;
+            for (uint64_t j = 0; j < blocks_per_obj; j++) {
+              const uint64_t b = idx * blocks_per_obj + j;
+              if (b >= total_blocks) break;
+              obj = Buffer::concat(obj, corpus.image_block(vm, b));
+            }
+            const uint64_t n = obj.size();
+            const std::string oid =
+                "vm" + std::to_string(vm) + ".obj." + std::to_string(idx);
+            r.client->write_full(r.pool, oid, std::move(obj),
+                                 [done = std::move(done), n](Status) {
+                                   done(n);
+                                 });
+          });
+      if (configs[ci].dedup) c.drain_dedup();
+    }
+    std::printf("%-8d", vm + 1);
+    for (auto& r : runs) {
+      std::printf(" %14s",
+                  format_bytes(static_cast<double>(r.cluster->total_physical_bytes()))
+                      .c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nshape check: rep = 2x logical, ec = 1.5x; dedup configs "
+              "start tiny and grow only by the\nper-image unique data; "
+              "compression shaves a further constant factor; "
+              "ec+dedup+comp smallest.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 3: deduplication ratio, local (per-OSD) vs global, across the
+// paper's six workloads: FIO dedupe=50%, FIO dedupe=80%, SPEC SFS 2014 DB
+// at LOAD 1/3/10, and the SK Telecom private-cloud corpus.
+//
+// 16 OSDs (4 nodes x 4), 32KB static chunks, ratios exclude redundancy
+// copies — the paper's accounting.  Dataset sizes are scaled from the
+// paper's 5GB / 24GB / 3.3TB to tens-to-hundreds of MB; ratios are
+// size-invariant for these generators (content profiles, not volumes).
+
+#include "bench_util.h"
+#include "dedup/ratio_analyzer.h"
+#include "workload/sfs_db.h"
+#include "workload/vm_corpus.h"
+
+namespace gdedup {
+namespace {
+
+using bench::print_header;
+using bench::print_note;
+
+struct Row {
+  std::string name;
+  double local_pct;
+  double global_pct;
+  double paper_local;
+  double paper_global;
+};
+
+OsdMap make_map(int osds) {
+  OsdMap m;
+  for (int i = 0; i < osds; i++) m.add_osd(i, i / 4);
+  PoolConfig cfg;
+  cfg.name = "data";
+  cfg.pg_num = 4096;
+  m.create_pool(cfg);
+  return m;
+}
+
+Row run_fio(double dedupe, uint64_t bytes, uint64_t seed, double pl, double pg) {
+  OsdMap map = make_map(16);
+  RatioAnalyzer a(&map, 0, 32 * 1024);
+  workload::FioConfig cfg;
+  cfg.total_bytes = bytes;
+  cfg.block_size = 8192;
+  cfg.dedupe_ratio = dedupe;
+  cfg.seed = seed;
+  workload::FioGenerator gen(cfg);
+  for (uint64_t i = 0; i < gen.num_blocks(); i++) {
+    a.add_object("blk" + std::to_string(i), gen.block(i));
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "FIO dedup %.0f%%", dedupe * 100);
+  return {name, a.local().percent(), a.global().percent(), pl, pg};
+}
+
+Row run_sfs(int load, uint64_t bytes, double pl, double pg) {
+  OsdMap map = make_map(16);
+  workload::SfsDbConfig cfg;
+  cfg.load = load;
+  cfg.dataset_bytes = bytes;
+  workload::SfsDbGenerator gen(cfg);
+  RatioAnalyzer a(&map, 0, 32 * 1024);
+  // Pages grouped into the 4MB striping objects they live in, so local
+  // accounting sees the same placement the cluster would use.
+  const uint64_t pages_per_obj = (4 << 20) / cfg.page_size;
+  Buffer obj;
+  uint64_t obj_idx = 0;
+  for (uint64_t i = 0; i < gen.num_pages(); i++) {
+    obj = Buffer::concat(obj, gen.dataset_page(i));
+    if ((i + 1) % pages_per_obj == 0 || i + 1 == gen.num_pages()) {
+      a.add_object("db." + std::to_string(obj_idx++), obj);
+      obj = Buffer();
+    }
+  }
+  return {"SFS DB (LD" + std::to_string(load) + ")", a.local().percent(),
+          a.global().percent(), pl, pg};
+}
+
+Row run_cloud(double pl, double pg) {
+  OsdMap map = make_map(16);
+  workload::CloudCorpusConfig cfg;  // calibrated private-cloud profile
+  workload::CloudCorpus corpus(cfg);
+  RatioAnalyzer a(&map, 0, 32 * 1024);
+  const uint64_t atoms_per_obj = (4 << 20) / cfg.atom_size;
+  for (int vm = 0; vm < cfg.num_vms; vm++) {
+    for (uint64_t at = 0; at < corpus.atoms_per_vm(); at += atoms_per_obj) {
+      const uint64_t n =
+          std::min<uint64_t>(atoms_per_obj, corpus.atoms_per_vm() - at);
+      a.add_object("vm" + std::to_string(vm) + "." + std::to_string(at / atoms_per_obj),
+                   corpus.read(vm, at, n));
+    }
+  }
+  return {"SKT Private Cloud", a.local().percent(), a.global().percent(), pl,
+          pg};
+}
+
+}  // namespace
+}  // namespace gdedup
+
+int main(int argc, char** argv) {
+  using namespace gdedup;
+  Options opts(argc, argv, "scale=<bytes multiplier, default 1>");
+  const auto scale = static_cast<uint64_t>(opts.get_int("scale", 1));
+  opts.check_unused();
+
+  print_header("Figure 3 — local vs global deduplication ratio (%)",
+               "Fig. 3, 4 nodes x 4 OSDs, per-OSD local vs 16-OSD global");
+  print_note("datasets scaled: FIO 5GB->32MB, SFS 24GB->192MB, cloud 3.3TB->576MB");
+
+  std::vector<Row> rows;
+  rows.push_back(run_fio(0.5, scale * (32ull << 20), 101, 4.20, 50.02));
+  rows.push_back(run_fio(0.8, scale * (32ull << 20), 102, 12.98, 80.01));
+  rows.push_back(run_sfs(1, scale * (192ull << 20), 8.96, 35.96));
+  rows.push_back(run_sfs(3, scale * (192ull << 20), 32.53, 80.60));
+  rows.push_back(run_sfs(10, scale * (192ull << 20), 50.02, 92.73));
+  rows.push_back(run_cloud(21.53, 44.80));
+
+  std::printf("\n%-20s %12s %12s | %12s %12s\n", "workload", "local %",
+              "global %", "paper local", "paper glob");
+  std::printf("%s\n", std::string(76, '-').c_str());
+  for (const Row& r : rows) {
+    std::printf("%-20s %12.2f %12.2f | %12.2f %12.2f\n", r.name.c_str(),
+                r.local_pct, r.global_pct, r.paper_local, r.paper_global);
+  }
+  std::printf("\nshape check: global >> local on every workload; FIO global"
+              " tracks the knob;\nSFS/global grows with LOAD; cloud gap ~2x."
+              "\n");
+  return 0;
+}

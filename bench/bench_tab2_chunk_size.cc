@@ -1,0 +1,103 @@
+// Table 2: deduplication ratio vs chunk size (16/32/64KB) on the
+// private-cloud corpus, through the REAL pipeline (not the analyzer):
+// ideal ratio counts data only; actual ratio charges the dedup metadata —
+// chunk maps (150B/entry), chunk-object reference lists and per-object
+// base overhead — so the smallest chunk wins on ideal ratio but loses on
+// actual ratio, and 32KB is the sweet spot.
+
+#include "bench_util.h"
+#include "dedup/ratio_analyzer.h"
+#include "workload/vm_corpus.h"
+
+using namespace gdedup;
+using namespace gdedup::bench;
+
+namespace {
+
+struct Row {
+  uint32_t chunk_size;
+  double ideal_pct;
+  uint64_t stored_data;
+  uint64_t stored_meta;
+  double actual_pct;
+};
+
+Row run_chunk_size(const workload::CloudCorpus& corpus, uint32_t cs) {
+  Cluster c;
+  const PoolId meta = c.create_replicated_pool("meta", 2);
+  const PoolId chunks = c.create_replicated_pool("chunks", 2);
+  auto t = bench_tier_config(cs);
+  t.rate_control = false;  // drain fully; this is a capacity experiment
+  t.max_dedup_per_tick = 2048;
+  t.hitcount_threshold = 1 << 30;
+  c.enable_dedup(meta, chunks, t);
+  RadosClient client(&c, c.client_node(0));
+
+  const auto& ccfg = corpus.config();
+  const uint64_t atoms_per_obj = (4 << 20) / ccfg.atom_size;
+  uint64_t logical = 0;
+  for (int vm = 0; vm < corpus.num_vms(); vm++) {
+    for (uint64_t at = 0; at < corpus.atoms_per_vm(); at += atoms_per_obj) {
+      const uint64_t n =
+          std::min<uint64_t>(atoms_per_obj, corpus.atoms_per_vm() - at);
+      Buffer data = corpus.read(vm, at, n);
+      logical += data.size();
+      const std::string oid =
+          "vm" + std::to_string(vm) + "." + std::to_string(at / atoms_per_obj);
+      sync_write(c, client, meta, oid, 0, std::move(data));
+    }
+  }
+  c.drain_dedup();
+
+  const auto ms = c.pool_stats(meta);
+  const auto cks = c.pool_stats(chunks);
+  // Per-replica accounting (the paper excludes redundancy copies).
+  const uint64_t data_bytes = (ms.stored_data_bytes + cks.stored_data_bytes) / 2;
+  const uint64_t meta_bytes =
+      (ms.xattr_bytes + ms.omap_bytes + ms.objects * kPerObjectBaseBytes +
+       cks.xattr_bytes + cks.omap_bytes + cks.objects * kPerObjectBaseBytes) /
+      2;
+  Row r;
+  r.chunk_size = cs;
+  r.ideal_pct =
+      100.0 * (1.0 - static_cast<double>(data_bytes) / static_cast<double>(logical));
+  r.stored_data = data_bytes;
+  r.stored_meta = meta_bytes;
+  r.actual_pct =
+      100.0 * (1.0 - static_cast<double>(data_bytes + meta_bytes) /
+                         static_cast<double>(logical));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv, "vms=<count, default 16> vm_mb=<MB per vm, default 12>");
+  workload::CloudCorpusConfig ccfg;
+  ccfg.num_vms = static_cast<int>(opts.get_int("vms", 16));
+  ccfg.vm_bytes = static_cast<uint64_t>(opts.get_int("vm_mb", 12)) << 20;
+  opts.check_unused();
+
+  print_header("Table 2 — dedup ratio vs chunk size (private-cloud corpus)",
+               "Tab. 2: ideal 46.4/44.8/43.7%, actual 41.7/42.4/43.3% at "
+               "16/32/64KB (3.3TB corpus; ours is scaled)");
+  workload::CloudCorpus corpus(ccfg);
+
+  std::printf("\n%-8s %10s %14s %14s %10s | %8s %8s\n", "chunk", "ideal %",
+              "data stored", "metadata", "actual %", "paperI", "paperA");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  const double paper_ideal[] = {46.4, 44.8, 43.7};
+  const double paper_actual[] = {41.7, 42.4, 43.3};
+  int i = 0;
+  for (uint32_t cs : {16u * 1024, 32u * 1024, 64u * 1024}) {
+    const Row r = run_chunk_size(corpus, cs);
+    std::printf("%-8u %10.2f %14s %14s %10.2f | %8.1f %8.1f\n", cs / 1024,
+                r.ideal_pct, format_bytes(static_cast<double>(r.stored_data)).c_str(),
+                format_bytes(static_cast<double>(r.stored_meta)).c_str(),
+                r.actual_pct, paper_ideal[i], paper_actual[i]);
+    i++;
+  }
+  std::printf("\nshape check: ideal declines with chunk size; metadata halves"
+              " per doubling;\nactual peaks away from the smallest chunk.\n");
+  return 0;
+}

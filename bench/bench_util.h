@@ -1,0 +1,222 @@
+#pragma once
+
+// Shared harness pieces for the per-figure/table benchmark binaries.
+//
+// Each binary builds the paper's cluster shape, drives a workload in
+// virtual time, and prints the same rows/series the paper reports,
+// alongside the paper's published numbers for eyeballing the shape.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/options.h"
+#include "rados/client.h"
+#include "rados/cluster.h"
+#include "rados/sync.h"
+#include "sim/metrics.h"
+#include "workload/content.h"
+#include "workload/fio_gen.h"
+
+namespace gdedup::bench {
+
+// ------------------------------------------------------------ formatting
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+// ------------------------------------------------------------ load driver
+
+struct LoadResult {
+  Histogram latency;          // per-op latency, ns
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  SimTime wall = 0;           // virtual duration of the measured phase
+  double cpu_util = 0.0;      // mean storage-node CPU over the phase
+
+  double seconds() const { return static_cast<double>(wall) / kSecond; }
+  double iops() const { return wall > 0 ? ops / seconds() : 0.0; }
+  double mbps() const {
+    return wall > 0 ? static_cast<double>(bytes) / (1e6 * seconds()) : 0.0;
+  }
+  double mean_latency_ms() const { return latency.mean() / 1e6; }
+};
+
+// issue(index, done): start op `index`, call done(bytes_transferred) at
+// completion.
+using IssueFn = std::function<void(size_t, std::function<void(uint64_t)>)>;
+
+// Closed loop: `depth` ops outstanding at all times (FIO iodepth).
+inline LoadResult run_closed_loop(Cluster& c, size_t total_ops, int depth,
+                                  const IssueFn& issue,
+                                  RateSeries* series = nullptr) {
+  LoadResult res;
+  const SimTime start = c.sched().now();
+  const uint64_t cpu_before = c.storage_cpu_busy_ns();
+  size_t next = 0;
+  size_t completed = 0;
+
+  std::function<void()> pump = [&]() {
+    while (next < total_ops &&
+           next - completed < static_cast<size_t>(depth)) {
+      const size_t idx = next++;
+      const SimTime issued = c.sched().now();
+      issue(idx, [&, issued](uint64_t bytes) {
+        completed++;
+        res.ops++;
+        res.bytes += bytes;
+        res.latency.record(static_cast<uint64_t>(c.sched().now() - issued));
+        if (series != nullptr) {
+          series->add(c.sched().now(), static_cast<double>(bytes));
+        }
+        pump();
+      });
+    }
+  };
+  pump();
+  while (completed < total_ops) {
+    if (!c.sched().step()) break;
+  }
+  res.wall = c.sched().now() - start;
+  res.cpu_util = c.storage_cpu_utilization(cpu_before, start, c.sched().now());
+  return res;
+}
+
+// Open loop: ops issued at a fixed rate regardless of completions (the
+// SPEC SFS demand model).  Latency includes queueing delay.
+inline LoadResult run_open_loop(Cluster& c, size_t total_ops,
+                                double ops_per_sec, const IssueFn& issue,
+                                RateSeries* series = nullptr) {
+  LoadResult res;
+  const SimTime start = c.sched().now();
+  const uint64_t cpu_before = c.storage_cpu_busy_ns();
+  size_t completed = 0;
+  const double gap_ns = static_cast<double>(kSecond) / ops_per_sec;
+
+  for (size_t i = 0; i < total_ops; i++) {
+    const SimTime when = start + static_cast<SimTime>(gap_ns * static_cast<double>(i));
+    c.sched().at(when, [&, i, when] {
+      issue(i, [&, when](uint64_t bytes) {
+        completed++;
+        res.ops++;
+        res.bytes += bytes;
+        res.latency.record(static_cast<uint64_t>(c.sched().now() - when));
+        if (series != nullptr) {
+          series->add(c.sched().now(), static_cast<double>(bytes));
+        }
+      });
+    });
+  }
+  while (completed < total_ops) {
+    if (!c.sched().step()) break;
+  }
+  res.wall = c.sched().now() - start;
+  res.cpu_util = c.storage_cpu_utilization(cpu_before, start, c.sched().now());
+  return res;
+}
+
+// Time-bounded closed loop: run until `duration` of virtual time passes.
+inline LoadResult run_closed_loop_for(Cluster& c, SimTime duration, int depth,
+                                      const IssueFn& issue,
+                                      RateSeries* series = nullptr) {
+  LoadResult res;
+  const SimTime start = c.sched().now();
+  const SimTime deadline = start + duration;
+  const uint64_t cpu_before = c.storage_cpu_busy_ns();
+  size_t next = 0;
+  size_t inflight = 0;
+  bool stopping = false;
+
+  std::function<void()> pump = [&]() {
+    while (!stopping && inflight < static_cast<size_t>(depth)) {
+      const size_t idx = next++;
+      inflight++;
+      const SimTime issued = c.sched().now();
+      issue(idx, [&, issued](uint64_t bytes) {
+        inflight--;
+        res.ops++;
+        res.bytes += bytes;
+        res.latency.record(static_cast<uint64_t>(c.sched().now() - issued));
+        if (series != nullptr) {
+          series->add(c.sched().now(), static_cast<double>(bytes));
+        }
+        if (c.sched().now() >= deadline) stopping = true;
+        pump();
+      });
+    }
+  };
+  pump();
+  while (!stopping || inflight > 0) {
+    if (!c.sched().step()) break;
+    if (c.sched().now() >= deadline) stopping = true;
+  }
+  res.wall = c.sched().now() - start;
+  res.cpu_util = c.storage_cpu_utilization(cpu_before, start, c.sched().now());
+  return res;
+}
+
+// -------------------------------------------------------- block workloads
+
+// Issue fn for an IoOp stream over a block device; writes synthesize
+// content from the op's content seed.
+inline IssueFn make_bdev_issuer(Cluster& c, BlockDevice& bd,
+                                const std::vector<workload::IoOp>& ops,
+                                double compressible = 0.0) {
+  (void)c;
+  return [&bd, &ops, compressible](size_t idx,
+                                   std::function<void(uint64_t)> done) {
+    const workload::IoOp& op = ops[idx % ops.size()];
+    if (op.is_write) {
+      Buffer data =
+          workload::BlockContent::make(op.content_seed, op.length, compressible);
+      bd.write(op.offset, std::move(data),
+               [done = std::move(done), n = op.length](Status) { done(n); });
+    } else {
+      bd.read(op.offset, op.length,
+              [done = std::move(done), n = op.length](Result<Buffer>) {
+                done(n);
+              });
+    }
+  };
+}
+
+// Preload a block device sequentially with FIO-generated content.
+inline void preload_bdev(Cluster& c, BlockDevice& bd,
+                         const workload::FioGenerator& gen) {
+  RateSeries unused;
+  const uint32_t bs = gen.block_size();
+  run_closed_loop(c, gen.num_blocks(), /*depth=*/8,
+                  [&](size_t idx, std::function<void(uint64_t)> done) {
+                    bd.write(static_cast<uint64_t>(idx) * bs, gen.block(idx),
+                             [done = std::move(done), bs](Status) {
+                               done(bs);
+                             });
+                  });
+}
+
+// Standard dedup tier parameters used across benches (paper defaults).
+inline DedupTierConfig bench_tier_config(uint32_t chunk_size = 32 * 1024) {
+  DedupTierConfig t;
+  t.mode = DedupMode::kPostProcess;
+  t.chunk_size = chunk_size;
+  t.rate_control = true;
+  t.low_watermark_iops = 500;
+  t.high_watermark_iops = 4000;
+  t.engine_tick = msec(50);
+  t.max_dedup_per_tick = 256;
+  t.hitcount_threshold = 4;
+  return t;
+}
+
+}  // namespace gdedup::bench

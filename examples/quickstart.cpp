@@ -1,0 +1,78 @@
+// Quickstart: bring up a 4-node cluster, enable global deduplication, and
+// watch duplicate data collapse in the chunk pool.
+//
+//   $ ./quickstart
+//
+// Walks the public API end to end: Cluster -> pools -> enable_dedup ->
+// RadosClient I/O -> drain -> stats.
+
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "rados/cluster.h"
+#include "rados/sync.h"
+#include "workload/content.h"
+
+using namespace gdedup;
+
+int main() {
+  // 1. A cluster with the paper's shape: 4 storage nodes x 4 OSDs, 3
+  //    client nodes, 10GbE, SSD-backed OSDs.  Time is virtual — the whole
+  //    run takes milliseconds of wall clock.
+  Cluster cluster;
+
+  // 2. Two replicated pools: user-visible metadata pool, content-addressed
+  //    chunk pool.  (The chunk pool could be erasure-coded instead.)
+  const PoolId meta = cluster.create_replicated_pool("rbd-meta", 2);
+  const PoolId chunks = cluster.create_replicated_pool("rbd-chunks", 2);
+
+  // 3. Attach the dedup tier: 32KB static chunks, SHA-256 fingerprints,
+  //    post-processing engine with watermark rate control.
+  DedupTierConfig tier;
+  tier.mode = DedupMode::kPostProcess;
+  tier.chunk_size = 32 * 1024;
+  tier.rate_control = true;
+  cluster.enable_dedup(meta, chunks, tier);
+
+  // 4. Write ten objects that all share the same 128KB payload.
+  RadosClient client(&cluster, cluster.client_node(0));
+  Buffer payload = workload::BlockContent::make(/*seed=*/42, 128 * 1024);
+  for (int i = 0; i < 10; i++) {
+    const std::string oid = "object-" + std::to_string(i);
+    Status s = sync_write(cluster, client, meta, oid, 0, payload);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote 10 objects x %zu KB (identical content)\n",
+              payload.size() / 1024);
+
+  // 5. Let the background engine fingerprint, deduplicate and evict.
+  cluster.drain_dedup();
+
+  // 6. Inspect: ten 128KB objects, but the chunk pool holds one copy of
+  //    each 32KB chunk (x2 replicas).
+  const auto meta_stats = cluster.pool_stats(meta);
+  const auto chunk_stats = cluster.pool_stats(chunks);
+  std::printf("metadata pool: %llu objects, %s data cached\n",
+              static_cast<unsigned long long>(meta_stats.objects),
+              format_bytes(static_cast<double>(meta_stats.stored_data_bytes)).c_str());
+  std::printf("chunk pool:    %llu unique chunks (x2 replicas), %s stored\n",
+              static_cast<unsigned long long>(chunk_stats.objects / 2),
+              format_bytes(static_cast<double>(chunk_stats.stored_data_bytes)).c_str());
+  const double logical = 10.0 * 128 * 1024;
+  std::printf("dedup ratio:   %.1f%% of logical data eliminated\n",
+              100.0 * (1.0 - static_cast<double>(chunk_stats.stored_data_bytes) / 2 /
+                                 logical));
+
+  // 7. Reads are transparent: the tier reassembles from the chunk pool.
+  auto r = sync_read(cluster, client, meta, "object-7", 0, 0);
+  if (!r.is_ok() || !r->content_equals(payload)) {
+    std::fprintf(stderr, "read-back mismatch!\n");
+    return 1;
+  }
+  std::printf("read-back of object-7: %zu bytes, content verified\n",
+              r->size());
+  return 0;
+}

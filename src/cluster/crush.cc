@@ -1,0 +1,96 @@
+#include "cluster/crush.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+
+namespace gdedup {
+
+void CrushMap::add_device(OsdId id, HostId host, double weight) {
+  assert(!devices_.count(id));
+  devices_[id] = CrushDevice{id, host, weight};
+}
+
+Status CrushMap::set_weight(OsdId id, double weight) {
+  auto it = devices_.find(id);
+  if (it == devices_.end()) return Status::not_found("no such osd");
+  if (weight < 0) return Status::invalid("negative weight");
+  it->second.weight = weight;
+  return Status::ok();
+}
+
+bool CrushMap::has_device(OsdId id) const { return devices_.count(id) > 0; }
+
+double CrushMap::weight(OsdId id) const {
+  auto it = devices_.find(id);
+  return it == devices_.end() ? 0.0 : it->second.weight;
+}
+
+int CrushMap::num_hosts() const {
+  std::set<HostId> hosts;
+  for (const auto& [id, d] : devices_) hosts.insert(d.host);
+  return static_cast<int>(hosts.size());
+}
+
+std::vector<OsdId> CrushMap::device_ids() const {
+  std::vector<OsdId> out;
+  out.reserve(devices_.size());
+  for (const auto& [id, d] : devices_) out.push_back(id);
+  return out;
+}
+
+double CrushMap::straw2_draw(uint64_t x, uint64_t item, double weight) {
+  if (weight <= 0) return -1e300;
+  // Uniform (0,1] hash of (input, item), then ln(u)/w: the device with the
+  // maximum draw wins.  Equal-content inputs get equal draws — placement
+  // is a pure function of (x, map).
+  const uint64_t h = mix64(x ^ mix64(item * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  const double u =
+      (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+  return std::log(u) / weight;
+}
+
+std::vector<OsdId> CrushMap::select(uint64_t x, int n,
+                                    const std::vector<OsdId>& exclude) const {
+  std::set<OsdId> excluded(exclude.begin(), exclude.end());
+
+  // Candidate devices with positive weight, not excluded.
+  std::vector<const CrushDevice*> cands;
+  cands.reserve(devices_.size());
+  std::set<HostId> cand_hosts;
+  for (const auto& [id, d] : devices_) {
+    if (d.weight > 0 && !excluded.count(id)) {
+      cands.push_back(&d);
+      cand_hosts.insert(d.host);
+    }
+  }
+
+  const bool spread_hosts = static_cast<int>(cand_hosts.size()) >= n;
+  std::vector<OsdId> out;
+  std::set<OsdId> chosen;
+  std::set<HostId> chosen_hosts;
+
+  while (static_cast<int>(out.size()) < n) {
+    const CrushDevice* best = nullptr;
+    double best_draw = -1e301;
+    for (const CrushDevice* d : cands) {
+      if (chosen.count(d->id)) continue;
+      if (spread_hosts && chosen_hosts.count(d->host)) continue;
+      const double draw = straw2_draw(x, static_cast<uint64_t>(d->id), d->weight);
+      if (draw > best_draw) {
+        best_draw = draw;
+        best = d;
+      }
+    }
+    if (best == nullptr) break;  // fewer candidates than n
+    out.push_back(best->id);
+    chosen.insert(best->id);
+    chosen_hosts.insert(best->host);
+  }
+  return out;
+}
+
+}  // namespace gdedup

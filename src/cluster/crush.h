@@ -1,0 +1,55 @@
+#pragma once
+
+// CRUSH-style pseudo-random placement (straw2 buckets).
+//
+// This is the *second* hash of the paper's double hashing: any object ID —
+// including a chunk object ID that is itself a content fingerprint — maps
+// deterministically to an ordered set of OSDs, with host-level failure
+// domains and weight-proportional load.  straw2 selection means weight
+// changes and device removals move only the minimal fraction of inputs,
+// which the placement-stability tests assert.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdedup {
+
+using OsdId = int;
+using HostId = int;
+
+struct CrushDevice {
+  OsdId id = -1;
+  HostId host = -1;
+  double weight = 1.0;  // 0 == "out" (no new data placed)
+};
+
+class CrushMap {
+ public:
+  void add_device(OsdId id, HostId host, double weight = 1.0);
+  Status set_weight(OsdId id, double weight);
+  bool has_device(OsdId id) const;
+  double weight(OsdId id) const;
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  int num_hosts() const;
+  std::vector<OsdId> device_ids() const;
+
+  // Select up to `n` distinct OSDs for placement seed `x`, first replica
+  // first.  Spreads across distinct hosts while enough hosts have weight;
+  // falls back to distinct devices otherwise.  OSDs in `exclude` are
+  // skipped (used to re-place around failed devices).
+  std::vector<OsdId> select(uint64_t x, int n,
+                            const std::vector<OsdId>& exclude = {}) const;
+
+ private:
+  // straw2 draw: length of the straw device `d` draws for input `x`.
+  static double straw2_draw(uint64_t x, uint64_t item, double weight);
+
+  std::map<OsdId, CrushDevice> devices_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,101 @@
+#include "cluster/osd_map.h"
+
+#include <cassert>
+
+#include "common/random.h"
+
+namespace gdedup {
+
+void OsdMap::add_osd(OsdId id, HostId host, double weight) {
+  crush_.add_device(id, host, weight);
+  up_[id] = true;
+  epoch_++;
+}
+
+void OsdMap::mark_down(OsdId id) {
+  assert(up_.count(id));
+  if (up_[id]) {
+    up_[id] = false;
+    epoch_++;
+  }
+}
+
+void OsdMap::mark_up(OsdId id) {
+  assert(up_.count(id));
+  if (!up_[id]) {
+    up_[id] = true;
+    epoch_++;
+  }
+}
+
+bool OsdMap::is_up(OsdId id) const {
+  auto it = up_.find(id);
+  return it != up_.end() && it->second;
+}
+
+std::vector<OsdId> OsdMap::up_osds() const {
+  std::vector<OsdId> out;
+  for (const auto& [id, up] : up_) {
+    if (up) out.push_back(id);
+  }
+  return out;
+}
+
+PoolId OsdMap::create_pool(PoolConfig cfg) {
+  assert(cfg.pg_num > 0);
+  const PoolId id = next_pool_++;
+  pools_[id] = std::move(cfg);
+  epoch_++;
+  return id;
+}
+
+const PoolConfig& OsdMap::pool(PoolId id) const {
+  auto it = pools_.find(id);
+  assert(it != pools_.end());
+  return it->second;
+}
+
+PoolConfig& OsdMap::mutable_pool(PoolId id) {
+  auto it = pools_.find(id);
+  assert(it != pools_.end());
+  epoch_++;
+  return it->second;
+}
+
+std::optional<PoolId> OsdMap::pool_by_name(const std::string& name) const {
+  for (const auto& [id, cfg] : pools_) {
+    if (cfg.name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<PoolId> OsdMap::pool_ids() const {
+  std::vector<PoolId> out;
+  out.reserve(pools_.size());
+  for (const auto& [id, cfg] : pools_) out.push_back(id);
+  return out;
+}
+
+uint32_t OsdMap::pg_of(PoolId pool, const std::string& oid) const {
+  const PoolConfig& cfg = this->pool(pool);
+  return static_cast<uint32_t>(fnv1a(oid) % cfg.pg_num);
+}
+
+uint64_t OsdMap::placement_seed(PoolId pool, uint32_t pg) const {
+  return mix64((static_cast<uint64_t>(pool) << 32) | pg);
+}
+
+std::vector<OsdId> OsdMap::acting_for_pg(PoolId pool, uint32_t pg) const {
+  const PoolConfig& cfg = this->pool(pool);
+  std::vector<OsdId> down;
+  for (const auto& [id, up] : up_) {
+    if (!up) down.push_back(id);
+  }
+  return crush_.select(placement_seed(pool, pg), cfg.size(), down);
+}
+
+std::vector<OsdId> OsdMap::acting(PoolId pool, const std::string& oid) const {
+  return acting_for_pg(pool, pg_of(pool, oid));
+}
+
+}  // namespace gdedup

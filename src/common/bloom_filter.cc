@@ -1,0 +1,55 @@
+#include "common/bloom_filter.h"
+
+#include <algorithm>
+
+namespace gdedup {
+
+BloomFilter::BloomFilter(size_t expected_entries, double false_positive_rate) {
+  expected_entries = std::max<size_t>(expected_entries, 1);
+  false_positive_rate = std::clamp(false_positive_rate, 1e-9, 0.5);
+  const double ln2 = 0.6931471805599453;
+  const double bits = -static_cast<double>(expected_entries) *
+                      std::log(false_positive_rate) / (ln2 * ln2);
+  const size_t words = std::max<size_t>(1, static_cast<size_t>(bits / 64.0) + 1);
+  bits_.assign(words, 0);
+  hashes_ = std::max(
+      1, static_cast<int>(std::lround(bits / expected_entries * ln2)));
+}
+
+void BloomFilter::insert(uint64_t key) {
+  // Double hashing (Kirsch–Mitzenmacher): h_i = h1 + i*h2.
+  const uint64_t h1 = mix64(key);
+  const uint64_t h2 = mix64(h1) | 1;
+  const uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < hashes_; i++) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  inserted_++;
+}
+
+bool BloomFilter::maybe_contains(uint64_t key) const {
+  const uint64_t h1 = mix64(key);
+  const uint64_t h2 = mix64(h1) | 1;
+  const uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < hashes_; i++) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if (!(bits_[bit >> 6] & (1ULL << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::estimated_fp_rate() const {
+  const double nbits = static_cast<double>(bits_.size() * 64);
+  const double fill =
+      1.0 - std::exp(-static_cast<double>(hashes_) *
+                     static_cast<double>(inserted_) / nbits);
+  return std::pow(fill, hashes_);
+}
+
+}  // namespace gdedup

@@ -1,0 +1,39 @@
+#pragma once
+
+// Standard Bloom filter.
+//
+// The paper stores each HitSet on disk and keeps an in-memory Bloom filter
+// for existence checks (Section 5, "Cache management"); this is that
+// filter.  Also reused by the local-dedup baseline's fingerprint cache.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gdedup {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_entries` at `false_positive_rate`.
+  BloomFilter(size_t expected_entries, double false_positive_rate);
+
+  void insert(uint64_t key);
+  bool maybe_contains(uint64_t key) const;
+  void clear();
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  int hash_count() const { return hashes_; }
+  size_t inserted() const { return inserted_; }
+
+  // Predicted false-positive probability at current fill.
+  double estimated_fp_rate() const;
+
+ private:
+  std::vector<uint64_t> bits_;
+  int hashes_;
+  size_t inserted_ = 0;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,92 @@
+#pragma once
+
+// Copy-on-write byte buffer.
+//
+// Plays the role Ceph's bufferlist plays in the real system: object data,
+// chunk payloads and message bodies are passed by value everywhere, but the
+// underlying bytes are shared until someone mutates them.  Replicating an
+// object to two OSDs therefore costs two refcount bumps, not two copies —
+// which both matches the real system's zero-copy intent and keeps the
+// simulated cluster's memory footprint proportional to *unique* data.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdedup {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  explicit Buffer(size_t len, uint8_t fill = 0)
+      : store_(std::make_shared<std::vector<uint8_t>>(len, fill)),
+        off_(0),
+        len_(len) {}
+
+  static Buffer copy_of(const void* data, size_t len) {
+    Buffer b(len);
+    if (len > 0) std::memcpy(b.mutable_data(), data, len);
+    return b;
+  }
+  static Buffer copy_of(std::string_view s) {
+    return copy_of(s.data(), s.size());
+  }
+  static Buffer copy_of(std::span<const uint8_t> s) {
+    return copy_of(s.data(), s.size());
+  }
+
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  const uint8_t* data() const {
+    return store_ ? store_->data() + off_ : nullptr;
+  }
+  std::span<const uint8_t> span() const { return {data(), len_}; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data()), len_};
+  }
+
+  // Mutable access: detaches from any sharers (and from a parent slice).
+  uint8_t* mutable_data();
+
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  // Zero-copy sub-slice [off, off+len).  Clamped to bounds.
+  Buffer slice(size_t off, size_t len) const;
+
+  // Value concatenation (copies both sides into fresh storage).
+  static Buffer concat(const Buffer& a, const Buffer& b);
+
+  // Overwrite [off, off+src.size()) with src, growing if needed.
+  void write_at(size_t off, const Buffer& src);
+
+  // Grow (zero-filled) or shrink to `len`.
+  void resize(size_t len);
+
+  bool content_equals(const Buffer& o) const {
+    return len_ == o.len_ &&
+           (len_ == 0 || std::memcmp(data(), o.data(), len_) == 0);
+  }
+
+  std::string to_string() const { return std::string(view()); }
+
+  // True if the backing storage is shared with another Buffer (test hook
+  // for the COW behaviour).
+  bool shares_storage_with(const Buffer& o) const {
+    return store_ && store_ == o.store_;
+  }
+
+ private:
+  void detach();  // ensure sole ownership of exactly [off_, off_+len_)
+
+  std::shared_ptr<std::vector<uint8_t>> store_;
+  size_t off_ = 0;
+  size_t len_ = 0;
+};
+
+}  // namespace gdedup

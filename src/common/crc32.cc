@@ -1,0 +1,52 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace gdedup {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC32C polynomial
+
+std::array<std::array<uint32_t, 256>, 4> build_tables() {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; i++) {
+    t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+    t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+    t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+  }
+  return t;
+}
+
+const auto kTables = build_tables();
+
+}  // namespace
+
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  // Slice-by-4.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables[3][crc & 0xff] ^ kTables[2][(crc >> 8) & 0xff] ^
+          kTables[1][(crc >> 16) & 0xff] ^ kTables[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace gdedup

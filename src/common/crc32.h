@@ -1,0 +1,14 @@
+#pragma once
+
+// CRC32C (Castagnoli) — the checksum RADOS uses on the wire and on disk.
+// We stamp message payloads and journal records with it; the corruption
+// tests flip bits and expect Code::kCorruption.
+
+#include <cstdint>
+#include <span>
+
+namespace gdedup {
+
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace gdedup

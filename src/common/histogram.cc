@@ -1,0 +1,109 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace gdedup {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::bucket_for(uint64_t v) {
+  if (v < (1u << kSubBits)) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBits + 1;
+  const int sub = static_cast<int>((v >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+  const int idx = ((octave + 1) << kSubBits) + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+uint64_t Histogram::bucket_upper_bound(int b) {
+  if (b < (1 << kSubBits)) return static_cast<uint64_t>(b);
+  const int octave = (b >> kSubBits) - 1;
+  const int sub = b & ((1 << kSubBits) - 1);
+  const uint64_t base = 1ULL << (octave + kSubBits - 1);
+  const uint64_t width = base >> kSubBits;  // 2^(msb - kSubBits)
+  return base + (static_cast<uint64_t>(sub) + 1) * (width ? width : 1) - 1;
+}
+
+void Histogram::record(uint64_t value) {
+  buckets_[bucket_for(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& o) {
+  for (int i = 0; i < kBuckets; i++) buckets_[i] += o.buckets_[i];
+  if (o.count_ > 0) {
+    min_ = count_ ? std::min(min_, o.min_) : o.min_;
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    seen += buckets_[i];
+    if (seen > target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary_ns() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                format_duration_ns(mean()).c_str(),
+                format_duration_ns(static_cast<double>(percentile(0.5))).c_str(),
+                format_duration_ns(static_cast<double>(percentile(0.99))).c_str(),
+                format_duration_ns(static_cast<double>(max_)).c_str());
+  return buf;
+}
+
+std::string format_duration_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    u++;
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string format_rate(double bytes_per_sec) {
+  return format_bytes(bytes_per_sec) + "/s";
+}
+
+}  // namespace gdedup

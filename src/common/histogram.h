@@ -1,0 +1,58 @@
+#pragma once
+
+// Latency / size statistics with percentile queries.
+//
+// Log-bucketed histogram (HdrHistogram-style): fixed memory, ~1% relative
+// error on quantiles, O(1) record.  Used by every benchmark harness to
+// report the mean / p50 / p99 rows the paper's figures plot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdedup {
+
+class Histogram {
+ public:
+  // Values are arbitrary non-negative integers (we use nanoseconds).
+  Histogram();
+
+  void record(uint64_t value);
+  void merge(const Histogram& o);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  uint64_t sum() const { return sum_; }
+
+  // q in [0, 1]; returns a value with <= ~1.6% relative error.
+  uint64_t percentile(double q) const;
+
+  // "mean=1.23ms p50=... p99=... max=..." with `value` printed as duration.
+  std::string summary_ns() const;
+
+ private:
+  static constexpr int kSubBits = 6;  // 64 sub-buckets per octave
+  static constexpr int kBuckets = 64 * (1 << kSubBits);
+
+  static int bucket_for(uint64_t v);
+  static uint64_t bucket_upper_bound(int b);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Human-readable durations ("1.26 ms") and sizes ("3.3 TB") for tables.
+std::string format_duration_ns(double ns);
+std::string format_bytes(double bytes);
+std::string format_rate(double bytes_per_sec);
+
+}  // namespace gdedup

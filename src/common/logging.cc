@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstring>
+
+namespace gdedup {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_write(LogLevel level, const char* file, int line, std::string msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), base, line,
+               msg.c_str());
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,36 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// The simulator is single-threaded and deterministic, so the logger is a
+// plain global with no locking.  Benchmarks run at kWarn; tests that debug
+// a scenario flip to kDebug locally.
+
+#include <cstdio>
+#include <string>
+
+namespace gdedup {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const char* file, int line, std::string msg);
+
+// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define GDLOG(level, ...)                                                  \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::gdedup::log_level())) \
+      ::gdedup::log_write(level, __FILE__, __LINE__,                       \
+                          ::gdedup::strprintf(__VA_ARGS__));               \
+  } while (0)
+
+#define LOG_DEBUG(...) GDLOG(::gdedup::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) GDLOG(::gdedup::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) GDLOG(::gdedup::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) GDLOG(::gdedup::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace gdedup

@@ -1,0 +1,86 @@
+#pragma once
+
+// Intrusive-list LRU map used by the dedup cache manager.
+//
+// O(1) touch / insert / evict.  Values are stored by value; keys must be
+// hashable and equality-comparable.
+
+#include <cassert>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace gdedup {
+
+template <typename K, typename V>
+class LruMap {
+ public:
+  explicit LruMap(size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool contains(const K& k) const { return map_.count(k) > 0; }
+
+  // Lookup without touching recency.
+  const V* peek(const K& k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  // Lookup and mark most-recently-used.
+  V* get(const K& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Insert or overwrite; returns the evicted entry if capacity was hit.
+  std::optional<std::pair<K, V>> put(const K& k, V v) {
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      it->second->second = std::move(v);
+      order_.splice(order_.begin(), order_, it->second);
+      return std::nullopt;
+    }
+    order_.emplace_front(k, std::move(v));
+    map_[k] = order_.begin();
+    if (map_.size() <= capacity_) return std::nullopt;
+    auto victim = std::move(order_.back());
+    map_.erase(victim.first);
+    order_.pop_back();
+    return victim;
+  }
+
+  bool erase(const K& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  // Least-recently-used entry, if any (does not touch recency).
+  const std::pair<K, V>* coldest() const {
+    return order_.empty() ? nullptr : &order_.back();
+  }
+
+  void clear() {
+    order_.clear();
+    map_.clear();
+  }
+
+  // Iterate MRU -> LRU.
+  auto begin() const { return order_.begin(); }
+  auto end() const { return order_.end(); }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,73 @@
+#include "common/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdedup {
+
+Options::Options(int argc, char** argv, std::string usage)
+    : usage_(std::move(usage)) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "help" || arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n%s\n", argv[0],
+                   usage_.c_str());
+      std::exit(2);
+    }
+    auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bad argument '%s' (expected key=value)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  used_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string Options::get(const std::string& key, const std::string& dflt) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+int64_t Options::get_int(const std::string& key, int64_t dflt) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Options::get_double(const std::string& key, double dflt) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool dflt) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+void Options::check_unused() const {
+  bool bad = false;
+  for (const auto& [k, v] : kv_) {
+    if (!used_.count(k)) {
+      std::fprintf(stderr, "unknown option '%s=%s'\n", k.c_str(), v.c_str());
+      bad = true;
+    }
+  }
+  if (bad) {
+    std::fprintf(stderr, "%s\n", usage_.c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace gdedup

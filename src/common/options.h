@@ -1,0 +1,38 @@
+#pragma once
+
+// key=value command-line options for the benchmark/example binaries.
+//
+//   bench_fig10 chunk_size=32768 osds=16 seed=7
+//
+// Unknown keys abort with a usage message so experiment sweeps can't
+// silently typo a parameter name.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gdedup {
+
+class Options {
+ public:
+  // Parses argv; calls std::exit(2) with usage on malformed input or if
+  // "help" is requested.
+  Options(int argc, char** argv, std::string usage = "");
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& dflt) const;
+  int64_t get_int(const std::string& key, int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  // Call after all get()s: aborts if any provided key was never queried
+  // (catches typos in sweep scripts).
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+  std::string usage_;
+};
+
+}  // namespace gdedup

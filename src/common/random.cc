@@ -1,0 +1,80 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace gdedup {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  // Seed the four lanes with splitmix64 so any seed (including 0) works.
+  uint64_t x = seed;
+  for (auto& lane : s_) lane = mix64(x++);
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Rng::fill(void* out, size_t len) {
+  auto* p = static_cast<uint8_t*>(out);
+  while (len >= 8) {
+    uint64_t v = next();
+    std::memcpy(p, &v, 8);
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t v = next();
+    std::memcpy(p, &v, len);
+  }
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0 && theta != 1.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfDistribution::h(double x) const { return std::pow(x, -theta_); }
+
+double ZipfDistribution::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // Integral of x^-theta: x^(1-theta)/(1-theta).
+  return std::exp((1.0 - theta_) * log_x) / (1.0 - theta_);
+}
+
+double ZipfDistribution::h_integral_inverse(double x) const {
+  return std::exp(std::log(x * (1.0 - theta_)) / (1.0 - theta_));
+}
+
+uint64_t ZipfDistribution::sample(Rng& rng) const {
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform01() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace gdedup

@@ -1,0 +1,86 @@
+#pragma once
+
+// Deterministic pseudo-random sources for workload generation.
+//
+// Every experiment binary seeds its own Rng so runs are exactly
+// reproducible; nothing in the library touches std::random_device.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gdedup {
+
+// xoshiro256** — fast, high-quality, value-semantic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  uint64_t next();
+
+  // Uniform in [0, n).  n must be > 0.
+  uint64_t below(uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t between(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  // Fill `out[0..len)` with pseudo-random bytes.
+  void fill(void* out, size_t len);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n): models hot/cold access skew for the
+// cache-manager experiments.  Uses the rejection-inversion sampler of
+// Hörmann & Derflinger, suitable for large n.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  uint64_t sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+// Deterministic 64-bit mix (splitmix64 finalizer).  Used to derive content
+// from (stream-id, block-index) pairs so two generators given the same ids
+// produce identical bytes — the backbone of controllable duplicate ratios.
+inline uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gdedup

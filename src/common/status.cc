@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+namespace gdedup {
+
+std::string_view code_name(Code c) {
+  switch (c) {
+    case Code::kOk:
+      return "Ok";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kExists:
+      return "Exists";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kIoError:
+      return "IoError";
+    case Code::kUnavailable:
+      return "Unavailable";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kBusy:
+      return "Busy";
+    case Code::kTimedOut:
+      return "TimedOut";
+    case Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s(code_name(code_));
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,121 @@
+#pragma once
+
+// Error handling primitives used across the library.
+//
+// The storage data path avoids exceptions: operations return Status or
+// Result<T>.  Codes deliberately mirror the small set of errno-style
+// conditions a RADOS-like object store surfaces to clients.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gdedup {
+
+enum class Code {
+  kOk = 0,
+  kNotFound,       // object / pool / key does not exist
+  kExists,         // create-exclusive target already exists
+  kInvalidArgument,
+  kOutOfRange,     // offset beyond object bounds where not allowed
+  kIoError,        // injected or simulated device failure
+  kUnavailable,    // no OSD up for the placement group
+  kCorruption,     // checksum / decode failure
+  kBusy,           // resource temporarily unavailable (e.g. mid-recovery)
+  kTimedOut,
+  kAborted,        // transaction / op cancelled (e.g. injected crash)
+};
+
+std::string_view code_name(Code c);
+
+// Value-semantic status: Ok or (code, message).
+class Status {
+ public:
+  Status() = default;  // Ok
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+  static Status not_found(std::string msg = "not found") {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Status exists(std::string msg = "already exists") {
+    return {Code::kExists, std::move(msg)};
+  }
+  static Status invalid(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {Code::kOutOfRange, std::move(msg)};
+  }
+  static Status io_error(std::string msg) {
+    return {Code::kIoError, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {Code::kUnavailable, std::move(msg)};
+  }
+  static Status corruption(std::string msg) {
+    return {Code::kCorruption, std::move(msg)};
+  }
+  static Status busy(std::string msg) { return {Code::kBusy, std::move(msg)}; }
+  static Status timed_out(std::string msg) {
+    return {Code::kTimedOut, std::move(msg)};
+  }
+  static Status aborted(std::string msg) {
+    return {Code::kAborted, std::move(msg)};
+  }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  std::string to_string() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+// Result<T>: either a value or a non-Ok Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from Ok status requires a value");
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  explicit operator bool() const { return is_ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gdedup

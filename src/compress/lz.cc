@@ -1,0 +1,181 @@
+#include "compress/lz.h"
+
+#include <cstring>
+#include <vector>
+
+namespace gdedup {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kTailLiterals = 5;  // end-of-stream must be literals
+
+inline uint32_t read_u32le(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit hash
+}
+
+void put_length(std::vector<uint8_t>& out, size_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<uint8_t>(len));
+}
+
+}  // namespace
+
+Buffer LzCodec::compress(const Buffer& in) {
+  const uint8_t* src = in.data();
+  const size_t n = in.size();
+
+  std::vector<uint8_t> out;
+  out.reserve(n / 2 + 16);
+  out.push_back(1);  // flag: compressed (may be rewritten to 0)
+  const uint32_t n32 = static_cast<uint32_t>(n);
+  out.insert(out.end(), reinterpret_cast<const uint8_t*>(&n32),
+             reinterpret_cast<const uint8_t*>(&n32) + 4);
+
+  std::vector<uint32_t> table(1 << 13, 0);  // position + 1; 0 = empty
+  size_t i = 0;
+  size_t literal_start = 0;
+
+  const size_t match_limit = n > kTailLiterals + kMinMatch
+                                 ? n - kTailLiterals - kMinMatch
+                                 : 0;
+  while (i < match_limit) {
+    const uint32_t h = hash4(src + i);
+    const uint32_t cand_plus1 = table[h];
+    table[h] = static_cast<uint32_t>(i + 1);
+    if (cand_plus1 != 0) {
+      const size_t cand = cand_plus1 - 1;
+      if (i - cand <= kMaxOffset &&
+          read_u32le(src + cand) == read_u32le(src + i)) {
+        // Extend the match forward.
+        size_t len = kMinMatch;
+        const size_t max_len = n - kTailLiterals - i;
+        while (len < max_len && src[cand + len] == src[i + len]) len++;
+
+        const size_t lit_len = i - literal_start;
+        const uint8_t lit_nib =
+            lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+        const size_t mlen_code = len - kMinMatch;
+        const uint8_t m_nib =
+            mlen_code >= 15 ? 15 : static_cast<uint8_t>(mlen_code);
+        out.push_back(static_cast<uint8_t>((lit_nib << 4) | m_nib));
+        if (lit_nib == 15) put_length(out, lit_len - 15);
+        out.insert(out.end(), src + literal_start, src + i);
+        const uint16_t off = static_cast<uint16_t>(i - cand);
+        out.push_back(static_cast<uint8_t>(off & 0xff));
+        out.push_back(static_cast<uint8_t>(off >> 8));
+        if (m_nib == 15) put_length(out, mlen_code - 15);
+
+        // Seed the table inside the match so long repeats chain.
+        const size_t step = len > 64 ? 8 : 1;
+        for (size_t j = i + 1; j + kMinMatch <= i + len; j += step) {
+          table[hash4(src + j)] = static_cast<uint32_t>(j + 1);
+        }
+        i += len;
+        literal_start = i;
+        continue;
+      }
+    }
+    i++;
+  }
+
+  // Trailing literal run (match nibble 0 with no offset follows at end).
+  const size_t lit_len = n - literal_start;
+  const uint8_t lit_nib = lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+  out.push_back(static_cast<uint8_t>(lit_nib << 4));
+  if (lit_nib == 15) put_length(out, lit_len - 15);
+  out.insert(out.end(), src + literal_start, src + n);
+
+  if (out.size() >= n + 5) {
+    // Expansion: store raw.
+    Buffer raw(n + 5);
+    uint8_t* p = raw.mutable_data();
+    p[0] = 0;
+    std::memcpy(p + 1, &n32, 4);
+    if (n > 0) std::memcpy(p + 5, src, n);
+    return raw;
+  }
+  return Buffer::copy_of(out.data(), out.size());
+}
+
+Result<Buffer> LzCodec::decompress(const Buffer& in) {
+  if (in.size() < 5) return Status::corruption("short lz stream");
+  const uint8_t* p = in.data();
+  const uint8_t* end = p + in.size();
+  const uint8_t flag = *p++;
+  uint32_t orig_len;
+  std::memcpy(&orig_len, p, 4);
+  p += 4;
+
+  if (flag == 0) {
+    if (static_cast<size_t>(end - p) != orig_len) {
+      return Status::corruption("raw length mismatch");
+    }
+    return Buffer::copy_of(p, orig_len);
+  }
+  if (flag != 1) return Status::corruption("bad lz flag");
+
+  Buffer out(orig_len);
+  uint8_t* dst = out.mutable_data();
+  size_t o = 0;
+
+  auto read_ext = [&](size_t base) -> Result<size_t> {
+    size_t len = base;
+    while (true) {
+      if (p >= end) return Status::corruption("truncated length");
+      const uint8_t b = *p++;
+      len += b;
+      if (b != 255) return len;
+    }
+  };
+
+  while (p < end) {
+    const uint8_t token = *p++;
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      auto r = read_ext(15);
+      if (!r.is_ok()) return r.status();
+      lit_len = r.value();
+    }
+    if (static_cast<size_t>(end - p) < lit_len || o + lit_len > orig_len) {
+      return Status::corruption("literal overrun");
+    }
+    std::memcpy(dst + o, p, lit_len);
+    p += lit_len;
+    o += lit_len;
+
+    if (p >= end) break;  // trailing literals consumed the stream
+
+    if (p + 2 > end) return Status::corruption("truncated offset");
+    const size_t off = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    if (off == 0 || off > o) return Status::corruption("bad match offset");
+
+    size_t mlen = (token & 0xf);
+    if (mlen == 15) {
+      auto r = read_ext(15);
+      if (!r.is_ok()) return r.status();
+      mlen = r.value();
+    }
+    mlen += kMinMatch;
+    if (o + mlen > orig_len) return Status::corruption("match overrun");
+    // Byte-wise copy: matches may overlap their own output.
+    for (size_t j = 0; j < mlen; j++, o++) dst[o] = dst[o - off];
+  }
+  if (o != orig_len) return Status::corruption("decoded length mismatch");
+  return out;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,36 @@
+#pragma once
+
+// LZ77 byte-oriented compressor (LZ4-like token format).
+//
+// Stands in for the Btrfs transparent compression of the paper's Figure 13
+// experiment: the OSD object store applies it at rest when a pool sets
+// `compress_at_rest`.  Real algorithm, real round-trip — capacity numbers
+// come from actually compressed bytes, not a ratio knob.
+//
+// Stream layout:
+//   u8  flag        0 = stored raw, 1 = LZ-compressed
+//   u32 original length (little endian)
+//   payload         raw bytes, or LZ4-style token stream:
+//     token: high nibble = literal run (15 = extended with 255-chains),
+//            low nibble  = match length - 4 (15 = extended)
+//     literals, then u16 LE match offset (if a match follows)
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace gdedup {
+
+class LzCodec {
+ public:
+  // Never fails; falls back to stored-raw when compression would expand.
+  static Buffer compress(const Buffer& in);
+
+  static Result<Buffer> decompress(const Buffer& in);
+
+  // Compressed size without materializing (convenience for accounting).
+  static size_t compressed_size(const Buffer& in) {
+    return compress(in).size();
+  }
+};
+
+}  // namespace gdedup

@@ -1,0 +1,117 @@
+#include "dedup/chunk_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/encoding.h"
+#include "osd/object_store.h"
+
+namespace gdedup {
+
+const ChunkMapEntry* ChunkMap::find(uint64_t offset) const {
+  auto it = entries_.find(offset);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ChunkMapEntry* ChunkMap::find(uint64_t offset) {
+  auto it = entries_.find(offset);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ChunkMapEntry& ChunkMap::obtain(uint64_t offset, uint32_t length) {
+  ChunkMapEntry& e = entries_[offset];
+  e.offset = offset;
+  e.length = std::max(e.length, length);
+  return e;
+}
+
+bool ChunkMap::erase(uint64_t offset) { return entries_.erase(offset) > 0; }
+
+bool ChunkMap::any_dirty() const {
+  for (const auto& [off, e] : entries_) {
+    if (e.dirty) return true;
+  }
+  return false;
+}
+
+uint64_t ChunkMap::logical_end() const {
+  uint64_t end = 0;
+  for (const auto& [off, e] : entries_) {
+    end = std::max(end, e.offset + e.length);
+  }
+  return end;
+}
+
+Buffer ChunkMap::encode() const {
+  Encoder e;
+  e.put_u32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [off, ent] : entries_) {
+    e.put_bytes(encode_entry(ent));
+  }
+  return e.finish();
+}
+
+std::string ChunkMap::omap_key(uint64_t offset) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%016llx", kChunkEntryPrefix,
+                static_cast<unsigned long long>(offset));
+  return buf;
+}
+
+Buffer ChunkMap::encode_entry(const ChunkMapEntry& ent) {
+  Encoder ee;
+  ee.put_u64(ent.offset);
+  ee.put_u32(ent.length);
+  ee.put_u8(static_cast<uint8_t>((ent.cached ? 1 : 0) | (ent.dirty ? 2 : 0)));
+  ee.put_string(ent.chunk_id);
+  Buffer body = ee.finish();
+  // Fixed per-entry footprint (the paper's 150 bytes per chunk entry).
+  Buffer padded(kEntryEncodedBytes);
+  std::memcpy(padded.mutable_data(), body.data(),
+              std::min(body.size(), padded.size()));
+  return padded;
+}
+
+Result<ChunkMapEntry> ChunkMap::decode_entry(const Buffer& b) {
+  Decoder ed(b);
+  ChunkMapEntry ent;
+  uint8_t flags = 0;
+  if (auto s = ed.get_u64(&ent.offset); !s.is_ok()) return s;
+  if (auto s = ed.get_u32(&ent.length); !s.is_ok()) return s;
+  if (auto s = ed.get_u8(&flags); !s.is_ok()) return s;
+  if (auto s = ed.get_string(&ent.chunk_id); !s.is_ok()) return s;
+  ent.cached = (flags & 1) != 0;
+  ent.dirty = (flags & 2) != 0;
+  return ent;
+}
+
+Result<ChunkMap> load_chunk_map(const ObjectStore& store,
+                                const ObjectKey& key) {
+  ChunkMap cm;
+  for (const auto& [k, v] : store.omap_list(key, kChunkEntryPrefix)) {
+    auto ent = ChunkMap::decode_entry(v);
+    if (!ent.is_ok()) return ent.status();
+    ChunkMapEntry e = std::move(ent).value();
+    const uint64_t off = e.offset;
+    cm.entries()[off] = std::move(e);
+  }
+  return cm;
+}
+
+Result<ChunkMap> ChunkMap::decode(const Buffer& b) {
+  ChunkMap cm;
+  Decoder d(b);
+  uint32_t n = 0;
+  if (auto s = d.get_u32(&n); !s.is_ok()) return s;
+  for (uint32_t i = 0; i < n; i++) {
+    Buffer padded;
+    if (auto s = d.get_bytes(&padded); !s.is_ok()) return s;
+    auto ent = decode_entry(padded);
+    if (!ent.is_ok()) return ent.status();
+    ChunkMapEntry e = std::move(ent).value();
+    cm.entries_[e.offset] = std::move(e);
+  }
+  return cm;
+}
+
+}  // namespace gdedup

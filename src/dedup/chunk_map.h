@@ -1,0 +1,89 @@
+#pragma once
+
+// The chunk map — the metadata half of the paper's self-contained object.
+//
+// Stored as an xattr *inside* the metadata object it describes (Figure 8),
+// so replication, erasure coding and recovery carry it along with the data
+// for free.  Each entry maps an offset range of the user-visible object to
+// a chunk object (by content-derived OID) plus the cached/dirty state bits
+// that drive the post-processing engine:
+//
+//   cached  — the chunk's bytes are present in this object's data part
+//   dirty   — the chunk has writes not yet flushed to the chunk pool
+//
+// Entries encode to a fixed 150 bytes, the per-entry footprint the paper
+// reports (Section 5), so the Table 2 metadata-overhead accounting matches.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace gdedup {
+
+class ObjectStore;
+struct ObjectKey;
+
+// Whole-map xattr (legacy wire form; kept for snapshot-style encodes).
+inline constexpr const char* kChunkMapXattr = "dedup.chunkmap";
+// Per-entry omap keys: "dedup.ck.<offset hex>".  Persisting entries
+// individually means a small write updates ~150 bytes of metadata, not
+// the whole map — the same reason Ceph keeps per-chunk state in omap.
+inline constexpr const char* kChunkEntryPrefix = "dedup.ck.";
+
+struct ChunkMapEntry {
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  std::string chunk_id;  // fingerprint-hex OID; empty until first flush
+  bool cached = false;
+  bool dirty = false;
+  // Volatile (not encoded): bumped on every dirtying write, so a flush
+  // can detect that newer data landed while it was in flight.
+  uint64_t dirty_gen = 0;
+
+  bool flushed() const { return !chunk_id.empty(); }
+};
+
+class ChunkMap {
+ public:
+  // Fixed on-disk entry footprint (paper Section 5: "each chunk entry in
+  // chunk map uses 150 bytes").
+  static constexpr size_t kEntryEncodedBytes = 150;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  const ChunkMapEntry* find(uint64_t offset) const;
+  ChunkMapEntry* find(uint64_t offset);
+
+  // Get-or-create the entry at `offset`; `length` updates the stored
+  // length (chunk growth when the object's tail extends).
+  ChunkMapEntry& obtain(uint64_t offset, uint32_t length);
+
+  bool erase(uint64_t offset);
+
+  bool any_dirty() const;
+  uint64_t logical_end() const;  // max(offset + length)
+
+  std::map<uint64_t, ChunkMapEntry>& entries() { return entries_; }
+  const std::map<uint64_t, ChunkMapEntry>& entries() const { return entries_; }
+
+  Buffer encode() const;
+  static Result<ChunkMap> decode(const Buffer& b);
+
+  // Per-entry persistence (omap form).
+  static std::string omap_key(uint64_t offset);
+  static Buffer encode_entry(const ChunkMapEntry& e);
+  static Result<ChunkMapEntry> decode_entry(const Buffer& b);
+
+ private:
+  std::map<uint64_t, ChunkMapEntry> entries_;
+};
+
+// Load a chunk map from an object's per-entry omap records.
+Result<ChunkMap> load_chunk_map(const ObjectStore& store,
+                                const ObjectKey& key);
+
+}  // namespace gdedup

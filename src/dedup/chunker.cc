@@ -1,0 +1,70 @@
+#include "dedup/chunker.h"
+
+#include <bit>
+#include <cassert>
+
+#include "hash/rabin.h"
+
+namespace gdedup {
+
+FixedChunker::FixedChunker(uint32_t chunk_size) : chunk_size_(chunk_size) {
+  assert(chunk_size > 0);
+}
+
+std::vector<Chunk> FixedChunker::split(const Buffer& object_data) const {
+  std::vector<Chunk> out;
+  const size_t n = object_data.size();
+  out.reserve(n / chunk_size_ + 1);
+  for (size_t off = 0; off < n; off += chunk_size_) {
+    const size_t len = std::min<size_t>(chunk_size_, n - off);
+    out.push_back({off, object_data.slice(off, len)});
+  }
+  return out;
+}
+
+std::vector<uint64_t> FixedChunker::covering(uint64_t off, uint64_t len) const {
+  std::vector<uint64_t> out;
+  if (len == 0) return out;
+  const uint64_t first = chunk_start(off);
+  const uint64_t last = chunk_start(off + len - 1);
+  for (uint64_t c = first; c <= last; c += chunk_size_) out.push_back(c);
+  return out;
+}
+
+CdcChunker::CdcChunker(uint32_t min_size, uint32_t avg_size, uint32_t max_size)
+    : min_size_(min_size), avg_size_(avg_size), max_size_(max_size) {
+  assert(min_size >= RabinRolling::kWindow);
+  assert(min_size <= avg_size && avg_size <= max_size);
+  assert(std::has_single_bit(avg_size));
+  mask_ = avg_size - 1;  // boundary probability 1/avg per byte
+}
+
+std::vector<Chunk> CdcChunker::split(const Buffer& object_data) const {
+  std::vector<Chunk> out;
+  const uint8_t* p = object_data.data();
+  const size_t n = object_data.size();
+
+  size_t start = 0;
+  RabinRolling rh;
+  size_t i = 0;
+  while (i < n) {
+    rh.roll(p[i]);
+    const size_t len = i + 1 - start;
+    const bool boundary =
+        (len >= min_size_ && rh.window_full() &&
+         (rh.value() & mask_) == mask_) ||
+        len >= max_size_;
+    if (boundary) {
+      out.push_back({start, object_data.slice(start, len)});
+      start = i + 1;
+      rh.reset();
+    }
+    i++;
+  }
+  if (start < n) {
+    out.push_back({start, object_data.slice(start, n - start)});
+  }
+  return out;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,64 @@
+#pragma once
+
+// Chunking algorithms.
+//
+// The deployed design uses fixed-size (static) chunking: Ceph's small
+// random writes are already CPU-bound, so the paper rejects content-
+// defined chunking for the data path (Section 5).  The CDC chunker is
+// provided for the ablation benchmarks that quantify that trade-off.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace gdedup {
+
+struct Chunk {
+  uint64_t offset = 0;  // offset within the source object
+  Buffer data;
+};
+
+// Fixed-size chunking on a stable grid: chunk i covers
+// [i*chunk_size, (i+1)*chunk_size), so overwrites map to the same chunk
+// slots regardless of write alignment.
+class FixedChunker {
+ public:
+  explicit FixedChunker(uint32_t chunk_size);
+
+  uint32_t chunk_size() const { return chunk_size_; }
+
+  // Split a whole object image into grid chunks (last may be short).
+  std::vector<Chunk> split(const Buffer& object_data) const;
+
+  // Grid arithmetic for partial-write handling.
+  uint64_t chunk_start(uint64_t offset) const {
+    return offset / chunk_size_ * chunk_size_;
+  }
+  uint64_t chunk_index(uint64_t offset) const { return offset / chunk_size_; }
+
+  // Chunk-grid slots intersecting [off, off+len) — {start offsets}.
+  std::vector<uint64_t> covering(uint64_t off, uint64_t len) const;
+
+ private:
+  uint32_t chunk_size_;
+};
+
+// Content-defined chunking with a Rabin rolling hash: a boundary is
+// declared where (hash & mask) == magic, bounded by [min, max] sizes.
+class CdcChunker {
+ public:
+  CdcChunker(uint32_t min_size, uint32_t avg_size, uint32_t max_size);
+
+  std::vector<Chunk> split(const Buffer& object_data) const;
+
+  uint32_t avg_size() const { return avg_size_; }
+
+ private:
+  uint32_t min_size_;
+  uint32_t avg_size_;
+  uint32_t max_size_;
+  uint64_t mask_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,51 @@
+#include "dedup/hitset.h"
+
+#include "hash/fingerprint.h"
+
+namespace gdedup {
+
+HitSet::HitSet(SimTime period, int retained_periods, int hit_threshold)
+    : period_(period), retained_(retained_periods), threshold_(hit_threshold) {}
+
+uint64_t HitSet::key_of(const std::string& oid) { return fnv1a(oid); }
+
+void HitSet::rotate(SimTime now) {
+  while (now >= window_start_ + period_) {
+    // Seal the current period into a bloom filter.
+    BloomFilter bf(current_.size() + 16, 0.01);
+    for (const auto& [oid, cnt] : current_) bf.insert(key_of(oid));
+    history_.push_front(std::move(bf));
+    while (static_cast<int>(history_.size()) > retained_) history_.pop_back();
+    current_.clear();
+    window_start_ += period_;
+    // If the gap spans many periods, fast-forward (empty periods add
+    // nothing to history beyond aging out old ones).
+    if (now - window_start_ > period_ * static_cast<SimTime>(retained_ + 1)) {
+      history_.clear();
+      window_start_ = now - (now % period_);
+    }
+  }
+}
+
+void HitSet::access(const std::string& oid, SimTime now) {
+  rotate(now);
+  current_[oid]++;
+}
+
+bool HitSet::is_hot(const std::string& oid, SimTime now) {
+  rotate(now);
+  uint32_t score = 0;
+  auto it = current_.find(oid);
+  if (it != current_.end()) score += it->second;
+  if (score >= static_cast<uint32_t>(threshold_)) return true;
+  const uint64_t key = key_of(oid);
+  for (const auto& bf : history_) {
+    if (bf.maybe_contains(key)) {
+      score++;
+      if (score >= static_cast<uint32_t>(threshold_)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,43 @@
+#pragma once
+
+// HitSet — the hotness tracker of Section 5 ("Cache management").
+//
+// Accesses in the current period are counted exactly; older periods are
+// retained as Bloom filters (membership only), matching Ceph's HitSet +
+// in-memory bloomfilter arrangement the paper describes.  An object is hot
+// when (current count + #recent periods it appears in) reaches Hitcount.
+// The dedup engine skips hot objects and the cache manager keeps / promotes
+// their chunks in the metadata pool.
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/bloom_filter.h"
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+class HitSet {
+ public:
+  HitSet(SimTime period, int retained_periods, int hit_threshold);
+
+  void access(const std::string& oid, SimTime now);
+  bool is_hot(const std::string& oid, SimTime now);
+
+  int threshold() const { return threshold_; }
+  size_t history_depth() const { return history_.size(); }
+
+ private:
+  void rotate(SimTime now);
+  static uint64_t key_of(const std::string& oid);
+
+  SimTime period_;
+  int retained_;
+  int threshold_;
+  SimTime window_start_ = 0;
+  std::unordered_map<std::string, uint32_t> current_;
+  std::deque<BloomFilter> history_;
+};
+
+}  // namespace gdedup

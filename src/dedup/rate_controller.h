@@ -1,0 +1,81 @@
+#pragma once
+
+// Watermark-based dedup rate control (Section 4.4.2).
+//
+// Foreground client I/O completions feed a one-second sliding window; the
+// measured demand (IOPS, or bytes/s for sequential workloads) picks the
+// regime:
+//   below low watermark   -> background dedup unthrottled
+//   between watermarks    -> 1 dedup I/O credited per `ios_per_dedup_mid`
+//                            foreground I/Os (paper: 100)
+//   above high watermark  -> 1 per `ios_per_dedup_high` (paper: 500)
+// Credits accumulate fractionally per foreground op and are consumed by
+// the engine one per chunk flush, so the dedup stream is proportional to —
+// and strictly dominated by — the foreground stream.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cluster/osd_map.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+class RateController {
+ public:
+  explicit RateController(const DedupTierConfig& cfg)
+      : enabled_(cfg.rate_control),
+        by_bytes_(cfg.watermark_by_bytes),
+        low_(cfg.watermark_by_bytes ? cfg.low_watermark_bps
+                                    : cfg.low_watermark_iops),
+        high_(cfg.watermark_by_bytes ? cfg.high_watermark_bps
+                                     : cfg.high_watermark_iops),
+        per_mid_(cfg.ios_per_dedup_mid),
+        per_high_(cfg.ios_per_dedup_high) {}
+
+  void on_foreground(SimTime now, uint64_t bytes = 1) {
+    ops_.add(now, 1);
+    bytes_.add(now, bytes);
+    const double demand = current_demand(now);
+    if (demand <= low_) return;  // unthrottled regime; credits irrelevant
+    const int per = demand > high_ ? per_high_ : per_mid_;
+    credits_ = std::min(credits_ + 1.0 / per, kMaxCredits);
+  }
+
+  // Grant up to `want` dedup I/Os right now.
+  int take(SimTime now, int want) {
+    if (!enabled_) return want;
+    if (current_demand(now) <= low_) return want;
+    const int grant = std::min(want, static_cast<int>(credits_));
+    credits_ -= grant;
+    return grant;
+  }
+
+  double current_iops(SimTime now) const {
+    return static_cast<double>(ops_.count(now));
+  }
+  double current_bps(SimTime now) const {
+    return static_cast<double>(bytes_.count(now));
+  }
+  double current_demand(SimTime now) const {
+    return by_bytes_ ? current_bps(now) : current_iops(now);
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  static constexpr double kMaxCredits = 256.0;
+
+  bool enabled_;
+  bool by_bytes_;
+  double low_;
+  double high_;
+  int per_mid_;
+  int per_high_;
+  SlidingWindowCounter ops_{kSecond};
+  SlidingWindowCounter bytes_{kSecond};
+  double credits_ = 0;
+};
+
+}  // namespace gdedup

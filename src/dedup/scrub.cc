@@ -1,0 +1,205 @@
+#include "dedup/scrub.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "dedup/chunk_map.h"
+#include "ec/reed_solomon.h"
+#include "hash/fingerprint.h"
+
+namespace gdedup {
+
+std::vector<std::pair<ObjectKey, std::vector<OsdId>>> Scrubber::chunk_holders()
+    const {
+  std::map<ObjectKey, std::vector<OsdId>> holders;
+  for (OsdId id : ctx_->osdmap().all_osds()) {
+    Osd* o = ctx_->osd(id);
+    if (o == nullptr || !o->is_up()) continue;
+    const ObjectStore* st = o->store_if_exists(chunks_);
+    if (st == nullptr) continue;
+    for (const auto& key : st->list(chunks_)) {
+      holders[key].push_back(id);
+    }
+  }
+  return {holders.begin(), holders.end()};
+}
+
+ScrubReport Scrubber::deep_scrub(bool repair) {
+  ScrubReport rep;
+  const SimTime start = ctx_->sched().now();
+  const PoolConfig& pcfg = ctx_->osdmap().pool(chunks_);
+  SimTime latest = start;
+
+  for (const auto& [key, who] : chunk_holders()) {
+    auto expect = Fingerprint::from_hex(key.oid);
+    if (!expect.is_ok()) {
+      // Not a content-addressed object (foreign data in the pool); skip.
+      continue;
+    }
+    rep.chunks_checked++;
+
+    if (pcfg.scheme == RedundancyScheme::kReplicated) {
+      // Read every replica, verify content against the OID, and compare
+      // the copies; a copy whose fingerprint matches the OID is by
+      // definition the good one (self-verifying objects).
+      Buffer good;
+      bool have_good = false;
+      std::vector<OsdId> bad;
+      for (OsdId id : who) {
+        Osd* o = ctx_->osd(id);
+        auto data = o->store(chunks_).read(key, 0, 0);
+        if (!data.is_ok()) continue;
+        latest = std::max(latest, o->disk().read(data->size()));
+        CpuModel& cpu = ctx_->node_cpu(o->node());
+        cpu.execute(cpu.fingerprint_cost(data->size()));
+        rep.bytes_verified += data->size();
+        const Fingerprint fp =
+            Fingerprint::compute(expect->algo(), data->span());
+        if (fp == *expect) {
+          if (!have_good) {
+            good = *data;
+            have_good = true;
+          }
+        } else {
+          bad.push_back(id);
+        }
+      }
+      if (!bad.empty()) {
+        if (have_good) {
+          rep.replica_mismatches += bad.size();
+        } else {
+          rep.fingerprint_mismatches++;
+        }
+        if (repair && have_good) {
+          for (OsdId id : bad) {
+            Osd* o = ctx_->osd(id);
+            Transaction txn;
+            txn.write_full(key, good);
+            latest = std::max(latest, o->disk().write(good.size()));
+            if (o->store(chunks_).apply(txn).is_ok()) {
+              rep.replicas_repaired++;
+            }
+          }
+        }
+      }
+    } else {
+      // EC: decode from shards and verify the reassembled content; a
+      // failed decode or fingerprint mismatch is reported (repair of EC
+      // shards goes through recovery, not scrub).
+      ReedSolomon rs(pcfg.ec_k, pcfg.ec_m);
+      std::vector<std::optional<Buffer>> shards(
+          static_cast<size_t>(pcfg.ec_k + pcfg.ec_m));
+      uint64_t orig_len = 0;
+      for (OsdId id : who) {
+        Osd* o = ctx_->osd(id);
+        const ObjectStore* st = o->store_if_exists(chunks_);
+        auto data = st->read(key, 0, 0);
+        auto shard_attr = st->getxattr(key, "ec.shard");
+        if (!data.is_ok() || !shard_attr.is_ok()) continue;
+        Decoder d(shard_attr.value());
+        uint32_t idx = 0;
+        if (!d.get_u32(&idx).is_ok() ||
+            idx >= static_cast<uint32_t>(pcfg.ec_k + pcfg.ec_m)) {
+          continue;
+        }
+        latest = std::max(latest, o->disk().read(data->size()));
+        rep.bytes_verified += data->size();
+        shards[idx] = std::move(data).value();
+        auto len_attr = st->getxattr(key, "ec.orig_len");
+        if (len_attr.is_ok()) {
+          Decoder ld(len_attr.value());
+          uint64_t v = 0;
+          if (ld.get_u64(&v).is_ok()) orig_len = v;
+        }
+      }
+      auto decoded = rs.decode(shards, orig_len);
+      if (!decoded.is_ok()) {
+        rep.fingerprint_mismatches++;
+        continue;
+      }
+      const Fingerprint fp =
+          Fingerprint::compute(expect->algo(), decoded->span());
+      if (!(fp == *expect)) rep.fingerprint_mismatches++;
+    }
+  }
+
+  ctx_->sched().run_until(latest);
+  rep.duration = ctx_->sched().now() - start;
+  return rep;
+}
+
+ScrubReport Scrubber::collect_garbage() {
+  ScrubReport rep;
+  const SimTime start = ctx_->sched().now();
+
+  // Live references according to the metadata pool's chunk maps (primary
+  // copies are authoritative).
+  // key: chunk oid -> set of "source_oid@offset".
+  std::map<std::string, std::set<std::pair<std::string, uint64_t>>> live;
+  for (OsdId id : ctx_->osdmap().all_osds()) {
+    Osd* o = ctx_->osd(id);
+    if (o == nullptr || !o->is_up()) continue;
+    const ObjectStore* st = o->store_if_exists(meta_);
+    if (st == nullptr) continue;
+    for (const auto& key : st->list(meta_)) {
+      if (ctx_->osdmap().primary(meta_, key.oid) != id) continue;
+      auto cm = load_chunk_map(*st, key);
+      if (!cm.is_ok()) continue;
+      for (const auto& [off, e] : cm->entries()) {
+        if (e.flushed()) live[e.chunk_id].insert({key.oid, off});
+      }
+    }
+  }
+
+  int outstanding = 0;
+  for (const auto& [key, who] : chunk_holders()) {
+    const OsdId primary = ctx_->osdmap().primary(chunks_, key.oid);
+    if (std::find(who.begin(), who.end(), primary) == who.end()) continue;
+    Osd* o = ctx_->osd(primary);
+    auto raw = o->local_getxattr(chunks_, key.oid, kRefsXattr);
+    std::vector<ChunkRef> refs;
+    if (raw.is_ok()) {
+      auto dec = decode_refs(raw.value());
+      if (dec.is_ok()) refs = std::move(dec).value();
+    }
+
+    auto live_it = live.find(key.oid);
+    std::vector<ChunkRef> kept;
+    for (const auto& r : refs) {
+      rep.refs_checked++;
+      const bool alive =
+          r.pool == meta_ && live_it != live.end() &&
+          live_it->second.count({r.oid, r.offset}) > 0;
+      if (alive) {
+        kept.push_back(r);
+      } else {
+        rep.dangling_refs_dropped++;
+      }
+    }
+    if (kept.size() == refs.size() && !refs.empty()) continue;  // clean
+
+    outstanding++;
+    if (kept.empty()) {
+      rep.leaked_chunks_reclaimed++;
+      o->submit_remove(chunks_, key.oid,
+                       [&outstanding](Status) { outstanding--; },
+                       /*foreground=*/false);
+    } else {
+      Transaction txn;
+      txn.setxattr(key, kRefsXattr, encode_refs(kept));
+      o->submit_write(chunks_, key.oid, std::move(txn),
+                      [&outstanding](Status) { outstanding--; },
+                      /*foreground=*/false);
+    }
+  }
+  while (outstanding > 0) {
+    if (!ctx_->sched().step()) break;
+  }
+  rep.duration = ctx_->sched().now() - start;
+  return rep;
+}
+
+}  // namespace gdedup

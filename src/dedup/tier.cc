@@ -1,0 +1,1111 @@
+#include "dedup/tier.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "hash/fingerprint.h"
+
+namespace gdedup {
+
+namespace {
+
+// Gather helper for multi-part async assembly (reads / pre-reads).
+struct Gather {
+  std::vector<Buffer> parts;
+  int outstanding = 0;
+  Status worst;
+  std::function<void(Status)> done;
+
+  void arrive(size_t idx, Result<Buffer> r) {
+    if (r.is_ok()) {
+      if (idx < parts.size()) parts[idx] = std::move(r).value();
+    } else if (worst.is_ok()) {
+      worst = r.status();
+    }
+    if (--outstanding == 0) done(worst);
+  }
+};
+
+}  // namespace
+
+DedupTier::DedupTier(Osd* osd, PoolId pool)
+    : osd_(osd),
+      pool_(pool),
+      chunker_(osd->ctx().osdmap().pool(pool).dedup.chunk_size),
+      hitset_(osd->ctx().osdmap().pool(pool).dedup.hitset_period,
+              osd->ctx().osdmap().pool(pool).dedup.hitset_count,
+              osd->ctx().osdmap().pool(pool).dedup.hitcount_threshold),
+      rate_(osd->ctx().osdmap().pool(pool).dedup) {}
+
+// --------------------------------------------------------- object context
+
+ChunkMap& DedupTier::cached_map(const std::string& oid) {
+  auto it = map_cache_.find(oid);
+  if (it != map_cache_.end()) return it->second;
+  ChunkMap cm;
+  if (const ObjectStore* st = osd_->store_if_exists(pool_)) {
+    auto loaded = load_chunk_map(*st, {pool_, oid});
+    if (loaded.is_ok()) {
+      cm = std::move(loaded).value();
+    } else {
+      LOG_ERROR("corrupt chunk map on %s: %s", oid.c_str(),
+                loaded.status().to_string().c_str());
+    }
+  }
+  return map_cache_.emplace(oid, std::move(cm)).first->second;
+}
+
+void DedupTier::overlay_local(const std::string& oid, uint64_t off,
+                              Buffer* buf) const {
+  const ObjectStore* st = osd_->store_if_exists(pool_);
+  if (st == nullptr) return;
+  const ObjectState* os = st->find({pool_, oid});
+  if (os == nullptr) return;
+  const uint64_t end = off + buf->size();
+  const auto& exts = os->data.extents();
+  auto it = exts.lower_bound(off);
+  if (it != exts.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > off) it = prev;
+  }
+  for (; it != exts.end() && it->first < end; ++it) {
+    const uint64_t b = std::max(off, it->first);
+    const uint64_t e = std::min(end, it->first + it->second.size());
+    if (b >= e) continue;
+    std::memcpy(buf->mutable_data() + (b - off),
+                it->second.data() + (b - it->first), e - b);
+  }
+}
+
+const ChunkMap* DedupTier::cached_map_if_loaded(const std::string& oid) const {
+  auto it = map_cache_.find(oid);
+  return it == map_cache_.end() ? nullptr : &it->second;
+}
+
+uint64_t DedupTier::logical_size(const std::string& oid) const {
+  const ObjectStore* st = osd_->store_if_exists(pool_);
+  if (st == nullptr) return 0;
+  auto v = st->size({pool_, oid});
+  return v.is_ok() ? v.value() : 0;
+}
+
+void DedupTier::mark_dirty(const std::string& oid) {
+  if (inflight_oids_.count(oid)) return;  // will requeue after its flush
+  if (dirty_set_.insert(oid).second) dirty_list_.push_back(oid);
+}
+
+bool DedupTier::fail_at(FailurePoint p, const std::string& oid) {
+  if (failure_hook_ && failure_hook_(p, oid)) {
+    stats_.engine_aborts++;
+    return true;
+  }
+  return false;
+}
+
+void DedupTier::rebuild_dirty_list() {
+  // A restart loses the volatile context; the persisted chunk maps inside
+  // the self-contained objects are the source of truth.
+  dirty_list_.clear();
+  dirty_set_.clear();
+  map_cache_.clear();
+  const ObjectStore* st = osd_->store_if_exists(pool_);
+  if (st == nullptr) return;
+  for (const auto& key : st->list(pool_)) {
+    auto cm = load_chunk_map(*st, key);
+    if (cm.is_ok() && cm.value().any_dirty()) mark_dirty(key.oid);
+  }
+}
+
+// ------------------------------------------------------- chunk-pool I/O
+
+void DedupTier::read_chunk_from_pool(const std::string& chunk_oid,
+                                     uint64_t off, uint64_t len,
+                                     bool foreground,
+                                     std::function<void(Result<Buffer>)> done) {
+  const PoolId cp = cfg().chunk_pool;
+  const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  OsdOp op;
+  op.type = OsdOpType::kRead;
+  op.pool = cp;
+  op.oid = chunk_oid;
+  op.off = off;
+  op.len = len;
+  op.foreground = foreground;
+  send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
+              [done = std::move(done)](OsdOpReply rep) {
+                if (!rep.status.is_ok()) {
+                  done(rep.status);
+                } else {
+                  done(std::move(rep.data));
+                }
+              });
+}
+
+void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
+                               const ChunkRef& ref, bool foreground,
+                               std::function<void(Status)> done) {
+  const PoolId cp = cfg().chunk_pool;
+  const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  OsdOp op;
+  op.type = OsdOpType::kChunkPutRef;
+  op.pool = cp;
+  op.oid = chunk_oid;
+  op.data = std::move(data);
+  op.ref = ref;
+  op.foreground = foreground;
+  send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
+              [done = std::move(done)](OsdOpReply rep) { done(rep.status); });
+}
+
+void DedupTier::send_chunk_deref(const std::string& chunk_oid,
+                                 const ChunkRef& ref, bool foreground,
+                                 std::function<void(Status)> done) {
+  stats_.derefs++;
+  const PoolId cp = cfg().chunk_pool;
+  const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  OsdOp op;
+  op.type = OsdOpType::kChunkDeref;
+  op.pool = cp;
+  op.oid = chunk_oid;
+  op.ref = ref;
+  op.foreground = foreground;
+  send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
+              [done = std::move(done)](OsdOpReply rep) { done(rep.status); });
+}
+
+// ------------------------------------------------------------ write path
+
+void DedupTier::handle_write(const OsdOp& op, ReplyFn reply) {
+  stats_.writes++;
+  hitset_.access(op.oid, sched().now());
+  touch_cache_lru(op.oid);
+  rate_.on_foreground(sched().now(), op.data.size());
+  // Tiering bookkeeping (chunk-map maintenance, hitset, policy checks)
+  // burns CPU on every op — the paper's Figure 10 shows the dedup path
+  // roughly doubling per-op CPU.
+  CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+  cpu.execute(cpu.op_fixed_cost());
+  if (cfg().mode == DedupMode::kInline) {
+    inline_write(op, std::move(reply));
+  } else {
+    post_process_write(op, std::move(reply));
+  }
+}
+
+void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
+  const std::string oid = op.oid;
+  const ObjectKey key{pool_, oid};
+  const uint64_t off = op.type == OsdOpType::kWriteFull ? 0 : op.off;
+  const Buffer data = op.data;
+  const uint64_t wlen = data.size();
+  ChunkMap& cm = cached_map(oid);
+  // The store's logical size understates the object once eviction dropped
+  // the data part; the chunk map tracks the user-visible size.
+  const uint64_t old_size = std::max(logical_size(oid), cm.logical_end());
+  const uint64_t new_end = off + wlen;
+  const bool full = op.type == OsdOpType::kWriteFull;
+  const uint64_t new_size = full ? wlen : std::max(old_size, new_end);
+  const uint32_t cs = chunker_.chunk_size();
+  // Erasure-coded base pools densify extents on every re-encode, so the
+  // partial-dirty overlay state cannot be reconstructed later; for them
+  // the missing chunk bytes are pre-read on the foreground path (the EC
+  // data path is read-modify-write anyway).
+  const bool ec_base = osd_->ctx().osdmap().pool(pool_).scheme ==
+                       RedundancyScheme::kErasure;
+
+  struct Preread {
+    uint64_t chunk_off;
+    std::string chunk_oid;
+    uint32_t length;
+  };
+  std::vector<Preread> prereads;
+  if (ec_base && !full) {
+    for (uint64_t c : chunker_.covering(off, wlen)) {
+      const ChunkMapEntry* e = cm.find(c);
+      if (e == nullptr || e->cached || !e->flushed()) continue;
+      const uint64_t cov_b = std::max(off, c);
+      const uint64_t cov_e = std::min(new_end, c + e->length);
+      if (cov_b <= c && cov_e >= c + e->length) continue;  // fully replaced
+      prereads.push_back({c, e->chunk_id, e->length});
+    }
+  }
+  auto g = std::make_shared<Gather>();
+  g->parts.resize(prereads.size());
+  g->outstanding = static_cast<int>(prereads.size()) + 1;  // +1 sentinel
+  auto proceed = [this, key, oid, off, data, wlen, full, new_size, new_end,
+                  cs, g, prereads, reply = std::move(reply)](Status ps) mutable {
+    if (!ps.is_ok()) {
+      reply(OsdOpReply{ps, {}, 0, {}, nullptr});
+      return;
+    }
+    ChunkMap& cm = cached_map(oid);
+
+    Transaction txn;
+    if (full) {
+      // Drop map entries beyond the new end; their chunk references are
+      // released by the background engine.
+      std::vector<uint64_t> stale;
+      for (const auto& [eoff, e] : cm.entries()) {
+        if (eoff >= new_size && e.flushed()) {
+          pending_derefs_.push_back({e.chunk_id, ChunkRef{pool_, oid, eoff}});
+        }
+        if (eoff >= new_size) stale.push_back(eoff);
+      }
+      for (uint64_t soff : stale) {
+        cm.erase(soff);
+        txn.omap_rm(key, ChunkMap::omap_key(soff));
+      }
+      txn.create(key);
+      txn.truncate(key, new_size);
+    }
+    for (size_t i = 0; i < prereads.size(); i++) {
+      // Install the fetched chunk if its slot still references it.
+      ChunkMapEntry* e = cm.find(prereads[i].chunk_off);
+      if (e != nullptr && e->chunk_id == prereads[i].chunk_oid && !e->cached) {
+        txn.write(key, prereads[i].chunk_off, g->parts[i]);
+        e->cached = true;
+      }
+    }
+    txn.write(key, off, data);
+    for (uint64_t c : chunker_.covering(off, wlen)) {
+      const uint32_t clen = static_cast<uint32_t>(
+          std::min<uint64_t>(cs, new_size > c ? new_size - c : 0));
+      if (clen == 0) continue;
+      ChunkMapEntry& e = cm.obtain(c, clen);
+      e.length = clen;  // may shrink on write_full
+      const bool fully_covered = off <= c && new_end >= c + clen;
+      if (fully_covered || !e.flushed()) {
+        // The data part now holds the whole chunk (holes read as zeros for
+        // never-flushed chunks).
+        e.cached = true;
+      }
+      // Otherwise this is a partial write over an evicted chunk: the data
+      // part holds only the new bytes (Figure 8's cached=false, dirty=true
+      // state); the background flush merges the rest from the chunk pool,
+      // keeping the read-modify-write OFF the foreground path.
+      e.dirty = true;
+      e.dirty_gen = dirty_gen_counter_++;
+      txn.omap_set(key, ChunkMap::omap_key(c), ChunkMap::encode_entry(e));
+    }
+
+    mark_dirty(oid);
+    pending_writes_[oid]++;
+    osd_->submit_write(pool_, oid, std::move(txn),
+                       [this, oid, reply = std::move(reply)](Status s) {
+                         if (--pending_writes_[oid] == 0) {
+                           pending_writes_.erase(oid);
+                         }
+                         reply(OsdOpReply{s, {}, 0, {}, nullptr});
+                       },
+                       /*foreground=*/true);
+  };
+  g->done = std::move(proceed);
+  for (size_t i = 0; i < prereads.size(); i++) {
+    stats_.prereads++;
+    read_chunk_from_pool(prereads[i].chunk_oid, 0, prereads[i].length,
+                         /*foreground=*/true,
+                         [g, i](Result<Buffer> r) { g->arrive(i, std::move(r)); });
+  }
+  g->arrive(SIZE_MAX, Buffer());  // sentinel
+}
+
+void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
+  const std::string oid = op.oid;
+  const ObjectKey key{pool_, oid};
+  const uint64_t off = op.type == OsdOpType::kWriteFull ? 0 : op.off;
+  const Buffer data = op.data;
+  const uint64_t wlen = data.size();
+  const uint64_t old_size =
+      std::max(logical_size(oid), cached_map(oid).logical_end());
+  const uint64_t new_end = off + wlen;
+  const uint64_t new_size =
+      op.type == OsdOpType::kWriteFull ? wlen : std::max(old_size, new_end);
+  const uint32_t cs = chunker_.chunk_size();
+
+  auto chunks =
+      std::make_shared<std::vector<uint64_t>>(chunker_.covering(off, wlen));
+  auto idx = std::make_shared<size_t>(0);
+
+  // Sequential per-chunk pipeline: RMW assemble -> fingerprint -> deref old
+  // -> put new -> next.  This serial, on-the-write-path processing is
+  // exactly what Figure 5(a) measures.
+  auto step = std::make_shared<std::function<void()>>();
+  auto finish = [this, key, oid, new_size, old_size,
+                 reply = std::move(reply)](Status s) {
+    if (!s.is_ok()) {
+      reply(OsdOpReply{s, {}, 0, {}, nullptr});
+      return;
+    }
+    Transaction txn;
+    txn.create(key);
+    if (new_size != old_size) txn.truncate(key, new_size);
+    ChunkMap& cm = cached_map(oid);
+    for (const auto& [eoff, ent] : cm.entries()) {
+      txn.omap_set(key, ChunkMap::omap_key(eoff), ChunkMap::encode_entry(ent));
+    }
+    osd_->submit_write(pool_, oid, std::move(txn),
+                       [reply](Status s2) {
+                         reply(OsdOpReply{s2, {}, 0, {}, nullptr});
+                       },
+                       /*foreground=*/true);
+  };
+
+  *step = [this, key, oid, off, data, wlen, new_size, cs, chunks, idx, step,
+           finish]() mutable {
+    if (*idx >= chunks->size()) {
+      finish(Status::ok());
+      return;
+    }
+    const uint64_t c = (*chunks)[(*idx)++];
+    const uint32_t clen = static_cast<uint32_t>(
+        std::min<uint64_t>(cs, new_size > c ? new_size - c : 0));
+    if (clen == 0) {
+      (*step)();
+      return;
+    }
+    const ChunkMapEntry* e = cached_map(oid).find(c);
+    const uint64_t cov_b = std::max(off, c);
+    const uint64_t cov_e = std::min(off + wlen, c + static_cast<uint64_t>(clen));
+    const bool fully_covered = cov_b <= c && cov_e >= c + clen;
+
+    auto assemble = [this, c, clen, cov_b, cov_e, off, data, oid, step,
+                     finish](Result<Buffer> oldr) mutable {
+      if (!oldr.is_ok()) {
+        finish(oldr.status());
+        return;
+      }
+      Buffer content = std::move(oldr).value();
+      content.resize(clen);
+      // Splice in the newly written range.
+      content.write_at(cov_b - c, data.slice(cov_b - off, cov_e - cov_b));
+
+      // Fingerprint on the foreground path: CPU is costed and the hash is
+      // really computed (it becomes the chunk OID).
+      CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+      cpu.execute(
+          cpu.fingerprint_cost(content.size(),
+                               cfg().fp_algo == FingerprintAlgo::kSha1),
+          [this, c, clen, content, oid, step, finish]() mutable {
+            const Fingerprint fp =
+                Fingerprint::compute(cfg().fp_algo, content.span());
+            const std::string new_id = fp.hex();
+            ChunkMapEntry& ent = cached_map(oid).obtain(c, clen);
+            ent.length = clen;
+            const std::string old_id = ent.chunk_id;
+            const ChunkRef ref{pool_, oid, c};
+            auto commit = [this, oid, c, clen, new_id, step](Status) {
+              ChunkMapEntry& ent2 = cached_map(oid).obtain(c, clen);
+              ent2.chunk_id = new_id;
+              ent2.cached = false;
+              ent2.dirty = false;
+              (*step)();
+            };
+            if (old_id == new_id) {
+              commit(Status::ok());
+              return;
+            }
+            auto put = [this, new_id, content, ref, commit]() mutable {
+              stats_.chunks_flushed++;
+              stats_.flush_bytes += content.size();
+              send_chunk_put(new_id, std::move(content), ref,
+                             /*foreground=*/true, commit);
+            };
+            if (!old_id.empty()) {
+              send_chunk_deref(old_id, ref, /*foreground=*/true,
+                               [put](Status) mutable { put(); });
+            } else {
+              put();
+            }
+          });
+    };
+
+    if (fully_covered) {
+      Buffer zeros(clen);
+      assemble(zeros);
+    } else if (e != nullptr && e->cached) {
+      osd_->submit_read(pool_, oid, c, clen, assemble, /*foreground=*/true);
+    } else if (e != nullptr && e->flushed()) {
+      // The Figure 5(a) read-modify-write: fetch the 32KB chunk to apply a
+      // 16KB write.
+      stats_.prereads++;
+      read_chunk_from_pool(e->chunk_id, 0, e->length, /*foreground=*/true,
+                           assemble);
+    } else {
+      Buffer zeros(clen);
+      assemble(zeros);
+    }
+  };
+  (*step)();
+}
+
+// ------------------------------------------------------------- read path
+
+void DedupTier::handle_read(const OsdOp& op, ReplyFn reply) {
+  stats_.reads++;
+  hitset_.access(op.oid, sched().now());
+  touch_cache_lru(op.oid);
+  rate_.on_foreground(sched().now(), std::max<uint64_t>(op.len, 1));
+  CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+  cpu.execute(cpu.op_fixed_cost());  // tiering bookkeeping (see above)
+  handle_read_attempt(op, std::move(reply), 0);
+}
+
+void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
+                                    int attempt) {
+  const std::string oid = op.oid;
+  if (!osd_->local_exists(pool_, oid)) {
+    reply(OsdOpReply{Status::not_found(oid), {}, 0, {}, nullptr});
+    return;
+  }
+  ChunkMap& cm = cached_map(oid);
+  const uint64_t size = std::max(logical_size(oid), cm.logical_end());
+  const uint64_t off = op.off;
+  if (off >= size) {
+    reply(OsdOpReply{Status::ok(), Buffer(), 0, {}, nullptr});
+    return;
+  }
+  const uint64_t len =
+      op.len == 0 ? size - off : std::min<uint64_t>(op.len, size - off);
+
+  // Build segments: coalesced local spans, per-chunk remote reads.
+  struct Segment {
+    bool remote;
+    bool merge_local;  // overlay newer local extents over remote content
+    uint64_t begin;
+    uint64_t end;
+    std::string chunk_oid;
+    uint64_t chunk_off;  // offset within the chunk object
+  };
+  std::vector<Segment> segs;
+  const uint32_t cs = chunker_.chunk_size();
+  for (uint64_t c : chunker_.covering(off, len)) {
+    const uint64_t b = std::max(off, c);
+    const uint64_t e = std::min(off + len, c + static_cast<uint64_t>(cs));
+    const ChunkMapEntry* ent = cm.find(c);
+    const bool remote = ent != nullptr && !ent->cached && ent->flushed();
+    if (remote) {
+      stats_.redirected_read_chunks++;
+      // A dirty non-cached chunk holds its newest bytes in local extents
+      // over older chunk-pool content: fetch remote, overlay local.
+      segs.push_back({true, ent->dirty, b, e, ent->chunk_id, b - c});
+    } else {
+      stats_.cached_read_chunks++;
+      if (!segs.empty() && !segs.back().remote && segs.back().end == b) {
+        segs.back().end = e;  // coalesce adjacent local spans
+      } else {
+        segs.push_back({false, false, b, e, {}, 0});
+      }
+    }
+  }
+
+  const bool any_remote =
+      std::any_of(segs.begin(), segs.end(), [](const Segment& s) { return s.remote; });
+
+  auto g = std::make_shared<Gather>();
+  g->parts.resize(segs.size());
+  g->outstanding = static_cast<int>(segs.size());
+  g->done = [this, g, op, attempt, reply = std::move(reply)](Status s) mutable {
+    if (!s.is_ok()) {
+      // A chunk may vanish mid-flush (deref of the superseded copy races
+      // the redirect); the refreshed map resolves it.  Retry briefly.
+      if (s.code() == Code::kNotFound && attempt < 3) {
+        sched().after(msec(1), [this, op = std::move(op), attempt,
+                                reply = std::move(reply)]() mutable {
+          handle_read_attempt(op, std::move(reply), attempt + 1);
+        });
+        return;
+      }
+      reply(OsdOpReply{s, {}, 0, {}, nullptr});
+      return;
+    }
+    Buffer out = g->parts.size() == 1 ? std::move(g->parts[0]) : Buffer();
+    if (g->parts.size() != 1) {
+      size_t total = 0;
+      for (const auto& p : g->parts) total += p.size();
+      out.resize(total);
+      size_t pos = 0;
+      for (const auto& p : g->parts) {
+        out.write_at(pos, p);
+        pos += p.size();
+      }
+    }
+    reply(OsdOpReply{Status::ok(), std::move(out), 0, {}, nullptr});
+  };
+
+  for (size_t i = 0; i < segs.size(); i++) {
+    const Segment& s = segs[i];
+    if (s.remote) {
+      const bool merge = s.merge_local;
+      const uint64_t b = s.begin;
+      const uint64_t n = s.end - s.begin;
+      read_chunk_from_pool(
+          s.chunk_oid, s.chunk_off, n,
+          /*foreground=*/true,
+          [this, g, i, merge, oid, b, n](Result<Buffer> r) {
+            if (!r.is_ok()) {
+              g->arrive(i, std::move(r));
+              return;
+            }
+            // Chunk objects can be shorter than the slot (tail chunks
+            // fingerprinted before the object grew): zero-fill.
+            Buffer part = std::move(r).value();
+            part.resize(n);
+            if (merge) overlay_local(oid, b, &part);
+            g->arrive(i, std::move(part));
+          });
+    } else {
+      const uint64_t n = s.end - s.begin;
+      osd_->submit_read(pool_, oid, s.begin, n,
+                        [g, i, n](Result<Buffer> r) {
+                          if (r.is_ok() && r->size() < n) {
+                            // Hole past the store's (possibly truncated)
+                            // logical size: zeros by definition.
+                            Buffer b = std::move(r).value();
+                            b.resize(n);
+                            g->arrive(i, std::move(b));
+                          } else {
+                            g->arrive(i, std::move(r));
+                          }
+                        },
+                        /*foreground=*/true);
+    }
+  }
+
+  // Cache manager: hot objects with redirected chunks get promoted.
+  if (any_remote && cfg().cache_enabled && cfg().promote_on_read &&
+      hitset_.is_hot(oid, sched().now()) && promote_set_.insert(oid).second) {
+    promote_queue_.push_back(oid);
+  }
+}
+
+void DedupTier::handle_remove(const OsdOp& op, ReplyFn reply) {
+  stats_.removes++;
+  const std::string oid = op.oid;
+  if (!osd_->local_exists(pool_, oid)) {
+    reply(OsdOpReply{Status::not_found(oid), {}, 0, {}, nullptr});
+    return;
+  }
+  ChunkMap& cm = cached_map(oid);
+  for (const auto& [eoff, e] : cm.entries()) {
+    if (e.flushed()) {
+      pending_derefs_.push_back({e.chunk_id, ChunkRef{pool_, oid, eoff}});
+    }
+  }
+  dirty_set_.erase(oid);
+  drop_context(oid);
+  osd_->submit_remove(pool_, oid, [reply = std::move(reply)](Status s) {
+    reply(OsdOpReply{s, {}, 0, {}, nullptr});
+  });
+}
+
+// ---------------------------------------------------------------- engine
+
+void DedupTier::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_tick();
+}
+
+void DedupTier::stop() {
+  running_ = false;
+  if (tick_event_ != 0) {
+    sched().cancel(tick_event_);
+    tick_event_ = 0;
+  }
+}
+
+void DedupTier::schedule_tick() {
+  if (!running_) return;
+  tick_event_ = sched().after(cfg().engine_tick, [this] { tick(); });
+}
+
+void DedupTier::kick() {
+  if (!in_tick_) tick();
+}
+
+void DedupTier::tick() {
+  if (in_tick_) return;
+  in_tick_ = true;
+  stats_.engine_ticks++;
+  enforce_cache_capacity();
+  auto st = std::make_shared<TickState>();
+  st->budget = rate_.take(sched().now(), cfg().max_dedup_per_tick);
+  pump(std::move(st));
+}
+
+void DedupTier::pump(std::shared_ptr<TickState> st) {
+  // Launch work until the tick budget or the parallelism window is spent.
+  // The tiering agent flushes several objects concurrently, which is what
+  // makes an *uncontrolled* engine genuinely hurt foreground I/O
+  // (Figure 5(b)) — and what the rate controller then tames.
+  while (running_ && st->budget > 0 &&
+         st->inflight < cfg().engine_parallelism) {
+    if (!launch_one(st)) break;
+  }
+  if (st->inflight == 0) {
+    in_tick_ = false;
+    schedule_tick();
+  }
+}
+
+bool DedupTier::launch_one(const std::shared_ptr<TickState>& st) {
+  auto on_done = [this, st]() {
+    st->inflight--;
+    pump(st);
+  };
+
+  // Deferred dereferences (from write_full shrinks / removes) first.
+  if (!pending_derefs_.empty()) {
+    auto [cid, ref] = pending_derefs_.front();
+    pending_derefs_.pop_front();
+    st->budget--;
+    st->inflight++;
+    send_chunk_deref(cid, ref, /*foreground=*/false,
+                     [on_done](Status) { on_done(); });
+    return true;
+  }
+
+  if (!promote_queue_.empty()) {
+    const std::string oid = promote_queue_.front();
+    promote_queue_.pop_front();
+    promote_set_.erase(oid);
+    st->budget--;
+    st->inflight++;
+    promote_object(oid, on_done);
+    return true;
+  }
+
+  // Dirty list: skip vanished objects, rotate hot ones, flush the first
+  // eligible object with a slice of the tick budget.
+  size_t scanned = 0;
+  const size_t limit = dirty_list_.size();
+  while (!dirty_list_.empty() && scanned <= limit) {
+    const std::string oid = dirty_list_.front();
+    if (!dirty_set_.count(oid)) {
+      dirty_list_.pop_front();
+      continue;
+    }
+    if (!osd_->local_exists(pool_, oid)) {
+      if (pending_writes_.count(oid)) {
+        // Freshly written object whose create has not applied yet — it is
+        // real, just not durable; revisit after the write lands.
+        dirty_list_.pop_front();
+        dirty_list_.push_back(oid);
+        scanned++;
+        continue;
+      }
+      dirty_list_.pop_front();
+      dirty_set_.erase(oid);
+      continue;
+    }
+    if (hitset_.is_hot(oid, sched().now())) {
+      // Hot object: not deduplicated until it cools down (key idea 3).
+      stats_.hot_skips++;
+      dirty_list_.pop_front();
+      dirty_list_.push_back(oid);
+      scanned++;
+      continue;
+    }
+    dirty_list_.pop_front();
+    dirty_set_.erase(oid);
+    inflight_oids_.insert(oid);
+    // Charge the tick budget per chunk, capped so one object cannot hog
+    // the whole tick while others wait.
+    int n_dirty = 0;
+    for (const auto& [eoff, e] : cached_map(oid).entries()) {
+      if (e.dirty) n_dirty++;
+    }
+    const int chunk_budget = std::clamp(n_dirty, 1, std::min(st->budget, 32));
+    st->budget -= chunk_budget;
+    st->inflight++;
+    flush_object(oid, chunk_budget, [this, oid, on_done](bool any_left) {
+      inflight_oids_.erase(oid);
+      if (any_left) mark_dirty(oid);  // take another pass later
+      on_done();
+    });
+    return true;
+  }
+  return false;
+}
+
+void DedupTier::flush_object(const std::string& oid, int max_chunks,
+                             std::function<void(bool)> done) {
+  // Never read the data part while a client write to this object is still
+  // applying — the context learns of dirtiness at submit time, the extents
+  // only at durability.  Retry on a later pass.
+  if (pending_writes_.count(oid)) {
+    sched().after(0, [done = std::move(done)] { done(true); });
+    return;
+  }
+  // Snapshot the dirty offsets; flush several chunks of this object in
+  // parallel (the tiering agent flushes whole objects, not single chunks).
+  std::vector<uint64_t> offsets;
+  {
+    ChunkMap& cm = cached_map(oid);
+    for (const auto& [off, e] : cm.entries()) {
+      if (e.dirty) {
+        offsets.push_back(off);
+        if (static_cast<int>(offsets.size()) >= max_chunks) break;
+      }
+    }
+  }
+  if (offsets.empty()) {
+    sched().after(0, [done = std::move(done)] { done(false); });
+    return;
+  }
+
+  struct FlushState {
+    std::vector<uint64_t> offsets;
+    size_t next = 0;
+    int inflight = 0;
+    std::function<void(bool)> done;
+  };
+  auto fs = std::make_shared<FlushState>();
+  fs->offsets = std::move(offsets);
+  fs->done = std::move(done);
+
+  constexpr int kChunkParallelism = 8;
+  auto pump_chunks = std::make_shared<std::function<void()>>();
+  *pump_chunks = [this, oid, fs, pump_chunks]() {
+    while (fs->next < fs->offsets.size() && fs->inflight < kChunkParallelism) {
+      const uint64_t off = fs->offsets[fs->next++];
+      fs->inflight++;
+      flush_chunk_at(oid, off, [fs, pump_chunks] {
+        fs->inflight--;
+        (*pump_chunks)();
+      });
+    }
+    if (fs->inflight == 0 && fs->next >= fs->offsets.size()) {
+      const ChunkMap* cm = cached_map_if_loaded(oid);
+      fs->done(cm != nullptr && cm->any_dirty());
+      fs->done = [](bool) {};  // fire once
+    }
+  };
+  (*pump_chunks)();
+}
+
+void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
+                               std::function<void()> done) {
+  ChunkMap& cm = cached_map(oid);
+  ChunkMapEntry* e = cm.find(offset);
+  if (e == nullptr || !e->dirty) {
+    sched().after(0, std::move(done));
+    return;
+  }
+  const ChunkMapEntry entry = *e;  // snapshot (incl. dirty_gen)
+
+  auto with_content = [this, oid, entry](std::function<void()> done,
+                                         Buffer content) mutable {
+    run_flush_pipeline(oid, entry, std::move(content), std::move(done));
+  };
+
+  if (!entry.cached && entry.flushed()) {
+    // Figure 8's cached=false/dirty=true state: the data part holds only
+    // the newly written bytes.  The *background* flush performs the
+    // read-modify-write the paper keeps off the foreground path: fetch the
+    // superseded chunk, overlay the local extents, then continue.
+    stats_.flush_merges++;
+    read_chunk_from_pool(
+        entry.chunk_id, 0, entry.length, /*foreground=*/false,
+        [this, oid, entry, with_content,
+         done = std::move(done)](Result<Buffer> r) mutable {
+          if (!r.is_ok()) {
+            done();  // retry on a later pass
+            return;
+          }
+          Buffer content = std::move(r).value();
+          content.resize(entry.length);
+          overlay_local(oid, entry.offset, &content);
+          with_content(std::move(done), std::move(content));
+        });
+    return;
+  }
+
+  // Whole chunk is local (cached, or never flushed): read the data part.
+  // The store may return short when the logical size sits mid-chunk (or
+  // was truncated by eviction); the chunk's tail is zeros by definition.
+  osd_->submit_read(
+      pool_, oid, entry.offset, entry.length,
+      [with_content, len = entry.length,
+       done = std::move(done)](Result<Buffer> r) mutable {
+        if (!r.is_ok()) {
+          done();
+          return;
+        }
+        Buffer content = std::move(r).value();
+        content.resize(len);
+        with_content(std::move(done), std::move(content));
+      },
+      /*foreground=*/false);
+}
+
+void DedupTier::run_flush_pipeline(const std::string& oid,
+                                   const ChunkMapEntry& entry, Buffer content,
+                                   std::function<void()> done) {
+  {
+        CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+        cpu.execute(
+            cpu.fingerprint_cost(content.size(),
+                                 cfg().fp_algo == FingerprintAlgo::kSha1),
+            [this, oid, entry, content, done = std::move(done)]() mutable {
+              const Fingerprint fp =
+                  Fingerprint::compute(cfg().fp_algo, content.span());
+              const std::string new_id = fp.hex();
+
+              if (entry.chunk_id == new_id) {
+                // Rewrite with identical content: reference already held,
+                // clear dirty locally with no chunk-pool traffic.
+                stats_.noop_flushes++;
+                finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
+                             /*was_noop=*/true, std::move(done));
+                return;
+              }
+
+              const ChunkRef ref{pool_, oid, entry.offset};
+              auto done_sp =
+                  std::make_shared<std::function<void()>>(std::move(done));
+              auto after_put = [this, oid, entry, new_id,
+                                done_sp](Status s) mutable {
+                if (!s.is_ok()) {
+                  (*done_sp)();
+                  return;
+                }
+                if (fail_at(FailurePoint::kAfterChunkPut, oid) ||
+                    fail_at(FailurePoint::kBeforeMapUpdate, oid)) {
+                  // Chunk persisted but the map update is lost: the object
+                  // stays dirty and a redo finds the reference already
+                  // present (idempotent put).
+                  (*done_sp)();
+                  return;
+                }
+                finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
+                             /*was_noop=*/false, [done_sp] { (*done_sp)(); });
+              };
+
+              auto do_put = [this, oid, new_id, content, ref,
+                             after_put = std::move(after_put)]() mutable {
+                stats_.chunks_flushed++;
+                stats_.flush_bytes += content.size();
+                send_chunk_put(new_id, std::move(content), ref,
+                               /*foreground=*/false, std::move(after_put));
+              };
+
+              // The crash points are pipeline positions; probed whether or
+              // not an old chunk exists, so the consistency sweep covers
+              // first flushes too.
+              if (fail_at(FailurePoint::kBeforeDeref, oid)) {
+                (*done_sp)();
+                return;
+              }
+              if (entry.flushed() && cfg().async_deref) {
+                // False-positive refcounting (Section 4.6): fire the
+                // de-reference without waiting; the GC mops up if it is
+                // lost.
+                send_chunk_deref(entry.chunk_id, ref, /*foreground=*/false,
+                                 [](Status) {});
+                if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                  (*done_sp)();
+                  return;
+                }
+                do_put();
+              } else if (entry.flushed()) {
+                // Step 3: de-reference the superseded chunk and wait.
+                send_chunk_deref(
+                    entry.chunk_id, ref, /*foreground=*/false,
+                    [this, oid, do_put = std::move(do_put),
+                     done_sp](Status) mutable {
+                      if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                        (*done_sp)();
+                        return;
+                      }
+                      do_put();
+                    });
+              } else {
+                if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                  (*done_sp)();
+                  return;
+                }
+                do_put();
+              }
+            });
+  }
+}
+
+void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
+                             const std::string& new_id, uint64_t snapshot_gen,
+                             bool was_noop, std::function<void()> done) {
+  const ObjectKey key{pool_, oid};
+  if (!osd_->local_exists(pool_, oid)) {
+    // Object removed while the flush flew; its refs were queued by
+    // handle_remove, but the chunk we just put took a fresh reference that
+    // remove could not have seen.
+    if (!was_noop) {
+      pending_derefs_.push_back({new_id, ChunkRef{pool_, oid, offset}});
+    }
+    sched().after(0, std::move(done));
+    return;
+  }
+  ChunkMap& cm = cached_map(oid);
+  ChunkMapEntry* e = cm.find(offset);
+  if (e == nullptr) {
+    // The slot vanished (write_full shrink raced the flush): release the
+    // reference we just took so the chunk is not leaked.
+    if (!was_noop) {
+      pending_derefs_.push_back({new_id, ChunkRef{pool_, oid, offset}});
+    }
+    sched().after(0, std::move(done));
+    return;
+  }
+
+  Transaction txn;
+  const bool racy = e->dirty_gen != snapshot_gen;
+  if (!was_noop) e->chunk_id = new_id;
+  if (racy) {
+    // A client write landed mid-flush; the local data is newer than what
+    // we pushed.  Keep the chunk dirty so the engine reprocesses it.
+    stats_.racy_flushes++;
+    e->dirty = true;
+  } else {
+    e->dirty = false;
+    const bool hot =
+        cfg().cache_enabled && hitset_.is_hot(oid, sched().now());
+    if (cfg().evict_after_flush && !hot) {
+      // Reclaim the local copy: cached chunks drop their whole extent,
+      // partial-dirty chunks drop the overlay bytes that just merged into
+      // the chunk pool.
+      if (e->cached) stats_.evictions++;
+      e->cached = false;
+      txn.punch_hole(key, e->offset, e->length);
+      // Once no chunk is cached or dirty, the object "contains no data
+      // but only metadata" (Figure 8, object 2): drop the data part
+      // entirely.  Hole-punching cannot reclaim space on erasure-coded
+      // pools (re-encoding densifies), but an empty object can.
+      bool any_local = false;
+      for (const auto& [eoff, ent] : cm.entries()) {
+        if (ent.cached || ent.dirty) {
+          any_local = true;
+          break;
+        }
+      }
+      if (!any_local) txn.truncate(key, 0);
+    }
+  }
+  txn.omap_set(key, ChunkMap::omap_key(e->offset), ChunkMap::encode_entry(*e));
+  osd_->submit_write(pool_, oid, std::move(txn),
+                     [done = std::move(done)](Status) { done(); },
+                     /*foreground=*/false);
+}
+
+void DedupTier::enforce_cache_capacity() {
+  const uint64_t cap = cfg().cache_capacity_bytes;
+  if (cap == 0) return;
+
+  // Clean cached bytes per object (dirty chunks are not evictable — their
+  // only copy is local).  Contexts live in memory, so this scan is cheap
+  // relative to the flush work a tick performs.
+  auto clean_cached_bytes = [](const ChunkMap& cm) {
+    uint64_t n = 0;
+    for (const auto& [off, e] : cm.entries()) {
+      if (e.cached && !e.dirty && e.flushed()) n += e.length;
+    }
+    return n;
+  };
+  uint64_t total = 0;
+  for (const auto& [oid, cm] : map_cache_) total += clean_cached_bytes(cm);
+  if (total <= cap) return;
+
+  // Walk victims coldest-first.  Objects without evictable bytes just
+  // leave the recency list.
+  std::vector<std::string> order;
+  for (const auto& [oid, unused] : cache_lru_) order.push_back(oid);
+  for (auto it = order.rbegin(); it != order.rend() && total > cap; ++it) {
+    const std::string& oid = *it;
+    auto mit = map_cache_.find(oid);
+    if (mit == map_cache_.end() || !osd_->local_exists(pool_, oid)) {
+      cache_lru_.erase(oid);
+      continue;
+    }
+    ChunkMap& cm = mit->second;
+    const ObjectKey key{pool_, oid};
+    Transaction txn;
+    uint64_t reclaimed = 0;
+    bool any_local = false;
+    for (auto& [off, e] : cm.entries()) {
+      if (e.cached && !e.dirty && e.flushed()) {
+        e.cached = false;
+        txn.punch_hole(key, e.offset, e.length);
+        txn.omap_set(key, ChunkMap::omap_key(e.offset),
+                     ChunkMap::encode_entry(e));
+        reclaimed += e.length;
+        stats_.capacity_evictions++;
+      } else if (e.cached || e.dirty) {
+        any_local = true;
+      }
+    }
+    cache_lru_.erase(oid);
+    if (reclaimed == 0) continue;
+    if (!any_local) txn.truncate(key, 0);
+    total -= reclaimed;
+    osd_->submit_write(pool_, oid, std::move(txn), [](Status) {},
+                       /*foreground=*/false);
+  }
+}
+
+void DedupTier::promote_object(const std::string& oid,
+                               std::function<void()> done) {
+  struct Target {
+    uint64_t offset;
+    uint32_t length;
+    std::string chunk_oid;
+  };
+  auto targets = std::make_shared<std::vector<Target>>();
+  {
+    ChunkMap& cm = cached_map(oid);
+    for (const auto& [off, e] : cm.entries()) {
+      if (!e.cached && e.flushed() && !e.dirty) {
+        targets->push_back({off, e.length, e.chunk_id});
+      }
+    }
+  }
+  if (targets->empty()) {
+    sched().after(0, std::move(done));
+    return;
+  }
+  stats_.promotions++;
+
+  auto g = std::make_shared<Gather>();
+  g->parts.resize(targets->size());
+  g->outstanding = static_cast<int>(targets->size());
+  g->done = [this, oid, targets, g, done = std::move(done)](Status s) mutable {
+    if (!s.is_ok() || !osd_->local_exists(pool_, oid)) {
+      done();
+      return;
+    }
+    const ObjectKey key{pool_, oid};
+    ChunkMap& cm = cached_map(oid);
+    Transaction txn;
+    for (size_t i = 0; i < targets->size(); i++) {
+      const Target& t = (*targets)[i];
+      ChunkMapEntry* e = cm.find(t.offset);
+      // Only install if the chunk still references what we fetched.
+      if (e != nullptr && e->chunk_id == t.chunk_oid && !e->dirty) {
+        txn.write(key, t.offset, g->parts[i]);
+        e->cached = true;
+        txn.omap_set(key, ChunkMap::omap_key(t.offset),
+                     ChunkMap::encode_entry(*e));
+      }
+    }
+    osd_->submit_write(pool_, oid, std::move(txn),
+                       [done = std::move(done)](Status) { done(); },
+                       /*foreground=*/false);
+  };
+  for (size_t i = 0; i < targets->size(); i++) {
+    read_chunk_from_pool((*targets)[i].chunk_oid, 0, (*targets)[i].length,
+                         /*foreground=*/false, [g, i](Result<Buffer> r) {
+                           g->arrive(i, std::move(r));
+                         });
+  }
+}
+
+}  // namespace gdedup

@@ -1,0 +1,211 @@
+#pragma once
+
+// DedupTier — the paper's deduplication design, installed per metadata-pool
+// OSD (the role the tiering agent plays in the Ceph implementation).
+//
+// Write path (Section 4.5): data lands in the metadata object's data part
+// (cached=true, dirty=true in the chunk map); a partial write over an
+// evicted chunk leaves the entry in Figure 8's cached=false/dirty=true
+// state and the background flush merges the missing bytes from the chunk
+// pool, keeping the read-modify-write off the foreground path (on
+// erasure-coded base pools the fill is pre-read in the foreground instead,
+// because dense re-encoding cannot preserve the overlay extents).  The
+// object joins the dirty list and the client is acked after ordinary
+// replication — no fingerprinting on the foreground path.
+//
+// Read path: cached chunks are served locally; non-cached chunks redirect
+// to the chunk pool by chunk-object ID (double hashing resolves placement);
+// hot objects get promoted back into the metadata object.
+//
+// Background engine (Section 4.4.1): walks the dirty list under watermark
+// rate control, skips hot objects, fingerprints each dirty chunk
+// (CPU-costed *and* actually computed), de-references the old chunk, puts
+// the new chunk into the chunk pool (create-or-addref), then updates the
+// chunk map — evicting the cached copy of cold chunks, which is where the
+// space saving is realized.  Objects flush several chunks concurrently,
+// like Ceph's tiering agent flushing whole objects.
+//
+// Chunk maps are kept in an in-memory object context (map_cache_), the
+// single-writer authoritative copy on the primary; every mutation is
+// applied to the cache synchronously and the touched entries ride as
+// per-entry omap records in the same transaction as the data, so replicas
+// and recovery always see a consistent self-contained object.  After a
+// crash the cache is rebuilt from the persisted entries
+// (rebuild_dirty_list).
+//
+// Inline mode implements the Figure 5(a) baseline: the whole pipeline runs
+// synchronously on the write path, including the partial-write
+// read-modify-write.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/lru.h"
+#include "dedup/chunk_map.h"
+#include "dedup/chunker.h"
+#include "dedup/hitset.h"
+#include "dedup/rate_controller.h"
+#include "osd/osd.h"
+
+namespace gdedup {
+
+// Crash-injection points in the engine's flush pipeline, mirroring the
+// failure steps of the consistency model (Section 4.6, Figure 9).
+enum class FailurePoint {
+  kBeforeDeref,      // old chunk still referenced, nothing happened yet
+  kAfterDeref,       // old ref dropped, new chunk not yet stored
+  kAfterChunkPut,    // chunk stored in chunk pool, map not yet updated
+  kBeforeMapUpdate,  // alias of the ack-lost case (step 5 in Figure 9)
+};
+
+struct DedupTierStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t removes = 0;
+  uint64_t prereads = 0;      // foreground RMW fills (inline mode)
+  uint64_t flush_merges = 0;  // background fills of partial dirty chunks
+  uint64_t cached_read_chunks = 0;
+  uint64_t redirected_read_chunks = 0;
+  uint64_t chunks_flushed = 0;    // chunk objects pushed to the chunk pool
+  uint64_t flush_bytes = 0;
+  uint64_t noop_flushes = 0;      // content unchanged; dirty cleared locally
+  uint64_t derefs = 0;
+  uint64_t evictions = 0;
+  uint64_t capacity_evictions = 0;  // LRU cache-cap reclaims (Section 4.3)
+  uint64_t promotions = 0;
+  uint64_t hot_skips = 0;
+  uint64_t racy_flushes = 0;      // object changed mid-flush; stayed dirty
+  uint64_t engine_ticks = 0;
+  uint64_t engine_aborts = 0;     // injected failures taken
+};
+
+class DedupTier : public TierService {
+ public:
+  DedupTier(Osd* osd, PoolId pool);
+  ~DedupTier() override = default;
+
+  // --- TierService ---
+  void handle_read(const OsdOp& op, ReplyFn reply) override;
+  void handle_write(const OsdOp& op, ReplyFn reply) override;
+  void handle_remove(const OsdOp& op, ReplyFn reply) override;
+  void start() override;
+  void stop() override;
+  size_t dirty_backlog() const override {
+    return dirty_list_.size() + inflight_oids_.size() +
+           pending_derefs_.size() + promote_queue_.size();
+  }
+
+  // --- introspection / test hooks ---
+  const DedupTierStats& stats() const { return stats_; }
+
+  // Return true from the hook to crash the engine at that point (the
+  // in-flight flush is abandoned; redo must converge).
+  using FailureHook = std::function<bool(FailurePoint, const std::string&)>;
+  void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
+  // Rebuild volatile state (dirty list, chunk-map cache) from the local
+  // store — the self-contained-object recovery path after a crash.
+  void rebuild_dirty_list();
+
+  bool is_dirty(const std::string& oid) const {
+    return dirty_set_.count(oid) > 0 || inflight_oids_.count(oid) > 0;
+  }
+
+  // Force one engine pass immediately (tests drive time explicitly).
+  void kick();
+
+ private:
+  const DedupTierConfig& cfg() const {
+    return osd_->ctx().osdmap().pool(pool_).dedup;
+  }
+  Scheduler& sched() { return osd_->ctx().sched(); }
+
+  // -- object context (authoritative in-memory chunk map on the primary) --
+  ChunkMap& cached_map(const std::string& oid);
+  const ChunkMap* cached_map_if_loaded(const std::string& oid) const;
+  // Copy the bytes of local extents overlapping [off, off+buf->size())
+  // over `buf` (newest data wins when merging with chunk-pool content).
+  void overlay_local(const std::string& oid, uint64_t off, Buffer* buf) const;
+  void drop_context(const std::string& oid) { map_cache_.erase(oid); }
+
+  uint64_t logical_size(const std::string& oid) const;
+  void mark_dirty(const std::string& oid);
+
+  // -- write path --
+  void post_process_write(const OsdOp& op, ReplyFn reply);
+  void handle_read_attempt(const OsdOp& op, ReplyFn reply, int attempt);
+  void inline_write(const OsdOp& op, ReplyFn reply);
+  void read_chunk_from_pool(const std::string& chunk_oid, uint64_t off,
+                            uint64_t len, bool foreground,
+                            std::function<void(Result<Buffer>)> done);
+  void send_chunk_put(const std::string& chunk_oid, Buffer data,
+                      const ChunkRef& ref, bool foreground,
+                      std::function<void(Status)> done);
+  void send_chunk_deref(const std::string& chunk_oid, const ChunkRef& ref,
+                        bool foreground, std::function<void(Status)> done);
+
+  // -- engine --
+  struct TickState {
+    int budget = 0;
+    int inflight = 0;
+  };
+  void schedule_tick();
+  void tick();
+  void pump(std::shared_ptr<TickState> st);
+  bool launch_one(const std::shared_ptr<TickState>& st);
+
+  // Flush up to `max_chunks` dirty chunks of one object, several in
+  // flight; done(any_left) reports whether dirty chunks remain.
+  void flush_object(const std::string& oid, int max_chunks,
+                    std::function<void(bool any_left)> done);
+  void flush_chunk_at(const std::string& oid, uint64_t offset,
+                      std::function<void()> done);
+  // fingerprint -> deref old -> put new -> finish, for resolved content.
+  void run_flush_pipeline(const std::string& oid, const ChunkMapEntry& entry,
+                          Buffer content, std::function<void()> done);
+  void finish_flush(const std::string& oid, uint64_t offset,
+                    const std::string& new_id, uint64_t snapshot_gen,
+                    bool was_noop, std::function<void()> done);
+  void promote_object(const std::string& oid, std::function<void()> done);
+
+  // Section 4.3's LRU cache manager: when cache_capacity_bytes is set,
+  // evict the coldest objects' clean cached chunks until under the cap.
+  void enforce_cache_capacity();
+  void touch_cache_lru(const std::string& oid) { cache_lru_.put(oid, 0); }
+
+  bool fail_at(FailurePoint p, const std::string& oid);
+
+  Osd* osd_;
+  PoolId pool_;
+  FixedChunker chunker_;
+  HitSet hitset_;
+  RateController rate_;
+  DedupTierStats stats_;
+
+  std::unordered_map<std::string, ChunkMap> map_cache_;
+  uint64_t dirty_gen_counter_ = 1;
+  // Client writes whose data transaction has not yet applied everywhere;
+  // the engine must not read an object's data part before the write that
+  // dirtied it is durable (the cache learns of dirtiness at submit time).
+  std::unordered_map<std::string, int> pending_writes_;
+
+  LruMap<std::string, int> cache_lru_{1 << 20};  // recency of cached objects
+
+  std::deque<std::string> dirty_list_;
+  std::unordered_set<std::string> dirty_set_;
+  std::unordered_set<std::string> inflight_oids_;
+  std::deque<std::pair<std::string, ChunkRef>> pending_derefs_;
+  std::deque<std::string> promote_queue_;
+  std::unordered_set<std::string> promote_set_;
+
+  FailureHook failure_hook_;
+  bool running_ = false;
+  bool in_tick_ = false;
+  Scheduler::EventId tick_event_ = 0;
+};
+
+}  // namespace gdedup

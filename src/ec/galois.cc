@@ -1,0 +1,91 @@
+#include "ec/galois.h"
+
+#include <cassert>
+
+namespace gdedup::gf256 {
+
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 512> exp;  // doubled to skip the mod-255 in mul
+  std::array<int, 256> log;
+};
+
+const Tables& tables() {
+  static const Tables t = [] {
+    Tables t{};
+    constexpr uint16_t kPoly = 0x11d;
+    uint16_t x = 1;
+    for (int i = 0; i < 255; i++) {
+      t.exp[i] = static_cast<uint8_t>(x);
+      t.log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (int i = 255; i < 512; i++) t.exp[i] = t.exp[i - 255];
+    t.log[0] = -1;
+    return t;
+  }();
+  return t;
+}
+
+}  // namespace
+
+uint8_t mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] - t.log[b] + 255];
+}
+
+uint8_t inv(uint8_t a) {
+  assert(a != 0);
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint8_t exp(int power) {
+  const auto& t = tables();
+  power %= 255;
+  if (power < 0) power += 255;
+  return t.exp[power];
+}
+
+uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+
+void mul_acc(uint8_t* dst, const uint8_t* src, size_t n, uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < n; i++) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const int lc = t.log[c];
+  for (size_t i = 0; i < n; i++) {
+    if (src[i] != 0) dst[i] ^= t.exp[t.log[src[i]] + lc];
+  }
+}
+
+void mul_row(uint8_t* dst, const uint8_t* src, size_t n, uint8_t c) {
+  if (c == 0) {
+    for (size_t i = 0; i < n; i++) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < n; i++) dst[i] = src[i];
+    return;
+  }
+  const auto& t = tables();
+  const int lc = t.log[c];
+  for (size_t i = 0; i < n; i++) {
+    dst[i] = src[i] == 0 ? 0 : t.exp[t.log[src[i]] + lc];
+  }
+}
+
+}  // namespace gdedup::gf256

@@ -1,0 +1,62 @@
+#pragma once
+
+// Systematic Reed-Solomon (k data + m parity) over GF(2^8).
+//
+// The generator matrix is [ I_k ; C ] with C a Cauchy matrix, so every
+// k-row submatrix is invertible: any m shard losses are recoverable.
+// Used by the EC pool backend (paper configuration: k=2, m=1) and by
+// recovery to rebuild lost shards.
+
+#include <optional>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace gdedup {
+
+class ReedSolomon {
+ public:
+  // 1 <= k, 0 <= m, k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  // Split `data` into k equal shards (zero-padded) and append m parity
+  // shards.  Returns k+m buffers, each of size shard_len(data.size()).
+  std::vector<Buffer> encode(const Buffer& data) const;
+
+  // Compute only the parity shards for pre-split data shards (all the
+  // same length).
+  std::vector<Buffer> encode_parity(const std::vector<Buffer>& data) const;
+
+  // Reconstruct all missing shards in-place.  `shards` has k+m slots;
+  // nullopt means lost.  Needs >= k present.  All present shards must have
+  // equal length.
+  Status reconstruct(std::vector<std::optional<Buffer>>& shards) const;
+
+  // Reassemble the original byte stream (first `original_len` bytes) from
+  // the k data shards, reconstructing first if necessary.
+  Result<Buffer> decode(std::vector<std::optional<Buffer>> shards,
+                        size_t original_len) const;
+
+  size_t shard_len(size_t data_len) const {
+    return (data_len + static_cast<size_t>(k_) - 1) / static_cast<size_t>(k_);
+  }
+
+ private:
+  // rows_ holds the full (k+m) x k generator matrix, row-major.
+  uint8_t gen(int row, int col) const {
+    return gen_[static_cast<size_t>(row) * static_cast<size_t>(k_) +
+                static_cast<size_t>(col)];
+  }
+
+  static Status invert(std::vector<uint8_t>& a, int n);
+
+  int k_;
+  int m_;
+  std::vector<uint8_t> gen_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,119 @@
+#include "hash/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hash/sha1.h"
+#include "hash/sha256.h"
+
+namespace gdedup {
+
+std::string_view fingerprint_algo_name(FingerprintAlgo a) {
+  switch (a) {
+    case FingerprintAlgo::kSha1:
+      return "sha1";
+    case FingerprintAlgo::kSha256:
+      return "sha256";
+  }
+  return "unknown";
+}
+
+Fingerprint Fingerprint::compute(FingerprintAlgo algo,
+                                 std::span<const uint8_t> data) {
+  Fingerprint f;
+  f.algo_ = algo;
+  switch (algo) {
+    case FingerprintAlgo::kSha1: {
+      auto d = Sha1::of(data);
+      f.len_ = d.size();
+      std::copy(d.begin(), d.end(), f.digest_.begin());
+      break;
+    }
+    case FingerprintAlgo::kSha256: {
+      auto d = Sha256::of(data);
+      f.len_ = d.size();
+      std::copy(d.begin(), d.end(), f.digest_.begin());
+      break;
+    }
+  }
+  return f;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<Fingerprint> Fingerprint::from_hex(std::string_view hex) {
+  Fingerprint f;
+  auto colon = hex.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::invalid("fingerprint missing algo prefix");
+  }
+  auto name = hex.substr(0, colon);
+  if (name == "sha1") {
+    f.algo_ = FingerprintAlgo::kSha1;
+    f.len_ = Sha1::kDigestSize;
+  } else if (name == "sha256") {
+    f.algo_ = FingerprintAlgo::kSha256;
+    f.len_ = Sha256::kDigestSize;
+  } else {
+    return Status::invalid("unknown fingerprint algo");
+  }
+  auto digits = hex.substr(colon + 1);
+  if (digits.size() != f.len_ * 2) {
+    return Status::invalid("bad fingerprint length");
+  }
+  for (size_t i = 0; i < f.len_; i++) {
+    const int hi = hex_val(digits[i * 2]);
+    const int lo = hex_val(digits[i * 2 + 1]);
+    if (hi < 0 || lo < 0) return Status::invalid("bad hex digit");
+    f.digest_[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return f;
+}
+
+std::string Fingerprint::hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string s(fingerprint_algo_name(algo_));
+  s.push_back(':');
+  for (size_t i = 0; i < len_; i++) {
+    s.push_back(kHex[digest_[i] >> 4]);
+    s.push_back(kHex[digest_[i] & 0xf]);
+  }
+  return s;
+}
+
+uint64_t Fingerprint::prefix64() const {
+  uint64_t v = 0;
+  std::memcpy(&v, digest_.data(), std::min<size_t>(8, len_));
+  return v;
+}
+
+bool Fingerprint::operator<(const Fingerprint& o) const {
+  if (algo_ != o.algo_) return algo_ < o.algo_;
+  return std::lexicographical_compare(digest_.begin(), digest_.begin() + len_,
+                                      o.digest_.begin(),
+                                      o.digest_.begin() + o.len_);
+}
+
+uint64_t fnv1a(std::span<const uint8_t> data, uint64_t seed) {
+  uint64_t h = seed;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t fnv1a(std::string_view s, uint64_t seed) {
+  return fnv1a(std::span<const uint8_t>(
+                   reinterpret_cast<const uint8_t*>(s.data()), s.size()),
+               seed);
+}
+
+}  // namespace gdedup

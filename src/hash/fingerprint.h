@@ -1,0 +1,74 @@
+#pragma once
+
+// Chunk fingerprints — the first hash of the paper's "double hashing".
+//
+// A Fingerprint is the content hash of a chunk.  Its hex form *is* the
+// chunk object's ID in the chunk pool; the cluster's placement hash (the
+// second hash) then maps equal content to the same OSDs, which is what
+// deletes the fingerprint index from the design.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace gdedup {
+
+enum class FingerprintAlgo : uint8_t {
+  kSha1 = 1,
+  kSha256 = 2,
+};
+
+std::string_view fingerprint_algo_name(FingerprintAlgo a);
+
+class Fingerprint {
+ public:
+  static constexpr size_t kMaxDigest = 32;
+
+  Fingerprint() = default;
+
+  static Fingerprint compute(FingerprintAlgo algo,
+                             std::span<const uint8_t> data);
+
+  // Parse the hex form produced by hex() (with the algo prefix).
+  static Result<Fingerprint> from_hex(std::string_view hex);
+
+  FingerprintAlgo algo() const { return algo_; }
+  std::span<const uint8_t> digest() const { return {digest_.data(), len_}; }
+
+  // "sha256:ab12..."; used verbatim as the chunk object ID.
+  std::string hex() const;
+
+  // First 8 bytes as a u64 — convenient key for bloom filters / maps.
+  uint64_t prefix64() const;
+
+  bool operator==(const Fingerprint& o) const {
+    return algo_ == o.algo_ && len_ == o.len_ &&
+           std::equal(digest_.begin(), digest_.begin() + len_,
+                      o.digest_.begin());
+  }
+  bool operator<(const Fingerprint& o) const;
+
+  bool empty() const { return len_ == 0; }
+
+ private:
+  FingerprintAlgo algo_ = FingerprintAlgo::kSha256;
+  size_t len_ = 0;
+  std::array<uint8_t, kMaxDigest> digest_{};
+};
+
+// FNV-1a — cheap non-cryptographic hash for placement and bucketing.
+uint64_t fnv1a(std::span<const uint8_t> data, uint64_t seed = 0xcbf29ce484222325ULL);
+uint64_t fnv1a(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace gdedup
+
+template <>
+struct std::hash<gdedup::Fingerprint> {
+  size_t operator()(const gdedup::Fingerprint& f) const noexcept {
+    return static_cast<size_t>(f.prefix64());
+  }
+};

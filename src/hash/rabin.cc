@@ -1,0 +1,46 @@
+#include "hash/rabin.h"
+
+namespace gdedup {
+
+namespace {
+constexpr uint64_t kMul = 0x9b97714def8a0d8dULL;  // odd multiplier
+
+constexpr uint64_t pow_mul(size_t e) {
+  uint64_t r = 1;
+  for (size_t i = 0; i < e; i++) r *= kMul;
+  return r;
+}
+}  // namespace
+
+const std::array<uint64_t, 256>& RabinRolling::out_table() {
+  // out_table[b] = b * kMul^kWindow, so removing the byte that entered
+  // kWindow steps ago is a single subtract.
+  static const std::array<uint64_t, 256> table = [] {
+    std::array<uint64_t, 256> t{};
+    const uint64_t mw = pow_mul(kWindow);
+    for (uint64_t b = 0; b < 256; b++) t[b] = b * mw;
+    return t;
+  }();
+  return table;
+}
+
+void RabinRolling::reset() {
+  hash_ = 0;
+  count_ = 0;
+  pos_ = 0;
+  window_.fill(0);
+}
+
+uint64_t RabinRolling::roll(uint8_t in) {
+  hash_ = hash_ * kMul + in;
+  if (count_ >= kWindow) {
+    hash_ -= out_table()[window_[pos_]];
+  } else {
+    count_++;
+  }
+  window_[pos_] = in;
+  pos_ = (pos_ + 1) % kWindow;
+  return hash_;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,40 @@
+#pragma once
+
+// Rabin-style rolling hash over a sliding window.
+//
+// Backs the content-defined chunker (the paper uses fixed-size chunking in
+// production because CDC's CPU cost hurts Ceph's already CPU-bound small
+// writes — Section 5 — but we implement CDC too so the chunk-size ablation
+// can quantify that trade-off).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace gdedup {
+
+class RabinRolling {
+ public:
+  static constexpr size_t kWindow = 48;
+
+  RabinRolling() { reset(); }
+
+  void reset();
+
+  // Slide one byte in (and the oldest out once the window is full).
+  uint64_t roll(uint8_t in);
+
+  uint64_t value() const { return hash_; }
+  bool window_full() const { return count_ >= kWindow; }
+
+ private:
+  // Multiplier tables precomputed for the "remove oldest byte" step.
+  static const std::array<uint64_t, 256>& out_table();
+
+  uint64_t hash_;
+  size_t count_;
+  size_t pos_;
+  std::array<uint8_t, kWindow> window_;
+};
+
+}  // namespace gdedup

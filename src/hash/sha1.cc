@@ -1,0 +1,112 @@
+#include "hash/sha1.h"
+
+#include <cstring>
+
+namespace gdedup {
+
+namespace {
+inline uint32_t rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+  total_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Sha1::process_block(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; i++) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; i++) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+  for (int i = 0; i < 80; i++) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const uint8_t> data) {
+  total_len_ += data.size();
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  if (buf_len_ > 0) {
+    const size_t take = std::min(n, sizeof(buf_) - buf_len_);
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    n -= take;
+    if (buf_len_ == sizeof(buf_)) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buf_, p, n);
+    buf_len_ = n;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const uint64_t bit_len = total_len_ * 8;
+  const uint8_t pad = 0x80;
+  update({&pad, 1});
+  const uint8_t zero = 0;
+  while (buf_len_ != 56) update({&zero, 1});
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; i++) {
+    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  }
+  update({len_be, 8});
+
+  Digest d;
+  for (int i = 0; i < 5; i++) {
+    d[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    d[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    d[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    d[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return d;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,41 @@
+#pragma once
+
+// SHA-1 (FIPS 180-4).
+//
+// Kept alongside SHA-256 because the original Ceph dedup work fingerprints
+// with SHA-1 by default; the Fingerprint type can use either, and the
+// micro benchmark compares their costs.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace gdedup {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const uint8_t> data);
+  Digest finish();
+
+  static Digest of(std::span<const uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[5];
+  uint64_t total_len_;
+  uint8_t buf_[64];
+  size_t buf_len_;
+};
+
+}  // namespace gdedup

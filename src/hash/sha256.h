@@ -1,0 +1,37 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4) — the default fingerprint hash for chunk objects.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace gdedup {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const uint8_t> data);
+  Digest finish();
+
+  static Digest of(std::span<const uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buf_[64];
+  size_t buf_len_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,30 @@
+#pragma once
+
+// Services an OSD (and the dedup tier running inside it) needs from the
+// cluster: the scheduler, the network fabric, the shared OsdMap, peer OSD
+// lookup and per-node device models.  Implemented by rados::Cluster;
+// kept abstract here so osd/ and dedup/ stay independent of bring-up code.
+
+#include "cluster/osd_map.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+class Osd;
+
+class ClusterContext {
+ public:
+  virtual ~ClusterContext() = default;
+
+  virtual Scheduler& sched() = 0;
+  virtual Network& net() = 0;
+  virtual OsdMap& osdmap() = 0;
+
+  virtual Osd* osd(OsdId id) = 0;
+  virtual NodeId node_of_osd(OsdId id) const = 0;
+  virtual CpuModel& node_cpu(NodeId node) = 0;
+};
+
+}  // namespace gdedup

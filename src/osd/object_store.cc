@@ -1,0 +1,440 @@
+#include "osd/object_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "compress/lz.h"
+
+namespace gdedup {
+
+// ---------------------------------------------------------------- ExtentMap
+
+void ExtentMap::write(uint64_t off, Buffer data) {
+  if (data.empty()) return;
+  const uint64_t end = off + data.size();
+  punch_hole(off, data.size());
+  extents_[off] = std::move(data);
+  (void)end;
+}
+
+void ExtentMap::punch_hole(uint64_t off, uint64_t len) {
+  if (len == 0) return;
+  const uint64_t end = off + len;
+
+  // Find the first extent that could overlap: the one before `off` may
+  // straddle it.
+  auto it = extents_.lower_bound(off);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t pend = prev->first + prev->second.size();
+    if (pend > off) {
+      // prev straddles `off`; keep its head, and maybe its tail.
+      Buffer whole = std::move(prev->second);
+      const uint64_t pstart = prev->first;
+      extents_.erase(prev);
+      extents_[pstart] = whole.slice(0, off - pstart);
+      if (pend > end) {
+        extents_[end] = whole.slice(end - pstart, pend - end);
+      }
+    }
+  }
+  it = extents_.lower_bound(off);
+  while (it != extents_.end() && it->first < end) {
+    const uint64_t estart = it->first;
+    const uint64_t eend = estart + it->second.size();
+    if (eend <= end) {
+      it = extents_.erase(it);
+    } else {
+      // Tail survives.
+      Buffer tail = it->second.slice(end - estart, eend - end);
+      extents_.erase(it);
+      extents_[end] = std::move(tail);
+      break;
+    }
+  }
+}
+
+Buffer ExtentMap::read(uint64_t off, uint64_t len) const {
+  Buffer out(len);  // zero-filled
+  if (len == 0) return out;
+  uint8_t* dst = out.mutable_data();
+  const uint64_t end = off + len;
+
+  auto it = extents_.lower_bound(off);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > off) it = prev;
+  }
+  for (; it != extents_.end() && it->first < end; ++it) {
+    const uint64_t estart = it->first;
+    const uint64_t eend = estart + it->second.size();
+    const uint64_t cs = std::max(off, estart);
+    const uint64_t ce = std::min(end, eend);
+    if (cs >= ce) continue;
+    std::memcpy(dst + (cs - off), it->second.data() + (cs - estart), ce - cs);
+  }
+  return out;
+}
+
+void ExtentMap::truncate(uint64_t size) {
+  punch_hole(size, UINT64_MAX - size);
+}
+
+bool ExtentMap::fully_present(uint64_t off, uint64_t len) const {
+  if (len == 0) return true;
+  uint64_t cursor = off;
+  const uint64_t end = off + len;
+
+  auto it = extents_.lower_bound(off);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > off) it = prev;
+  }
+  for (; it != extents_.end() && cursor < end; ++it) {
+    if (it->first > cursor) return false;  // gap
+    cursor = std::max(cursor, it->first + it->second.size());
+  }
+  return cursor >= end;
+}
+
+uint64_t ExtentMap::stored_bytes() const {
+  uint64_t n = 0;
+  for (const auto& [off, buf] : extents_) n += buf.size();
+  return n;
+}
+
+uint64_t ExtentMap::end_offset() const {
+  if (extents_.empty()) return 0;
+  auto it = std::prev(extents_.end());
+  return it->first + it->second.size();
+}
+
+// -------------------------------------------------------------- Transaction
+
+void Transaction::create(const ObjectKey& k) {
+  ops_.push_back({OpType::kCreate, k, 0, 0, {}, {}});
+}
+void Transaction::write(const ObjectKey& k, uint64_t off, Buffer data) {
+  ops_.push_back({OpType::kWrite, k, off, data.size(), std::move(data), {}});
+}
+void Transaction::write_full(const ObjectKey& k, Buffer data) {
+  ops_.push_back({OpType::kWriteFull, k, 0, data.size(), std::move(data), {}});
+}
+void Transaction::truncate(const ObjectKey& k, uint64_t size) {
+  ops_.push_back({OpType::kTruncate, k, size, 0, {}, {}});
+}
+void Transaction::punch_hole(const ObjectKey& k, uint64_t off, uint64_t len) {
+  ops_.push_back({OpType::kPunchHole, k, off, len, {}, {}});
+}
+void Transaction::remove(const ObjectKey& k) {
+  ops_.push_back({OpType::kRemove, k, 0, 0, {}, {}});
+}
+void Transaction::setxattr(const ObjectKey& k, std::string name, Buffer value) {
+  ops_.push_back({OpType::kSetXattr, k, 0, 0, std::move(value), std::move(name)});
+}
+void Transaction::rmxattr(const ObjectKey& k, std::string name) {
+  ops_.push_back({OpType::kRmXattr, k, 0, 0, {}, std::move(name)});
+}
+void Transaction::omap_set(const ObjectKey& k, std::string key, Buffer value) {
+  ops_.push_back({OpType::kOmapSet, k, 0, 0, std::move(value), std::move(key)});
+}
+void Transaction::omap_rm(const ObjectKey& k, std::string key) {
+  ops_.push_back({OpType::kOmapRm, k, 0, 0, {}, std::move(key)});
+}
+
+uint64_t Transaction::byte_size() const {
+  uint64_t n = 0;
+  for (const auto& op : ops_) {
+    n += 32;  // op header
+    n += op.data.size();
+    n += op.name.size();
+    n += op.key.oid.size();
+  }
+  return n;
+}
+
+void Transaction::append(const Transaction& other) {
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+// -------------------------------------------------------------- ObjectStore
+
+Status ObjectStore::apply_to_state(const Transaction& txn, const ObjectKey& key,
+                                   ObjectState* state, bool* exists) {
+  for (const auto& op : txn.ops()) {
+    if (!(op.key == key)) continue;
+    switch (op.type) {
+      case Transaction::OpType::kCreate:
+        *exists = true;
+        break;
+      case Transaction::OpType::kWrite:
+        *exists = true;
+        state->data.write(op.off, op.data);
+        state->logical_size = std::max(state->logical_size, op.off + op.len);
+        break;
+      case Transaction::OpType::kWriteFull:
+        *exists = true;
+        state->data.truncate(0);
+        state->data.write(0, op.data);
+        state->logical_size = op.len;
+        break;
+      case Transaction::OpType::kTruncate:
+        if (!*exists) return Status::not_found("truncate: " + key.oid);
+        state->data.truncate(op.off);
+        state->logical_size = op.off;
+        break;
+      case Transaction::OpType::kPunchHole:
+        if (!*exists) return Status::not_found("punch_hole: " + key.oid);
+        state->data.punch_hole(op.off, op.len);
+        break;
+      case Transaction::OpType::kRemove:
+        if (!*exists) return Status::not_found("remove: " + key.oid);
+        *state = ObjectState{};
+        *exists = false;
+        break;
+      case Transaction::OpType::kSetXattr:
+        *exists = true;
+        state->xattrs[op.name] = op.data;
+        break;
+      case Transaction::OpType::kRmXattr:
+        if (!*exists) return Status::not_found("rmxattr: " + key.oid);
+        state->xattrs.erase(op.name);
+        break;
+      case Transaction::OpType::kOmapSet:
+        *exists = true;
+        state->omap[op.name] = op.data;
+        break;
+      case Transaction::OpType::kOmapRm:
+        if (!*exists) return Status::not_found("omap_rm: " + key.oid);
+        state->omap.erase(op.name);
+        break;
+    }
+  }
+  if (*exists) state->version++;
+  return Status::ok();
+}
+
+Status ObjectStore::apply(const Transaction& txn) {
+  // Validation pass: the only failable ops reference missing objects.
+  // Track objects the transaction itself creates so create-then-write in
+  // one transaction validates.
+  std::map<ObjectKey, bool> will_exist;
+  for (const auto& op : txn.ops()) {
+    auto it = will_exist.find(op.key);
+    bool ex = it != will_exist.end() ? it->second : exists(op.key);
+    switch (op.type) {
+      case Transaction::OpType::kCreate:
+      case Transaction::OpType::kWrite:
+      case Transaction::OpType::kWriteFull:
+      case Transaction::OpType::kSetXattr:
+      case Transaction::OpType::kOmapSet:
+        ex = true;
+        break;
+      case Transaction::OpType::kTruncate:
+      case Transaction::OpType::kPunchHole:
+      case Transaction::OpType::kRmXattr:
+      case Transaction::OpType::kOmapRm:
+        if (!ex) {
+          return Status::not_found("txn references missing " + op.key.oid +
+                                   " (op " +
+                                   std::to_string(static_cast<int>(op.type)) +
+                                   ")");
+        }
+        break;
+      case Transaction::OpType::kRemove:
+        if (!ex) return Status::not_found("txn removes missing " + op.key.oid);
+        ex = false;
+        break;
+    }
+    will_exist[op.key] = ex;
+  }
+
+  // Mutation pass (cannot fail).
+  std::map<ObjectKey, bool> touched_exists;
+  for (const auto& op : txn.ops()) {
+    ObjectState& st = objects_[op.key];  // creates placeholder if absent
+    switch (op.type) {
+      case Transaction::OpType::kCreate:
+        break;
+      case Transaction::OpType::kWrite:
+        st.data.write(op.off, op.data);
+        st.logical_size = std::max(st.logical_size, op.off + op.len);
+        break;
+      case Transaction::OpType::kWriteFull:
+        st.data.truncate(0);
+        st.data.write(0, op.data);
+        st.logical_size = op.len;
+        break;
+      case Transaction::OpType::kTruncate:
+        st.data.truncate(op.off);
+        st.logical_size = op.off;
+        break;
+      case Transaction::OpType::kPunchHole:
+        st.data.punch_hole(op.off, op.len);
+        break;
+      case Transaction::OpType::kRemove:
+        objects_.erase(op.key);
+        touched_exists[op.key] = false;
+        continue;
+      case Transaction::OpType::kSetXattr:
+        st.xattrs[op.name] = op.data;
+        break;
+      case Transaction::OpType::kRmXattr:
+        st.xattrs.erase(op.name);
+        break;
+      case Transaction::OpType::kOmapSet:
+        st.omap[op.name] = op.data;
+        break;
+      case Transaction::OpType::kOmapRm:
+        st.omap.erase(op.name);
+        break;
+    }
+    touched_exists[op.key] = true;
+  }
+  // Bump versions once per touched live object.
+  for (const auto& [key, alive] : touched_exists) {
+    if (alive) {
+      auto it = objects_.find(key);
+      if (it != objects_.end()) it->second.version++;
+    }
+  }
+  return Status::ok();
+}
+
+Result<uint64_t> ObjectStore::size(const ObjectKey& k) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  return it->second.logical_size;
+}
+
+Result<uint64_t> ObjectStore::version(const ObjectKey& k) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  return it->second.version;
+}
+
+Result<Buffer> ObjectStore::read(const ObjectKey& k, uint64_t off,
+                                 uint64_t len) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  const ObjectState& st = it->second;
+  if (off >= st.logical_size) return Buffer();
+  const uint64_t avail = st.logical_size - off;
+  const uint64_t n = (len == 0) ? avail : std::min(len, avail);
+  return st.data.read(off, n);
+}
+
+Result<Buffer> ObjectStore::getxattr(const ObjectKey& k,
+                                     const std::string& name) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  auto xit = it->second.xattrs.find(name);
+  if (xit == it->second.xattrs.end()) {
+    return Status::not_found("xattr " + name);
+  }
+  return xit->second;
+}
+
+Result<Buffer> ObjectStore::omap_get(const ObjectKey& k,
+                                     const std::string& key) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  auto oit = it->second.omap.find(key);
+  if (oit == it->second.omap.end()) {
+    return Status::not_found("omap " + key);
+  }
+  return oit->second;
+}
+
+std::vector<std::pair<std::string, Buffer>> ObjectStore::omap_list(
+    const ObjectKey& k, const std::string& prefix) const {
+  std::vector<std::pair<std::string, Buffer>> out;
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return out;
+  for (auto oit = it->second.omap.lower_bound(prefix);
+       oit != it->second.omap.end(); ++oit) {
+    if (oit->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(oit->first, oit->second);
+  }
+  return out;
+}
+
+const ObjectState* ObjectStore::find(const ObjectKey& k) const {
+  auto it = objects_.find(k);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<ObjectState> ObjectStore::snapshot(const ObjectKey& k) const {
+  auto it = objects_.find(k);
+  if (it == objects_.end()) return Status::not_found(k.oid);
+  return it->second;
+}
+
+void ObjectStore::install(const ObjectKey& k, ObjectState state) {
+  objects_[k] = std::move(state);
+}
+
+Status ObjectStore::remove_object(const ObjectKey& k) {
+  return objects_.erase(k) > 0 ? Status::ok() : Status::not_found(k.oid);
+}
+
+std::vector<ObjectKey> ObjectStore::list(PoolId pool) const {
+  std::vector<ObjectKey> out;
+  for (const auto& [key, st] : objects_) {
+    if (key.pool == pool) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<ObjectKey> ObjectStore::list_all() const {
+  std::vector<ObjectKey> out;
+  out.reserve(objects_.size());
+  for (const auto& [key, st] : objects_) out.push_back(key);
+  return out;
+}
+
+uint64_t ObjectStore::stored_bytes_of(const ObjectState& st) const {
+  if (!compress_at_rest_) return st.data.stored_bytes();
+  uint64_t n = 0;
+  for (const auto& [off, buf] : st.data.extents()) {
+    n += LzCodec::compressed_size(buf);
+  }
+  return n;
+}
+
+uint64_t ObjectStore::kv_bytes(const std::map<std::string, Buffer>& kv) {
+  uint64_t n = 0;
+  for (const auto& [k, v] : kv) n += k.size() + v.size();
+  return n;
+}
+
+ObjectStore::Stats ObjectStore::stats() const {
+  Stats s;
+  for (const auto& [key, st] : objects_) {
+    s.objects++;
+    s.logical_bytes += st.logical_size;
+    s.stored_data_bytes += stored_bytes_of(st);
+    s.xattr_bytes += kv_bytes(st.xattrs);
+    s.omap_bytes += kv_bytes(st.omap);
+  }
+  s.physical_bytes = s.stored_data_bytes + s.xattr_bytes + s.omap_bytes +
+                     s.objects * kPerObjectBaseBytes;
+  return s;
+}
+
+ObjectStore::Stats ObjectStore::stats(PoolId pool) const {
+  Stats s;
+  for (const auto& [key, st] : objects_) {
+    if (key.pool != pool) continue;
+    s.objects++;
+    s.logical_bytes += st.logical_size;
+    s.stored_data_bytes += stored_bytes_of(st);
+    s.xattr_bytes += kv_bytes(st.xattrs);
+    s.omap_bytes += kv_bytes(st.omap);
+  }
+  s.physical_bytes = s.stored_data_bytes + s.xattr_bytes + s.omap_bytes +
+                     s.objects * kPerObjectBaseBytes;
+  return s;
+}
+
+}  // namespace gdedup

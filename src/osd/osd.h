@@ -1,0 +1,180 @@
+#pragma once
+
+// Object Storage Daemon.
+//
+// One OSD owns one simulated SSD and per-pool object stores, and serves
+// OsdOps delivered over the network.  It is the coordinator for objects
+// whose acting set it leads: replicated writes fan out sub-writes to the
+// peer replicas; erasure-coded writes encode and distribute shards; reads
+// serve locally or gather shards.  The chunk-pool verbs (kChunkPutRef /
+// kChunkDeref) implement content-addressed reference counting: because a
+// chunk's OID is its fingerprint, "same OID already stored" *is* the
+// duplicate-detection test (double hashing), so a put of existing content
+// only appends a reference entry.
+//
+// A TierService (the dedup tier) may be installed per pool; client reads
+// and writes to that pool are delegated to it, everything else (replication,
+// EC, recovery, chunk verbs) is unchanged — the self-contained-object
+// property the paper's design hinges on.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "osd/cluster_context.h"
+#include "osd/messages.h"
+#include "osd/object_store.h"
+#include "sim/disk.h"
+#include "sim/metrics.h"
+
+namespace gdedup {
+
+class TierService {
+ public:
+  virtual ~TierService() = default;
+  virtual void handle_read(const OsdOp& op, ReplyFn reply) = 0;
+  virtual void handle_write(const OsdOp& op, ReplyFn reply) = 0;
+  virtual void handle_remove(const OsdOp& op, ReplyFn reply) = 0;
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  virtual size_t dirty_backlog() const = 0;
+};
+
+struct OsdStats {
+  uint64_t client_ops = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sub_writes = 0;
+  uint64_t chunk_puts = 0;
+  uint64_t chunk_created = 0;      // new chunk objects stored
+  uint64_t chunk_dedup_hits = 0;   // puts satisfied by an existing chunk
+  uint64_t chunk_derefs = 0;
+  uint64_t chunks_reclaimed = 0;   // refcount hit zero
+  uint64_t pulls = 0;
+  uint64_t pushes = 0;
+};
+
+class Osd {
+ public:
+  Osd(ClusterContext* ctx, OsdId id, NodeId node, const SsdConfig& disk_cfg);
+
+  OsdId id() const { return id_; }
+  NodeId node() const { return node_; }
+
+  bool is_up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  // When true, ops arriving while down are silently dropped (no reply) —
+  // crash semantics for consistency tests.  Default: reply kUnavailable.
+  void set_drop_when_down(bool drop) { drop_when_down_ = drop; }
+
+  // Per-pool backing store (created on first touch; compression-at-rest
+  // follows the pool config).
+  ObjectStore& store(PoolId pool);
+  const ObjectStore* store_if_exists(PoolId pool) const;
+
+  SsdModel& disk() { return disk_; }
+  OsdStats& stats() { return stats_; }
+  const OsdStats& stats() const { return stats_; }
+
+  // Foreground client-op completions in the last second (rate control).
+  SlidingWindowCounter& foreground_window() { return fg_window_; }
+
+  void set_tier(PoolId pool, std::unique_ptr<TierService> tier);
+  TierService* tier(PoolId pool);
+
+  // Entry point for ops delivered to this OSD (already at this node).
+  void handle_op(OsdOp op, ReplyFn reply);
+
+  // ---- redundancy-aware primitives (this OSD coordinates) ----
+
+  // Apply `txn` to object (pool, oid) across its acting set.
+  void submit_write(PoolId pool, const std::string& oid, Transaction txn,
+                    std::function<void(Status)> done, bool foreground = true);
+
+  // Read object data through the pool's redundancy (local for replicated,
+  // shard-gather for EC).  len == 0 reads to the end.
+  void submit_read(PoolId pool, const std::string& oid, uint64_t off,
+                   uint64_t len, std::function<void(Result<Buffer>)> done,
+                   bool foreground = true);
+
+  void submit_remove(PoolId pool, const std::string& oid,
+                     std::function<void(Status)> done,
+                     bool foreground = true);
+
+  // ---- local (no I/O cost) helpers for tiers and tests ----
+  Result<Buffer> local_getxattr(PoolId pool, const std::string& oid,
+                                const std::string& name) const;
+  bool local_exists(PoolId pool, const std::string& oid) const;
+
+  ClusterContext& ctx() { return *ctx_; }
+
+ private:
+  CpuModel& cpu() { return ctx_->node_cpu(node_); }
+
+  void dispatch(OsdOp op, ReplyFn reply);
+
+  void handle_read(const OsdOp& op, ReplyFn reply);
+  void handle_write(const OsdOp& op, ReplyFn reply);
+  void handle_remove(const OsdOp& op, ReplyFn reply);
+  void handle_stat(const OsdOp& op, ReplyFn reply);
+  void handle_getxattr(const OsdOp& op, ReplyFn reply);
+  void handle_setxattr(const OsdOp& op, ReplyFn reply);
+  void handle_sub_write(const OsdOp& op, ReplyFn reply);
+  void handle_shard_read(const OsdOp& op, ReplyFn reply);
+  void handle_pull(const OsdOp& op, ReplyFn reply);
+  void handle_push(const OsdOp& op, ReplyFn reply);
+  void handle_chunk_put_ref(const OsdOp& op, ReplyFn reply);
+  void handle_chunk_deref(const OsdOp& op, ReplyFn reply);
+
+  void chunk_put_ref_locked(const OsdOp& op, ReplyFn reply);
+  void chunk_deref_locked(const OsdOp& op, ReplyFn reply);
+
+  // Per-object FIFO op queues.  Chunk verbs serialize so two in-flight
+  // puts of the same (new) chunk cannot both take the create path; EC
+  // writes serialize so concurrent read-modify-writes of one object can
+  // neither race nor hold multiple full-object images in memory.
+  using OpQueue = std::map<ObjectKey, std::deque<std::function<void()>>>;
+  void enqueue_object_op(OpQueue& q, const ObjectKey& key,
+                         std::function<void()> fn);
+  void finish_object_op(OpQueue& q, const ObjectKey& key);
+  void enqueue_chunk_op(const ObjectKey& key, std::function<void()> fn) {
+    enqueue_object_op(chunk_op_queue_, key, std::move(fn));
+  }
+  void finish_chunk_op(const ObjectKey& key) {
+    finish_object_op(chunk_op_queue_, key);
+  }
+
+  void replicated_write(PoolId pool, const std::string& oid, Transaction txn,
+                        std::function<void(Status)> done, bool foreground);
+  void ec_write(PoolId pool, const std::string& oid, Transaction txn,
+                std::function<void(Status)> done, bool foreground);
+  void ec_write_locked(PoolId pool, const std::string& oid, Transaction txn,
+                       std::function<void(Status)> done, bool foreground);
+  void ec_read(PoolId pool, const std::string& oid, uint64_t off, uint64_t len,
+               std::function<void(Result<Buffer>)> done, bool foreground);
+
+  // Apply a transaction locally: journal/disk write, then store apply.
+  void local_apply(PoolId pool, Transaction txn,
+                   std::function<void(Status)> done);
+
+  ClusterContext* ctx_;
+  OsdId id_;
+  NodeId node_;
+  SsdModel disk_;
+  bool up_ = true;
+  bool drop_when_down_ = false;
+  std::map<PoolId, std::unique_ptr<ObjectStore>> stores_;
+  std::map<PoolId, std::unique_ptr<TierService>> tiers_;
+  OpQueue chunk_op_queue_;
+  OpQueue ec_write_queue_;
+  OsdStats stats_;
+  SlidingWindowCounter fg_window_{kSecond};
+};
+
+// Route an op from `from_node` to `target`'s node, run it there, and route
+// the reply back; `cb` fires on the sender's side.
+void send_osd_op(ClusterContext& ctx, NodeId from_node, OsdId target, OsdOp op,
+                 ReplyFn cb);
+
+}  // namespace gdedup

@@ -1,0 +1,74 @@
+#pragma once
+
+// librados-style asynchronous client.
+//
+// Stateless: each op resolves the current primary from the shared OsdMap
+// (the decentralized translation of Figure 2(b)) and ships the op over the
+// network.  Completion callbacks fire on the client node after the reply
+// lands.  Synchronous wrappers (which drive the scheduler) live in
+// rados/sync.h for tests and setup code.
+
+#include <functional>
+#include <string>
+
+#include "osd/cluster_context.h"
+#include "osd/messages.h"
+#include "osd/osd.h"
+
+namespace gdedup {
+
+class RadosClient {
+ public:
+  RadosClient(ClusterContext* ctx, NodeId node) : ctx_(ctx), node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  void write(PoolId pool, const std::string& oid, uint64_t off, Buffer data,
+             std::function<void(Status)> cb);
+  void write_full(PoolId pool, const std::string& oid, Buffer data,
+                  std::function<void(Status)> cb);
+  void read(PoolId pool, const std::string& oid, uint64_t off, uint64_t len,
+            std::function<void(Result<Buffer>)> cb);
+  void remove(PoolId pool, const std::string& oid,
+              std::function<void(Status)> cb);
+  void stat(PoolId pool, const std::string& oid,
+            std::function<void(Result<uint64_t>)> cb);
+  void getxattr(PoolId pool, const std::string& oid, const std::string& name,
+                std::function<void(Result<Buffer>)> cb);
+  void setxattr(PoolId pool, const std::string& oid, const std::string& name,
+                Buffer value, std::function<void(Status)> cb);
+
+ private:
+  void submit(OsdOp op, ReplyFn cb);
+
+  ClusterContext* ctx_;
+  NodeId node_;
+};
+
+// Client-side striping over fixed-size RADOS objects — the role the KRBD
+// block device plays in the paper's block-storage experiments.
+class BlockDevice {
+ public:
+  BlockDevice(RadosClient* client, PoolId pool, std::string image_name,
+              uint64_t size_bytes, uint32_t object_size = 4 * 1024 * 1024);
+
+  uint64_t size() const { return size_; }
+  uint32_t object_size() const { return object_size_; }
+  const std::string& name() const { return name_; }
+
+  void write(uint64_t off, Buffer data, std::function<void(Status)> cb);
+  void read(uint64_t off, uint64_t len,
+            std::function<void(Result<Buffer>)> cb);
+
+  // Object backing a block offset (for tests / placement inspection).
+  std::string object_for(uint64_t off) const;
+
+ private:
+  RadosClient* client_;
+  PoolId pool_;
+  std::string name_;
+  uint64_t size_;
+  uint32_t object_size_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,350 @@
+#include "rados/cluster.h"
+
+#include <cassert>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "ec/reed_solomon.h"
+
+namespace gdedup {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net) {
+  for (int n = 0; n < num_nodes(); n++) {
+    node_cpus_.push_back(std::make_unique<CpuModel>(&sched_, cfg_.cpu));
+  }
+  int osd_id = 0;
+  for (int n = 0; n < cfg_.storage_nodes; n++) {
+    for (int d = 0; d < cfg_.osds_per_node; d++) {
+      osdmap_.add_osd(osd_id, /*host=*/n);
+      osds_.push_back(std::make_unique<Osd>(this, osd_id, n, cfg_.ssd));
+      osd_node_[osd_id] = n;
+      osd_id++;
+    }
+  }
+}
+
+Cluster::~Cluster() {
+  // Stop engines before members tear down.
+  for (auto& o : osds_) {
+    for (PoolId p : osdmap_.pool_ids()) {
+      if (TierService* t = o->tier(p)) t->stop();
+    }
+  }
+}
+
+Osd* Cluster::osd(OsdId id) {
+  if (id < 0 || id >= static_cast<OsdId>(osds_.size())) return nullptr;
+  return osds_[static_cast<size_t>(id)].get();
+}
+
+NodeId Cluster::node_of_osd(OsdId id) const {
+  auto it = osd_node_.find(id);
+  assert(it != osd_node_.end());
+  return it->second;
+}
+
+std::vector<Osd*> Cluster::osds() {
+  std::vector<Osd*> out;
+  out.reserve(osds_.size());
+  for (auto& o : osds_) out.push_back(o.get());
+  return out;
+}
+
+PoolId Cluster::create_pool(PoolConfig cfg) {
+  return osdmap_.create_pool(std::move(cfg));
+}
+
+PoolId Cluster::create_replicated_pool(const std::string& name, int replicas,
+                                       uint32_t pg_num, bool compress) {
+  PoolConfig cfg;
+  cfg.name = name;
+  cfg.scheme = RedundancyScheme::kReplicated;
+  cfg.replicas = replicas;
+  cfg.pg_num = pg_num;
+  cfg.compress_at_rest = compress;
+  return create_pool(std::move(cfg));
+}
+
+PoolId Cluster::create_ec_pool(const std::string& name, int k, int m,
+                               uint32_t pg_num, bool compress) {
+  PoolConfig cfg;
+  cfg.name = name;
+  cfg.scheme = RedundancyScheme::kErasure;
+  cfg.ec_k = k;
+  cfg.ec_m = m;
+  cfg.pg_num = pg_num;
+  cfg.compress_at_rest = compress;
+  return create_pool(std::move(cfg));
+}
+
+void Cluster::enable_dedup(PoolId metadata_pool, PoolId chunk_pool,
+                           DedupTierConfig params) {
+  assert(params.mode != DedupMode::kOff);
+  params.chunk_pool = chunk_pool;
+  osdmap_.mutable_pool(metadata_pool).dedup = params;
+  for (auto& o : osds_) {
+    auto tier = std::make_unique<DedupTier>(o.get(), metadata_pool);
+    tier->start();
+    o->set_tier(metadata_pool, std::move(tier));
+  }
+}
+
+DedupTier* Cluster::tier_of(OsdId osd_id, PoolId metadata_pool) {
+  Osd* o = osd(osd_id);
+  if (o == nullptr) return nullptr;
+  return static_cast<DedupTier*>(o->tier(metadata_pool));
+}
+
+DedupTierStats Cluster::tier_stats(PoolId metadata_pool) {
+  DedupTierStats agg;
+  for (auto& o : osds_) {
+    auto* t = static_cast<DedupTier*>(o->tier(metadata_pool));
+    if (t == nullptr) continue;
+    const DedupTierStats& s = t->stats();
+    agg.writes += s.writes;
+    agg.reads += s.reads;
+    agg.removes += s.removes;
+    agg.prereads += s.prereads;
+    agg.flush_merges += s.flush_merges;
+    agg.cached_read_chunks += s.cached_read_chunks;
+    agg.redirected_read_chunks += s.redirected_read_chunks;
+    agg.chunks_flushed += s.chunks_flushed;
+    agg.flush_bytes += s.flush_bytes;
+    agg.noop_flushes += s.noop_flushes;
+    agg.derefs += s.derefs;
+    agg.evictions += s.evictions;
+    agg.capacity_evictions += s.capacity_evictions;
+    agg.promotions += s.promotions;
+    agg.hot_skips += s.hot_skips;
+    agg.racy_flushes += s.racy_flushes;
+    agg.engine_ticks += s.engine_ticks;
+    agg.engine_aborts += s.engine_aborts;
+  }
+  return agg;
+}
+
+OsdId Cluster::add_osd(NodeId host, double weight) {
+  assert(host >= 0 && host < cfg_.storage_nodes);
+  const OsdId id = static_cast<OsdId>(osds_.size());
+  osdmap_.add_osd(id, host, weight);
+  osds_.push_back(std::make_unique<Osd>(this, id, host, cfg_.ssd));
+  osd_node_[id] = host;
+  // Dedup tiers are per-OSD services: give the newcomer its own.
+  for (PoolId p : osdmap_.pool_ids()) {
+    if (osdmap_.pool(p).dedup.enabled()) {
+      auto tier = std::make_unique<DedupTier>(osds_.back().get(), p);
+      tier->start();
+      osds_.back()->set_tier(p, std::move(tier));
+    }
+  }
+  return id;
+}
+
+void Cluster::fail_osd(OsdId id) {
+  Osd* o = osd(id);
+  assert(o != nullptr);
+  o->set_drop_when_down(false);
+  o->set_up(false);
+  osdmap_.mark_down(id);
+}
+
+void Cluster::crash_osd(OsdId id) {
+  Osd* o = osd(id);
+  assert(o != nullptr);
+  o->set_drop_when_down(true);
+  o->set_up(false);
+  osdmap_.mark_down(id);
+}
+
+void Cluster::revive_osd(OsdId id, bool wipe_store) {
+  Osd* o = osd(id);
+  assert(o != nullptr);
+  if (wipe_store) {
+    for (PoolId p : osdmap_.pool_ids()) {
+      ObjectStore& st = o->store(p);
+      for (const auto& key : st.list(p)) {
+        (void)st.remove_object(key);
+      }
+    }
+  }
+  o->set_up(true);
+  osdmap_.mark_up(id);
+}
+
+SimTime Cluster::recover(uint64_t* objects_recovered,
+                         uint64_t* bytes_recovered) {
+  const SimTime start = sched_.now();
+
+  // Discover holders by scanning surviving OSD stores — no central catalog,
+  // matching the shared-nothing design.
+  std::map<ObjectKey, std::vector<OsdId>> holders;
+  for (auto& o : osds_) {
+    if (!o->is_up()) continue;
+    for (PoolId p : osdmap_.pool_ids()) {
+      const ObjectStore* st = o->store_if_exists(p);
+      if (st == nullptr) continue;
+      for (const auto& key : st->list(p)) {
+        holders[key].push_back(o->id());
+      }
+    }
+  }
+
+  struct Tally {
+    int outstanding = 0;
+    bool launched_all = false;
+    uint64_t objects = 0;
+    uint64_t bytes = 0;
+  };
+  auto tally = std::make_shared<Tally>();
+
+  for (const auto& [key, who] : holders) {
+    const PoolConfig& pcfg = osdmap_.pool(key.pool);
+    auto acting = osdmap_.acting(key.pool, key.oid);
+    for (size_t i = 0; i < acting.size(); i++) {
+      const OsdId target = acting[i];
+      if (std::find(who.begin(), who.end(), target) != who.end()) continue;
+      Osd* t = osd(target);
+      if (t == nullptr || !t->is_up()) continue;
+      tally->outstanding++;
+      tally->objects++;
+
+      if (pcfg.scheme == RedundancyScheme::kReplicated) {
+        // Pull the full object state from a surviving replica, then write
+        // it locally (backfill initiated by the target).
+        const OsdId src = who.front();
+        OsdOp pull;
+        pull.type = OsdOpType::kPull;
+        pull.pool = key.pool;
+        pull.oid = key.oid;
+        pull.foreground = false;
+        Osd* tptr = t;
+        send_osd_op(*this, t->node(), src, std::move(pull),
+                    [this, tptr, key, tally](OsdOpReply rep) {
+                      if (!rep.status.is_ok() || !rep.state) {
+                        tally->outstanding--;
+                        return;
+                      }
+                      auto state = rep.state;
+                      const uint64_t bytes = object_state_bytes(*state);
+                      tally->bytes += bytes;
+                      tptr->disk().write(bytes, [tptr, key, state, tally] {
+                        tptr->store(key.pool).install(key, *state);
+                        tally->outstanding--;
+                      });
+                    });
+      } else {
+        // EC shard rebuild: gather k shards through the normal EC read
+        // path (decode cost charged), re-encode, install shard i locally.
+        const int shard = static_cast<int>(i);
+        Osd* tptr = t;
+        const int k = pcfg.ec_k;
+        const int m = pcfg.ec_m;
+        // Borrow xattrs from a surviving holder (control-plane metadata;
+        // tiny next to the data transfer, which is costed).
+        ObjectState donor;
+        if (Osd* h = osd(who.front())) {
+          auto snap = h->store(key.pool).snapshot(key);
+          if (snap.is_ok()) donor = std::move(snap).value();
+        }
+        tptr->submit_read(
+            key.pool, key.oid, 0, 0,
+            [this, tptr, key, shard, k, m, donor, tally](Result<Buffer> r) {
+              if (!r.is_ok()) {
+                tally->outstanding--;
+                return;
+              }
+              ReedSolomon rs(k, m);
+              auto shards = rs.encode(r.value());
+              ObjectState st;
+              st.data.write(0, shards[static_cast<size_t>(shard)]);
+              st.logical_size = shards[static_cast<size_t>(shard)].size();
+              st.xattrs = donor.xattrs;
+              st.omap = donor.omap;
+              Encoder se;
+              se.put_u32(static_cast<uint32_t>(shard));
+              st.xattrs["ec.shard"] = se.finish();
+              Encoder ol;
+              ol.put_u64(r.value().size());
+              st.xattrs["ec.orig_len"] = ol.finish();
+              const uint64_t bytes = object_state_bytes(st);
+              tally->bytes += bytes;
+              auto stp = std::make_shared<ObjectState>(std::move(st));
+              tptr->disk().write(bytes, [tptr, key, stp, tally] {
+                tptr->store(key.pool).install(key, *stp);
+                tally->outstanding--;
+              });
+            },
+            /*foreground=*/false);
+      }
+    }
+  }
+  tally->launched_all = true;
+
+  // Drive the simulation until every transfer lands.
+  while (tally->outstanding > 0) {
+    if (!sched_.step()) break;
+  }
+  if (objects_recovered != nullptr) *objects_recovered = tally->objects;
+  if (bytes_recovered != nullptr) *bytes_recovered = tally->bytes;
+  return sched_.now() - start;
+}
+
+bool Cluster::drain_dedup(SimTime max_wait) {
+  const SimTime deadline = sched_.now() + max_wait;
+  while (sched_.now() < deadline) {
+    bool busy = false;
+    for (auto& o : osds_) {
+      for (PoolId p : osdmap_.pool_ids()) {
+        if (TierService* t = o->tier(p)) {
+          if (t->dirty_backlog() > 0) busy = true;
+        }
+      }
+    }
+    if (!busy) return true;
+    sched_.run_for(msec(200));
+  }
+  return false;
+}
+
+ObjectStore::Stats Cluster::pool_stats(PoolId pool) const {
+  ObjectStore::Stats agg;
+  for (const auto& o : osds_) {
+    const ObjectStore* st = o->store_if_exists(pool);
+    if (st == nullptr) continue;
+    const auto s = st->stats(pool);
+    agg.objects += s.objects;
+    agg.logical_bytes += s.logical_bytes;
+    agg.stored_data_bytes += s.stored_data_bytes;
+    agg.xattr_bytes += s.xattr_bytes;
+    agg.omap_bytes += s.omap_bytes;
+    agg.physical_bytes += s.physical_bytes;
+  }
+  return agg;
+}
+
+uint64_t Cluster::total_physical_bytes() const {
+  uint64_t n = 0;
+  for (PoolId p : osdmap_.pool_ids()) n += pool_stats(p).physical_bytes;
+  return n;
+}
+
+uint64_t Cluster::storage_cpu_busy_ns() const {
+  uint64_t n = 0;
+  for (int i = 0; i < cfg_.storage_nodes; i++) {
+    n += node_cpus_[static_cast<size_t>(i)]->cumulative_busy_ns();
+  }
+  return n;
+}
+
+double Cluster::storage_cpu_utilization(uint64_t busy_before, SimTime t0,
+                                        SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  const uint64_t busy_after = storage_cpu_busy_ns();
+  const double denom = static_cast<double>(t1 - t0) *
+                       cfg_.storage_nodes * cfg_.cpu.cores;
+  return static_cast<double>(busy_after - busy_before) / denom;
+}
+
+}  // namespace gdedup

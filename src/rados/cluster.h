@@ -1,0 +1,116 @@
+#pragma once
+
+// Cluster bring-up and lifecycle.
+//
+// Owns the scheduler, the network, per-node CPU models, the OSDMap and all
+// OSDs; implements ClusterContext for them.  Shapes the paper's testbed by
+// default: 4 storage nodes x 4 OSDs, 3 client nodes, 10GbE, SATA-SSD-class
+// devices, 12-core Xeons.  Also hosts the failure / recovery / dedup
+// orchestration the experiments script against.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dedup/tier.h"
+#include "osd/cluster_context.h"
+#include "osd/osd.h"
+#include "sim/disk.h"
+
+namespace gdedup {
+
+struct ClusterConfig {
+  int storage_nodes = 4;
+  int osds_per_node = 4;
+  int client_nodes = 3;
+  NetworkConfig net;
+  SsdConfig ssd;
+  CpuConfig cpu;
+};
+
+class Cluster : public ClusterContext {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+  ~Cluster() override;
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- ClusterContext ---
+  Scheduler& sched() override { return sched_; }
+  Network& net() override { return net_; }
+  OsdMap& osdmap() override { return osdmap_; }
+  Osd* osd(OsdId id) override;
+  NodeId node_of_osd(OsdId id) const override;
+  CpuModel& node_cpu(NodeId node) override { return *node_cpus_[static_cast<size_t>(node)]; }
+
+  // --- topology ---
+  const ClusterConfig& config() const { return cfg_; }
+  int num_osds() const { return static_cast<int>(osds_.size()); }
+  int num_nodes() const { return cfg_.storage_nodes + cfg_.client_nodes; }
+  // Client nodes are numbered after storage nodes.
+  NodeId client_node(int i = 0) const {
+    return cfg_.storage_nodes + (i % std::max(1, cfg_.client_nodes));
+  }
+  std::vector<Osd*> osds();
+
+  // --- pools ---
+  PoolId create_pool(PoolConfig cfg);
+  PoolId create_replicated_pool(const std::string& name, int replicas = 2,
+                                uint32_t pg_num = 128, bool compress = false);
+  PoolId create_ec_pool(const std::string& name, int k = 2, int m = 1,
+                        uint32_t pg_num = 128, bool compress = false);
+
+  // Attach `params` (mode, chunk size, watermarks, ...) to metadata_pool,
+  // pointing at chunk_pool, and install + start a DedupTier on every OSD.
+  void enable_dedup(PoolId metadata_pool, PoolId chunk_pool,
+                    DedupTierConfig params);
+
+  DedupTier* tier_of(OsdId osd, PoolId metadata_pool);
+
+  // Aggregate tier stats across all OSDs for a dedup pool.
+  DedupTierStats tier_stats(PoolId metadata_pool);
+
+  // --- expansion / rebalancing ---
+  // Add a fresh OSD to an existing storage node at runtime.  Placement
+  // remaps the minimal straw2 share of PGs to it; recover() then
+  // backfills them (the paper's "data rebalancing reuses storage
+  // features" claim, exercised in tests).
+  OsdId add_osd(NodeId host, double weight = 1.0);
+
+  // --- failure & recovery ---
+  void fail_osd(OsdId id);            // down; ops answered kUnavailable
+  void crash_osd(OsdId id);           // down; in-flight ops silently lost
+  void revive_osd(OsdId id, bool wipe_store);
+
+  // Backfill every object whose acting set has members missing it; runs
+  // the scheduler to completion of recovery and returns the virtual-time
+  // duration.  `objects_recovered`/`bytes_recovered` out-params optional.
+  SimTime recover(uint64_t* objects_recovered = nullptr,
+                  uint64_t* bytes_recovered = nullptr);
+
+  // --- dedup orchestration ---
+  // Run virtual time until every tier's backlog drains (no dirty objects,
+  // no pending derefs), or until `max_wait` elapses.  Returns drained?
+  bool drain_dedup(SimTime max_wait = sec(7200));
+
+  // --- stats ---
+  ObjectStore::Stats pool_stats(PoolId pool) const;
+  uint64_t total_physical_bytes() const;
+
+  // Sum of cumulative CPU busy-ns across storage nodes (for CPU% windows).
+  uint64_t storage_cpu_busy_ns() const;
+  double storage_cpu_utilization(uint64_t busy_before, SimTime t0,
+                                 SimTime t1) const;
+
+ private:
+  ClusterConfig cfg_;
+  Scheduler sched_;
+  Network net_;
+  OsdMap osdmap_;
+  std::vector<std::unique_ptr<CpuModel>> node_cpus_;
+  std::vector<std::unique_ptr<Osd>> osds_;
+  std::map<OsdId, NodeId> osd_node_;
+};
+
+}  // namespace gdedup

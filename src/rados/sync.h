@@ -1,0 +1,121 @@
+#pragma once
+
+// Synchronous wrappers for setup code and tests.
+//
+// Each wrapper issues the async op and steps the scheduler until the
+// completion fires.  Background activity (dedup engine ticks, replication)
+// naturally progresses while waiting — virtual time advances exactly as it
+// would under a blocking client.
+
+#include "common/logging.h"
+#include "rados/client.h"
+#include "rados/cluster.h"
+
+namespace gdedup {
+
+template <typename Fire>
+void run_until_done(Scheduler& sched, bool* done, Fire fire) {
+  fire();
+  while (!*done) {
+    const bool progressed = sched.step();
+    if (!progressed && !*done) {
+      // Queue drained without completion — deadlock in the op graph.
+      LOG_ERROR("scheduler drained before op completion");
+      break;
+    }
+  }
+}
+
+inline Status sync_write(Cluster& c, RadosClient& cl, PoolId pool,
+                         const std::string& oid, uint64_t off, Buffer data) {
+  bool done = false;
+  Status out;
+  run_until_done(c.sched(), &done, [&] {
+    cl.write(pool, oid, off, std::move(data), [&](Status s) {
+      out = s;
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Status sync_write_full(Cluster& c, RadosClient& cl, PoolId pool,
+                              const std::string& oid, Buffer data) {
+  bool done = false;
+  Status out;
+  run_until_done(c.sched(), &done, [&] {
+    cl.write_full(pool, oid, std::move(data), [&](Status s) {
+      out = s;
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Result<Buffer> sync_read(Cluster& c, RadosClient& cl, PoolId pool,
+                                const std::string& oid, uint64_t off,
+                                uint64_t len) {
+  bool done = false;
+  Result<Buffer> out = Status::timed_out("never completed");
+  run_until_done(c.sched(), &done, [&] {
+    cl.read(pool, oid, off, len, [&](Result<Buffer> r) {
+      out = std::move(r);
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Status sync_remove(Cluster& c, RadosClient& cl, PoolId pool,
+                          const std::string& oid) {
+  bool done = false;
+  Status out;
+  run_until_done(c.sched(), &done, [&] {
+    cl.remove(pool, oid, [&](Status s) {
+      out = s;
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Result<uint64_t> sync_stat(Cluster& c, RadosClient& cl, PoolId pool,
+                                  const std::string& oid) {
+  bool done = false;
+  Result<uint64_t> out = Status::timed_out("never completed");
+  run_until_done(c.sched(), &done, [&] {
+    cl.stat(pool, oid, [&](Result<uint64_t> r) {
+      out = std::move(r);
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Status sync_bdev_write(Cluster& c, BlockDevice& bd, uint64_t off,
+                              Buffer data) {
+  bool done = false;
+  Status out;
+  run_until_done(c.sched(), &done, [&] {
+    bd.write(off, std::move(data), [&](Status s) {
+      out = s;
+      done = true;
+    });
+  });
+  return out;
+}
+
+inline Result<Buffer> sync_bdev_read(Cluster& c, BlockDevice& bd, uint64_t off,
+                                     uint64_t len) {
+  bool done = false;
+  Result<Buffer> out = Status::timed_out("never completed");
+  run_until_done(c.sched(), &done, [&] {
+    bd.read(off, len, [&](Result<Buffer> r) {
+      out = std::move(r);
+      done = true;
+    });
+  });
+  return out;
+}
+
+}  // namespace gdedup

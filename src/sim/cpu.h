@@ -1,0 +1,75 @@
+#pragma once
+
+// Per-node CPU model.
+//
+// A pool of identical cores; work items (fingerprinting, erasure-coding
+// parity, compression, crc) reserve core time.  Costs are expressed per
+// byte so callers just say what they did to how much data.  The busy
+// counter feeds the CPU% series in the Figure 10 reproduction.
+
+#include <cstdint>
+
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+struct CpuConfig {
+  int cores = 12;  // paper testbed: Xeon E5-2690, 12 cores per node
+  // Calibrated throughputs for the work the dedup path adds.
+  double sha256_bytes_per_sec = 1.5e9;
+  double sha1_bytes_per_sec = 2.0e9;
+  double ec_parity_bytes_per_sec = 3.0e9;
+  double compress_bytes_per_sec = 400e6;
+  double crc_bytes_per_sec = 8e9;
+  SimTime op_fixed_cost = usec(15);  // request dispatch / context switches
+};
+
+class CpuModel {
+ public:
+  CpuModel(Scheduler* sched, CpuConfig cfg)
+      : sched_(sched), cfg_(cfg), pool_(cfg.cores) {}
+
+  // Generic execution of `cost_ns` of single-core work.
+  SimTime execute(SimTime cost_ns, Scheduler::Callback done = nullptr) {
+    const SimTime t = pool_.submit(sched_->now(), cost_ns);
+    if (done) sched_->at(t, std::move(done));
+    return t;
+  }
+
+  SimTime fingerprint_cost(uint64_t bytes, bool sha1 = false) const {
+    const double bw = sha1 ? cfg_.sha1_bytes_per_sec : cfg_.sha256_bytes_per_sec;
+    return per_bytes(bytes, bw);
+  }
+  SimTime ec_parity_cost(uint64_t bytes) const {
+    return per_bytes(bytes, cfg_.ec_parity_bytes_per_sec);
+  }
+  SimTime compress_cost(uint64_t bytes) const {
+    return per_bytes(bytes, cfg_.compress_bytes_per_sec);
+  }
+  SimTime crc_cost(uint64_t bytes) const {
+    return per_bytes(bytes, cfg_.crc_bytes_per_sec);
+  }
+  SimTime op_fixed_cost() const { return cfg_.op_fixed_cost; }
+
+  int cores() const { return pool_.servers(); }
+  uint64_t cumulative_busy_ns() const { return pool_.cumulative_busy_ns(); }
+
+  // Mean CPU utilization over a window bounded by two busy-counter samples.
+  double utilization(uint64_t busy_before, uint64_t busy_after, SimTime t0,
+                     SimTime t1) const {
+    return PooledResource::utilization(busy_before, busy_after, t0, t1,
+                                       pool_.servers());
+  }
+
+ private:
+  SimTime per_bytes(uint64_t bytes, double bw) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) / bw * kSecond);
+  }
+
+  Scheduler* sched_;
+  CpuConfig cfg_;
+  PooledResource pool_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,62 @@
+#include "sim/metrics.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace gdedup {
+
+void RateSeries::add(SimTime t, double value) {
+  assert(t >= 0);
+  const size_t bucket = static_cast<size_t>(t / width_);
+  if (bucket >= sums_.size()) sums_.resize(bucket + 1, 0.0);
+  sums_[bucket] += value;
+}
+
+std::vector<double> RateSeries::rates() const {
+  std::vector<double> out(sums_.size());
+  const double per_sec = static_cast<double>(kSecond) / static_cast<double>(width_);
+  for (size_t i = 0; i < sums_.size(); i++) out[i] = sums_[i] * per_sec;
+  return out;
+}
+
+double RateSeries::total() const {
+  double t = 0;
+  for (double v : sums_) t += v;
+  return t;
+}
+
+double RateSeries::mean_rate(size_t from, size_t to) const {
+  if (to > sums_.size()) to = sums_.size();
+  if (from >= to) return 0.0;
+  double sum = 0;
+  for (size_t i = from; i < to; i++) sum += sums_[i];
+  const double span_sec =
+      static_cast<double>(to - from) * static_cast<double>(width_) / kSecond;
+  return sum / span_sec;
+}
+
+void SlidingWindowCounter::add(SimTime t, uint64_t n) {
+  events_.emplace_back(t, n);
+  live_ += n;
+}
+
+void SlidingWindowCounter::evict(SimTime now) const {
+  const SimTime cutoff = now - window_;
+  while (head_ < events_.size() && events_[head_].first < cutoff) {
+    live_ -= events_[head_].second;
+    head_++;
+  }
+  // Compact occasionally so the vector does not grow without bound.
+  if (head_ > 4096 && head_ * 2 > events_.size()) {
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+uint64_t SlidingWindowCounter::count(SimTime now) const {
+  evict(now);
+  return live_;
+}
+
+}  // namespace gdedup

@@ -1,0 +1,71 @@
+#pragma once
+
+// Time-series metric recorders for the timeline figures.
+//
+// RateSeries buckets event values (e.g. completed bytes) into fixed-width
+// virtual-time bins, yielding the MB/s-vs-seconds curves of Figures 5(b)
+// and 14.  GaugeSeries samples an instantaneous value on demand.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+class RateSeries {
+ public:
+  explicit RateSeries(SimTime bucket_width = kSecond)
+      : width_(bucket_width) {}
+
+  void add(SimTime t, double value);
+
+  // One entry per bucket, units: value-per-second.
+  std::vector<double> rates() const;
+
+  SimTime bucket_width() const { return width_; }
+  size_t buckets() const { return sums_.size(); }
+  double total() const;
+
+  // Mean rate over buckets [from, to).
+  double mean_rate(size_t from, size_t to) const;
+
+ private:
+  SimTime width_;
+  std::vector<double> sums_;
+};
+
+class GaugeSeries {
+ public:
+  void sample(SimTime t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    SimTime t;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Windowed op counter used by the dedup rate controller: "how many
+// foreground I/Os completed in the last second?"
+class SlidingWindowCounter {
+ public:
+  explicit SlidingWindowCounter(SimTime window = kSecond) : window_(window) {}
+
+  void add(SimTime t, uint64_t n = 1);
+  uint64_t count(SimTime now) const;
+
+ private:
+  void evict(SimTime now) const;
+
+  SimTime window_;
+  mutable std::vector<std::pair<SimTime, uint64_t>> events_;
+  mutable size_t head_ = 0;
+  mutable uint64_t live_ = 0;
+};
+
+}  // namespace gdedup

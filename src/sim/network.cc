@@ -1,0 +1,31 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace gdedup {
+
+SimTime Network::send(NodeId from, NodeId to, uint64_t bytes,
+                      Scheduler::Callback deliver) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  const uint64_t wire_bytes = bytes + cfg_.per_message_overhead_bytes;
+  total_bytes_ += wire_bytes;
+
+  const SimTime now = sched_->now();
+  if (from == to) {
+    const SimTime t = now + cfg_.loopback_latency;
+    if (deliver) sched_->at(t, std::move(deliver));
+    return t;
+  }
+
+  const SimTime service = xfer_ns(wire_bytes);
+  Nic& src = nics_[static_cast<size_t>(from)];
+  Nic& dst = nics_[static_cast<size_t>(to)];
+  const SimTime tx_done = src.tx.submit(now, service);
+  const SimTime arrival = tx_done + cfg_.hop_latency;
+  const SimTime rx_done = dst.rx.submit(arrival, service);
+  if (deliver) sched_->at(rx_done, std::move(deliver));
+  return rx_done;
+}
+
+}  // namespace gdedup

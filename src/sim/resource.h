@@ -1,0 +1,73 @@
+#pragma once
+
+// Service-station models for simulated devices.
+//
+// FifoResource: one server, FIFO — an SSD command queue or one direction
+// of a NIC.  PooledResource: k identical servers — a node's CPU cores.
+// Reservations are made eagerly at submit time: the caller learns the
+// completion time immediately and schedules its continuation there.  Both
+// track cumulative busy time so benchmarks can report utilization (the
+// paper's Figure 10 plots CPU% next to latency).
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+class FifoResource {
+ public:
+  // Submit a job of `service` duration at time `now`; returns completion.
+  SimTime submit(SimTime now, SimTime service) {
+    const SimTime start = std::max(now, busy_until_);
+    busy_until_ = start + service;
+    busy_ns_ += service;
+    return busy_until_;
+  }
+
+  // Time a job submitted now would wait before starting.
+  SimTime backlog(SimTime now) const {
+    return std::max<SimTime>(0, busy_until_ - now);
+  }
+
+  uint64_t cumulative_busy_ns() const { return busy_ns_; }
+
+ private:
+  SimTime busy_until_ = 0;
+  uint64_t busy_ns_ = 0;
+};
+
+class PooledResource {
+ public:
+  explicit PooledResource(int servers) : free_at_(static_cast<size_t>(servers), 0) {}
+
+  SimTime submit(SimTime now, SimTime service) {
+    // Earliest-free server takes the job.
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    const SimTime start = std::max(now, *it);
+    *it = start + service;
+    busy_ns_ += service;
+    return *it;
+  }
+
+  int servers() const { return static_cast<int>(free_at_.size()); }
+  uint64_t cumulative_busy_ns() const { return busy_ns_; }
+
+  // Mean utilization of the pool over [t0, t1), given the cumulative busy
+  // counter sampled at those two instants.
+  static double utilization(uint64_t busy0, uint64_t busy1, SimTime t0,
+                            SimTime t1, int servers) {
+    if (t1 <= t0 || servers <= 0) return 0.0;
+    return static_cast<double>(busy1 - busy0) /
+           (static_cast<double>(t1 - t0) * servers);
+  }
+
+ private:
+  std::vector<SimTime> free_at_;
+  uint64_t busy_ns_ = 0;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,55 @@
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+Scheduler::EventId Scheduler::at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: the event is skipped when popped.
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  return inserted;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.t > until) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace gdedup

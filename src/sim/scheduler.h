@@ -1,0 +1,81 @@
+#pragma once
+
+// Discrete-event scheduler with a virtual nanosecond clock.
+//
+// The whole cluster runs inside one Scheduler: client ops, OSD service
+// loops, background dedup passes and recovery are all events.  Execution
+// is strictly ordered by (time, insertion sequence), so every experiment
+// is bit-for-bit reproducible from its seed.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace gdedup {
+
+using SimTime = int64_t;  // nanoseconds since simulation start
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000LL * 1000 * 1000;
+
+inline SimTime usec(double u) { return static_cast<SimTime>(u * kMicrosecond); }
+inline SimTime msec(double m) { return static_cast<SimTime>(m * kMillisecond); }
+inline SimTime sec(double s) { return static_cast<SimTime>(s * kSecond); }
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `cb` at absolute time t (clamped to now).
+  EventId at(SimTime t, Callback cb);
+
+  // Schedule `cb` after a relative delay (>= 0).
+  EventId after(SimTime delay, Callback cb) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  // Best-effort cancel; returns false if already fired or unknown.
+  bool cancel(EventId id);
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  // Run the next event.  Returns false if none pending.
+  bool step();
+
+  // Drain every event (stops when the queue empties).
+  void run();
+
+  // Run events with t <= until; afterwards now() == until (even if idle).
+  void run_until(SimTime until);
+
+  void run_for(SimTime duration) { run_until(now_ + duration); }
+
+ private:
+  struct Event {
+    SimTime t;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace gdedup

@@ -1,0 +1,30 @@
+#include "workload/content.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gdedup::workload {
+
+Buffer BlockContent::make(uint64_t seed, size_t size, double compressible) {
+  Buffer b(size);
+  uint8_t* p = b.mutable_data();
+  compressible = std::clamp(compressible, 0.0, 1.0);
+  const size_t patterned = static_cast<size_t>(size * compressible);
+
+  // Repeating 32-byte motif derived from the seed: compresses to ~nothing
+  // but still differs between seeds (so it does not accidentally dedup).
+  uint8_t motif[32];
+  Rng motif_rng(mix64(seed ^ 0xC0FFEE));
+  motif_rng.fill(motif, sizeof(motif));
+  for (size_t i = 0; i < patterned; i += sizeof(motif)) {
+    std::memcpy(p + i, motif, std::min(sizeof(motif), patterned - i));
+  }
+
+  if (patterned < size) {
+    Rng body_rng(seed);
+    body_rng.fill(p + patterned, size - patterned);
+  }
+  return b;
+}
+
+}  // namespace gdedup::workload

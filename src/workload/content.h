@@ -1,0 +1,28 @@
+#pragma once
+
+// Deterministic block-content synthesis.
+//
+// A block's bytes are a pure function of its content seed, so two
+// generators (or two runs) that pick the same seed produce bit-identical
+// buffers — that is what makes deduplication ratios controllable.  The
+// compressible fraction of a block is filled with a short repeating
+// pattern (LZ-friendly), the rest with seeded pseudo-random bytes
+// (incompressible), so compression experiments see realistic mixes.
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/random.h"
+
+namespace gdedup::workload {
+
+class BlockContent {
+ public:
+  // `compressible` in [0,1]: fraction of the block that compresses away.
+  static Buffer make(uint64_t seed, size_t size, double compressible = 0.0);
+
+  // An all-zero block (VM image free space).
+  static Buffer zeros(size_t size) { return Buffer(size); }
+};
+
+}  // namespace gdedup::workload

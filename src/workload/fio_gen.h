@@ -1,0 +1,71 @@
+#pragma once
+
+// FIO-like workload generator.
+//
+// Reproduces fio's `dedupe_percentage` semantics: each new buffer is, with
+// probability p, a duplicate of a uniformly random *earlier* buffer
+// (duplicates can chain, so duplicate clusters grow beyond pairs — which is
+// why measured local-dedup ratios sit slightly above p / #OSDs, as in
+// Table 1).  Also produces the op streams of the performance experiments:
+// sequential and random reads/writes at a configurable block size.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/random.h"
+#include "workload/content.h"
+
+namespace gdedup::workload {
+
+struct FioConfig {
+  uint64_t total_bytes = 64ull << 20;
+  uint32_t block_size = 8 * 1024;
+  double dedupe_ratio = 0.5;   // fio dedupe_percentage / 100
+  double compressible = 0.0;   // fio buffer_compress_percentage / 100
+  uint64_t seed = 42;
+};
+
+class FioGenerator {
+ public:
+  explicit FioGenerator(FioConfig cfg);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint32_t block_size() const { return cfg_.block_size; }
+  uint64_t total_bytes() const { return num_blocks_ * cfg_.block_size; }
+
+  // Content of block `index` (stable across calls).
+  Buffer block(uint64_t index) const;
+
+  uint64_t content_seed(uint64_t index) const { return seeds_[index]; }
+
+  // Exact achievable global dedup ratio of this instance (duplicate bytes
+  // over total) — the "given ratio" fio reports.
+  double exact_dedup_ratio() const;
+
+ private:
+  FioConfig cfg_;
+  uint64_t num_blocks_;
+  std::vector<uint64_t> seeds_;
+};
+
+// Op stream descriptors for the latency/throughput experiments.
+struct IoOp {
+  bool is_write = true;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint64_t content_seed = 0;  // writes only
+};
+
+// Uniform-random offsets within [0, span_bytes), block-aligned.
+std::vector<IoOp> make_random_ops(uint64_t span_bytes, uint32_t block_size,
+                                  size_t count, bool writes, double dedupe,
+                                  uint64_t seed);
+
+// Sequential stream starting at 0.
+std::vector<IoOp> make_sequential_ops(uint64_t span_bytes, uint32_t block_size,
+                                      size_t count, bool writes, double dedupe,
+                                      uint64_t seed);
+
+}  // namespace gdedup::workload

@@ -1,0 +1,104 @@
+#include "workload/vm_corpus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdedup::workload {
+
+Buffer VmImageCorpus::image_block(int vm, uint64_t b) const {
+  const uint64_t total = blocks_per_image();
+  const uint64_t os_blocks = static_cast<uint64_t>(total * cfg_.os_fraction);
+  const uint64_t unique_blocks =
+      static_cast<uint64_t>(total * cfg_.unique_fraction);
+  assert(b < total);
+
+  if (b < os_blocks) {
+    // Shared OS payload: identical across every VM cloned from the
+    // template, block-for-block.
+    return BlockContent::make(mix64(cfg_.template_seed ^ mix64(b + 1)),
+                              cfg_.block_size, cfg_.os_compressible);
+  }
+  if (b < os_blocks + unique_blocks) {
+    return BlockContent::make(
+        mix64(cfg_.template_seed ^ mix64((static_cast<uint64_t>(vm) << 32) |
+                                         (b + 17))),
+        cfg_.block_size, cfg_.unique_compressible);
+  }
+  return BlockContent::zeros(cfg_.block_size);
+}
+
+CloudCorpus::CloudCorpus(CloudCorpusConfig cfg) : cfg_(cfg) {
+  const uint64_t atoms = atoms_per_vm();
+  seeds_.resize(static_cast<size_t>(cfg_.num_vms));
+  Rng rng(cfg_.seed);
+  const uint64_t os_atoms =
+      static_cast<uint64_t>(static_cast<double>(atoms) * cfg_.os_fraction);
+  for (int vm = 0; vm < cfg_.num_vms; vm++) {
+    auto& s = seeds_[static_cast<size_t>(vm)];
+    s.reserve(atoms);
+    const uint64_t tmpl =
+        static_cast<uint64_t>(vm % std::max(1, cfg_.num_templates));
+
+    // OS region: positional clone of the template — every VM cloned from
+    // the same template shares these atoms byte-for-byte at the same
+    // offsets, like real cinder images.
+    for (uint64_t a = 0; a < os_atoms; a++) {
+      s.push_back(mix64(cfg_.seed ^ mix64((tmpl << 48) | a)));
+    }
+
+    // User region: self-copies (near, mostly aligned) + unique data.
+    uint64_t a = os_atoms;
+    while (a < atoms) {
+      if (a > os_atoms + 8 && rng.uniform01() < cfg_.p_self) {
+        const bool unaligned = rng.uniform01() < cfg_.p_self_unaligned;
+        // Aligned copies replicate 4-atom (64KB) groups on the 4-atom
+        // grid, so they dedup at every chunk size up to 64KB; unaligned
+        // copies only dedup at the 16KB atom granularity.
+        uint64_t run = unaligned ? 1 + rng.below(3) : 4;
+        uint64_t dst = a;
+        if (!unaligned) {
+          while (dst % 4 != 0 && dst < atoms) {
+            // Pad to the grid with unique atoms.
+            s.push_back(mix64(cfg_.seed ^
+                              mix64((static_cast<uint64_t>(vm) << 40) | dst)));
+            dst++;
+          }
+          if (dst >= atoms) break;
+        }
+        const uint64_t window =
+            std::min<uint64_t>(cfg_.self_window_atoms, dst - os_atoms);
+        if (window < run + 4) {
+          a = dst;
+          continue;
+        }
+        uint64_t src = dst - 4 - rng.below(window - run - 3);
+        if (!unaligned) src -= src % 4;
+        if (src < os_atoms) src = os_atoms;
+        for (uint64_t r = 0; r < run && dst < atoms; r++, dst++) {
+          s.push_back(s[src + r]);
+        }
+        a = dst;
+      } else {
+        s.push_back(mix64(cfg_.seed ^
+                          mix64((static_cast<uint64_t>(vm) << 40) | a)));
+        a++;
+      }
+    }
+  }
+}
+
+Buffer CloudCorpus::read(int vm, uint64_t first_atom,
+                         uint64_t num_atoms) const {
+  const auto& s = seeds_[static_cast<size_t>(vm)];
+  assert(first_atom + num_atoms <= s.size());
+  Buffer out(num_atoms * cfg_.atom_size);
+  size_t pos = 0;
+  for (uint64_t a = first_atom; a < first_atom + num_atoms; a++) {
+    out.write_at(pos,
+                 BlockContent::make(s[a], cfg_.atom_size, cfg_.compressible));
+    pos += cfg_.atom_size;
+  }
+  return out;
+}
+
+}  // namespace gdedup::workload

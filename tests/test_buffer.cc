@@ -1,0 +1,146 @@
+// Buffer: copy-on-write semantics, slicing, resize, write_at.
+
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gdedup {
+namespace {
+
+TEST(Buffer, EmptyDefault) {
+  Buffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Buffer, ZeroFilledConstruction) {
+  Buffer b(16);
+  ASSERT_EQ(b.size(), 16u);
+  for (size_t i = 0; i < 16; i++) EXPECT_EQ(b[i], 0);
+}
+
+TEST(Buffer, FillConstruction) {
+  Buffer b(8, 0xAB);
+  for (size_t i = 0; i < 8; i++) EXPECT_EQ(b[i], 0xAB);
+}
+
+TEST(Buffer, CopyOfString) {
+  Buffer b = Buffer::copy_of("hello");
+  EXPECT_EQ(b.view(), "hello");
+}
+
+TEST(Buffer, CopySharesStorage) {
+  Buffer a = Buffer::copy_of("shared bytes");
+  Buffer b = a;
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(Buffer, MutationDetaches) {
+  Buffer a = Buffer::copy_of("shared bytes");
+  Buffer b = a;
+  b.mutable_data()[0] = 'X';
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(a.view(), "shared bytes");
+  EXPECT_EQ(b.view(), "Xhared bytes");
+}
+
+TEST(Buffer, SliceIsZeroCopy) {
+  Buffer a = Buffer::copy_of("0123456789");
+  Buffer s = a.slice(2, 4);
+  EXPECT_EQ(s.view(), "2345");
+  EXPECT_TRUE(s.shares_storage_with(a));
+}
+
+TEST(Buffer, SliceClampsToBounds) {
+  Buffer a = Buffer::copy_of("abc");
+  EXPECT_EQ(a.slice(1, 100).view(), "bc");
+  EXPECT_EQ(a.slice(5, 2).size(), 0u);
+}
+
+TEST(Buffer, SliceThenMutateDetachesCorrectWindow) {
+  Buffer a = Buffer::copy_of("0123456789");
+  Buffer s = a.slice(3, 3);
+  s.mutable_data()[0] = 'X';
+  EXPECT_EQ(s.view(), "X45");
+  EXPECT_EQ(a.view(), "0123456789");
+}
+
+TEST(Buffer, Concat) {
+  Buffer c = Buffer::concat(Buffer::copy_of("foo"), Buffer::copy_of("bar"));
+  EXPECT_EQ(c.view(), "foobar");
+  EXPECT_EQ(Buffer::concat(Buffer(), Buffer()).size(), 0u);
+}
+
+TEST(Buffer, WriteAtGrows) {
+  Buffer b = Buffer::copy_of("abc");
+  b.write_at(5, Buffer::copy_of("XY"));
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[3], 0);  // gap zero-filled
+  EXPECT_EQ(b[5], 'X');
+}
+
+TEST(Buffer, WriteAtOverlap) {
+  Buffer b = Buffer::copy_of("abcdef");
+  b.write_at(2, Buffer::copy_of("XY"));
+  EXPECT_EQ(b.view(), "abXYef");
+}
+
+TEST(Buffer, ResizeShrinkAndGrow) {
+  Buffer b = Buffer::copy_of("abcdef");
+  b.resize(3);
+  EXPECT_EQ(b.view(), "abc");
+  b.resize(5);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[3], 0);
+  EXPECT_EQ(b[4], 0);
+}
+
+TEST(Buffer, ResizeDetachesSharer) {
+  Buffer a = Buffer::copy_of("abcdef");
+  Buffer b = a;
+  b.resize(2);
+  EXPECT_EQ(a.view(), "abcdef");
+  EXPECT_EQ(b.view(), "ab");
+}
+
+TEST(Buffer, ContentEquals) {
+  Buffer a = Buffer::copy_of("same");
+  Buffer b = Buffer::copy_of("same");
+  Buffer c = Buffer::copy_of("diff");
+  EXPECT_TRUE(a.content_equals(b));
+  EXPECT_FALSE(a.content_equals(c));
+  EXPECT_TRUE(Buffer().content_equals(Buffer()));
+}
+
+TEST(Buffer, SliceOfSlice) {
+  Buffer a = Buffer::copy_of("0123456789");
+  Buffer s1 = a.slice(2, 6);  // "234567"
+  Buffer s2 = s1.slice(1, 3);  // "345"
+  EXPECT_EQ(s2.view(), "345");
+}
+
+TEST(Buffer, MutableDataOnEmpty) {
+  Buffer b;
+  b.mutable_data();  // must not crash; empty buffers stay empty
+  EXPECT_EQ(b.size(), 0u);
+  b.write_at(0, Buffer::copy_of("x"));
+  EXPECT_EQ(b.view(), "x");
+}
+
+TEST(Buffer, LargeRandomRoundTrip) {
+  Rng rng(99);
+  Buffer b(1 << 16);
+  rng.fill(b.mutable_data(), b.size());
+  Buffer copy = b;
+  Buffer slice = b.slice(1000, 5000);
+  EXPECT_TRUE(copy.content_equals(b));
+  EXPECT_EQ(slice.size(), 5000u);
+  EXPECT_EQ(std::memcmp(slice.data(), b.data() + 1000, 5000), 0);
+}
+
+}  // namespace
+}  // namespace gdedup

@@ -1,0 +1,224 @@
+// Fixed and content-defined chunkers; chunk map encode/decode with the
+// paper's 150-byte entry footprint.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/encoding.h"
+#include "common/random.h"
+#include "dedup/chunk_map.h"
+#include "dedup/chunker.h"
+
+namespace gdedup {
+namespace {
+
+// ----------------------------------------------------------- FixedChunker
+
+TEST(FixedChunker, ExactMultiple) {
+  FixedChunker c(4);
+  auto chunks = c.split(Buffer::copy_of("abcdefgh"));
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].data.view(), "abcd");
+  EXPECT_EQ(chunks[1].offset, 4u);
+  EXPECT_EQ(chunks[1].data.view(), "efgh");
+}
+
+TEST(FixedChunker, ShortTail) {
+  FixedChunker c(4);
+  auto chunks = c.split(Buffer::copy_of("abcdef"));
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[1].data.view(), "ef");
+}
+
+TEST(FixedChunker, EmptyInput) {
+  FixedChunker c(4);
+  EXPECT_TRUE(c.split(Buffer()).empty());
+}
+
+TEST(FixedChunker, GridArithmetic) {
+  FixedChunker c(32768);
+  EXPECT_EQ(c.chunk_start(0), 0u);
+  EXPECT_EQ(c.chunk_start(32767), 0u);
+  EXPECT_EQ(c.chunk_start(32768), 32768u);
+  EXPECT_EQ(c.chunk_index(65536), 2u);
+}
+
+TEST(FixedChunker, CoveringRanges) {
+  FixedChunker c(10);
+  EXPECT_EQ(c.covering(0, 10), (std::vector<uint64_t>{0}));
+  EXPECT_EQ(c.covering(5, 10), (std::vector<uint64_t>{0, 10}));
+  EXPECT_EQ(c.covering(10, 1), (std::vector<uint64_t>{10}));
+  EXPECT_EQ(c.covering(9, 2), (std::vector<uint64_t>{0, 10}));
+  EXPECT_TRUE(c.covering(0, 0).empty());
+  EXPECT_EQ(c.covering(25, 30), (std::vector<uint64_t>{20, 30, 40, 50}));
+}
+
+TEST(FixedChunker, StableGridAcrossWrites) {
+  // The property the write path depends on: the same offset always maps to
+  // the same chunk slot.
+  FixedChunker c(32 * 1024);
+  for (uint64_t off : {0ull, 16ull * 1024, 48ull * 1024, 1000000ull}) {
+    EXPECT_EQ(c.chunk_start(off), c.covering(off, 1)[0]);
+  }
+}
+
+// ------------------------------------------------------------- CdcChunker
+
+Buffer random_data(size_t n, uint64_t seed) {
+  Buffer b(n);
+  Rng rng(seed);
+  rng.fill(b.mutable_data(), n);
+  return b;
+}
+
+TEST(CdcChunker, ReassemblesExactly) {
+  CdcChunker c(2048, 8192, 32768);
+  Buffer data = random_data(300000, 5);
+  auto chunks = c.split(data);
+  Buffer joined;
+  uint64_t expect_off = 0;
+  for (const auto& ch : chunks) {
+    EXPECT_EQ(ch.offset, expect_off);
+    joined = Buffer::concat(joined, ch.data);
+    expect_off += ch.data.size();
+  }
+  EXPECT_TRUE(joined.content_equals(data));
+}
+
+TEST(CdcChunker, RespectsSizeBounds) {
+  CdcChunker c(2048, 8192, 32768);
+  Buffer data = random_data(500000, 6);
+  auto chunks = c.split(data);
+  for (size_t i = 0; i + 1 < chunks.size(); i++) {  // last may be short
+    EXPECT_GE(chunks[i].data.size(), 2048u);
+    EXPECT_LE(chunks[i].data.size(), 32768u);
+  }
+}
+
+TEST(CdcChunker, AverageNearTarget) {
+  CdcChunker c(2048, 8192, 65536);
+  Buffer data = random_data(4 << 20, 7);
+  auto chunks = c.split(data);
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  EXPECT_GT(avg, 4096);
+  EXPECT_LT(avg, 20000);
+}
+
+TEST(CdcChunker, ShiftResistance) {
+  // The CDC selling point: inserting bytes near the front only disturbs
+  // nearby boundaries; most chunks stay identical.
+  CdcChunker c(2048, 8192, 32768);
+  Buffer data = random_data(400000, 8);
+  Buffer shifted = Buffer::concat(Buffer::copy_of("INSERTED"), data);
+
+  auto a = c.split(data);
+  auto b = c.split(shifted);
+  std::set<std::string> set_a;
+  for (const auto& ch : a) set_a.insert(ch.data.to_string());
+  size_t shared = 0;
+  for (const auto& ch : b) {
+    if (set_a.count(ch.data.to_string())) shared++;
+  }
+  EXPECT_GT(shared, a.size() * 7 / 10);
+}
+
+TEST(CdcChunker, FixedChunkerLacksShiftResistance) {
+  // Contrast case documenting why CDC exists (and what fixed chunking
+  // gives up): a one-byte shift destroys fixed-grid chunk identity.
+  FixedChunker c(8192);
+  Buffer data = random_data(400000, 9);
+  Buffer shifted = Buffer::concat(Buffer::copy_of("X"), data);
+  auto a = c.split(data);
+  auto b = c.split(shifted);
+  std::set<std::string> set_a;
+  for (const auto& ch : a) set_a.insert(ch.data.to_string());
+  size_t shared = 0;
+  for (const auto& ch : b) {
+    if (set_a.count(ch.data.to_string())) shared++;
+  }
+  EXPECT_EQ(shared, 0u);
+}
+
+// --------------------------------------------------------------- ChunkMap
+
+TEST(ChunkMap, ObtainCreatesAndUpdates) {
+  ChunkMap cm;
+  ChunkMapEntry& e = cm.obtain(0, 100);
+  e.dirty = true;
+  EXPECT_EQ(cm.size(), 1u);
+  ChunkMapEntry& e2 = cm.obtain(0, 150);
+  EXPECT_EQ(&e, &e2);
+  EXPECT_EQ(e2.length, 150u);
+  EXPECT_TRUE(e2.dirty);
+}
+
+TEST(ChunkMap, FindMissing) {
+  ChunkMap cm;
+  EXPECT_EQ(cm.find(42), nullptr);
+}
+
+TEST(ChunkMap, AnyDirtyAndLogicalEnd) {
+  ChunkMap cm;
+  cm.obtain(0, 32768);
+  cm.obtain(32768, 1000);
+  EXPECT_FALSE(cm.any_dirty());
+  cm.find(32768)->dirty = true;
+  EXPECT_TRUE(cm.any_dirty());
+  EXPECT_EQ(cm.logical_end(), 33768u);
+}
+
+TEST(ChunkMap, EncodeDecodeRoundTrip) {
+  ChunkMap cm;
+  ChunkMapEntry& a = cm.obtain(0, 32768);
+  a.chunk_id = "sha256:0011223344";
+  a.cached = true;
+  a.dirty = false;
+  ChunkMapEntry& b = cm.obtain(32768, 16384);
+  b.cached = true;
+  b.dirty = true;
+
+  auto decoded = ChunkMap::decode(cm.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  const ChunkMapEntry* da = decoded->find(0);
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->chunk_id, "sha256:0011223344");
+  EXPECT_TRUE(da->cached);
+  EXPECT_FALSE(da->dirty);
+  const ChunkMapEntry* db = decoded->find(32768);
+  ASSERT_NE(db, nullptr);
+  EXPECT_TRUE(db->dirty);
+  EXPECT_EQ(db->length, 16384u);
+}
+
+TEST(ChunkMap, EncodedSizeIsPaperFootprint) {
+  ChunkMap cm;
+  ChunkMapEntry& e = cm.obtain(0, 32768);
+  e.chunk_id = "sha256:";
+  e.chunk_id.append(64, 'a');
+  // 4-byte count + one length-prefixed 150-byte entry.
+  EXPECT_EQ(cm.encode().size(), 4u + 4u + ChunkMap::kEntryEncodedBytes);
+  cm.obtain(32768, 32768);
+  EXPECT_EQ(cm.encode().size(), 4u + 2 * (4u + ChunkMap::kEntryEncodedBytes));
+}
+
+TEST(ChunkMap, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ChunkMap::decode(Buffer::copy_of("zz")).is_ok());
+  Encoder e;
+  e.put_u32(3);  // claims 3 entries, provides none
+  EXPECT_FALSE(ChunkMap::decode(e.finish()).is_ok());
+}
+
+TEST(ChunkMap, EraseEntry) {
+  ChunkMap cm;
+  cm.obtain(0, 10);
+  cm.obtain(10, 10);
+  EXPECT_TRUE(cm.erase(0));
+  EXPECT_FALSE(cm.erase(0));
+  EXPECT_EQ(cm.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gdedup

@@ -1,0 +1,206 @@
+// SHA-1 / SHA-256 against FIPS vectors; Fingerprint identity; FNV; Rabin.
+
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/random.h"
+#include "hash/fingerprint.h"
+#include "hash/rabin.h"
+#include "hash/sha1.h"
+#include "hash/sha256.h"
+
+namespace gdedup {
+namespace {
+
+std::string hex_of(std::span<const uint8_t> d) {
+  static const char* k = "0123456789abcdef";
+  std::string s;
+  for (uint8_t b : d) {
+    s.push_back(k[b >> 4]);
+    s.push_back(k[b & 0xf]);
+  }
+  return s;
+}
+
+std::span<const uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ------------------------------------------------------------------ SHA-1
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex_of(Sha1::of({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex_of(Sha1::of(bytes_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha1::of(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  Buffer data(100000);
+  rng.fill(data.mutable_data(), data.size());
+  Sha1 inc;
+  size_t pos = 0;
+  size_t step = 1;
+  while (pos < data.size()) {
+    const size_t n = std::min(step, data.size() - pos);
+    inc.update({data.data() + pos, n});
+    pos += n;
+    step = step * 3 + 1;
+  }
+  EXPECT_EQ(inc.finish(), Sha1::of(data.span()));
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::of({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::of(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha256::of(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(6);
+  Buffer data(65537);
+  rng.fill(data.mutable_data(), data.size());
+  Sha256 inc;
+  size_t pos = 0;
+  size_t step = 7;
+  while (pos < data.size()) {
+    const size_t n = std::min(step, data.size() - pos);
+    inc.update({data.data() + pos, n});
+    pos += n;
+    step = (step * 5) % 1000 + 1;
+  }
+  EXPECT_EQ(inc.finish(), Sha256::of(data.span()));
+}
+
+// ------------------------------------------------------------- Fingerprint
+
+TEST(Fingerprint, EqualContentEqualPrint) {
+  Buffer a = Buffer::copy_of("identical chunk data");
+  Buffer b = Buffer::copy_of("identical chunk data");
+  const auto fa = Fingerprint::compute(FingerprintAlgo::kSha256, a.span());
+  const auto fb = Fingerprint::compute(FingerprintAlgo::kSha256, b.span());
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(fa.hex(), fb.hex());
+}
+
+TEST(Fingerprint, DifferentContentDifferentPrint) {
+  const auto fa = Fingerprint::compute(FingerprintAlgo::kSha256,
+                                       bytes_of("chunk A"));
+  const auto fb = Fingerprint::compute(FingerprintAlgo::kSha256,
+                                       bytes_of("chunk B"));
+  EXPECT_FALSE(fa == fb);
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const auto f =
+      Fingerprint::compute(FingerprintAlgo::kSha256, bytes_of("round trip"));
+  auto parsed = Fingerprint::from_hex(f.hex());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), f);
+}
+
+TEST(Fingerprint, HexHasAlgoPrefix) {
+  const auto f256 =
+      Fingerprint::compute(FingerprintAlgo::kSha256, bytes_of("x"));
+  const auto f1 = Fingerprint::compute(FingerprintAlgo::kSha1, bytes_of("x"));
+  EXPECT_EQ(f256.hex().substr(0, 7), "sha256:");
+  EXPECT_EQ(f1.hex().substr(0, 5), "sha1:");
+  EXPECT_FALSE(f256 == f1);
+}
+
+TEST(Fingerprint, FromHexRejectsGarbage) {
+  EXPECT_FALSE(Fingerprint::from_hex("no-colon").is_ok());
+  EXPECT_FALSE(Fingerprint::from_hex("md5:abcd").is_ok());
+  EXPECT_FALSE(Fingerprint::from_hex("sha256:abcd").is_ok());  // short
+  std::string bad = "sha256:";
+  bad.append(64, 'z');
+  EXPECT_FALSE(Fingerprint::from_hex(bad).is_ok());
+}
+
+TEST(Fingerprint, Prefix64Stable) {
+  const auto f =
+      Fingerprint::compute(FingerprintAlgo::kSha256, bytes_of("stable"));
+  EXPECT_EQ(f.prefix64(),
+            Fingerprint::compute(FingerprintAlgo::kSha256, bytes_of("stable"))
+                .prefix64());
+  EXPECT_NE(f.prefix64(), 0u);
+}
+
+TEST(Fnv1a, KnownBehaviour) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("same"), fnv1a("same"));
+}
+
+// ------------------------------------------------------------------ Rabin
+
+TEST(Rabin, SameWindowSameHash) {
+  RabinRolling a, b;
+  Rng rng(8);
+  std::vector<uint8_t> data(256);
+  rng.fill(data.data(), data.size());
+  // Feed b an extra prefix; once both have consumed the same final window,
+  // hashes must match — the rolling property.
+  for (uint8_t x : {uint8_t(1), uint8_t(2), uint8_t(3)}) b.roll(x);
+  uint64_t ha = 0, hb = 0;
+  for (uint8_t x : data) ha = a.roll(x);
+  for (uint8_t x : data) hb = b.roll(x);
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(Rabin, DifferentWindowsDiffer) {
+  RabinRolling a, b;
+  uint64_t ha = 0, hb = 0;
+  for (int i = 0; i < 100; i++) ha = a.roll(static_cast<uint8_t>(i));
+  for (int i = 0; i < 100; i++) hb = b.roll(static_cast<uint8_t>(i + 1));
+  EXPECT_NE(ha, hb);
+}
+
+TEST(Rabin, WindowFullAfterKBytes) {
+  RabinRolling r;
+  for (size_t i = 0; i < RabinRolling::kWindow - 1; i++) {
+    r.roll(1);
+    EXPECT_FALSE(r.window_full());
+  }
+  r.roll(1);
+  EXPECT_TRUE(r.window_full());
+}
+
+}  // namespace
+}  // namespace gdedup

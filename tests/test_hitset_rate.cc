@@ -1,0 +1,146 @@
+// HitSet hotness semantics and watermark rate control.
+
+#include <gtest/gtest.h>
+
+#include "dedup/hitset.h"
+#include "dedup/rate_controller.h"
+
+namespace gdedup {
+namespace {
+
+// ----------------------------------------------------------------- HitSet
+
+TEST(HitSet, ColdByDefault) {
+  HitSet hs(kSecond, 4, 2);
+  EXPECT_FALSE(hs.is_hot("obj", 0));
+}
+
+TEST(HitSet, HotAfterThresholdAccesses) {
+  HitSet hs(kSecond, 4, 2);
+  hs.access("obj", msec(100));
+  EXPECT_FALSE(hs.is_hot("obj", msec(150)));
+  hs.access("obj", msec(200));
+  EXPECT_TRUE(hs.is_hot("obj", msec(250)));
+}
+
+TEST(HitSet, AccessesAcrossPeriodsAccumulate) {
+  HitSet hs(kSecond, 4, 2);
+  hs.access("obj", msec(500));   // period 0
+  hs.access("obj", msec(1500));  // period 1
+  EXPECT_TRUE(hs.is_hot("obj", msec(1600)));
+}
+
+TEST(HitSet, CoolsDownWhenHistoryAges) {
+  HitSet hs(kSecond, 2, 2);  // retain 2 periods
+  hs.access("hot", msec(100));
+  hs.access("hot", msec(200));
+  EXPECT_TRUE(hs.is_hot("hot", msec(300)));
+  // 5 seconds later, both the counts and the retained blooms are gone.
+  EXPECT_FALSE(hs.is_hot("hot", sec(5) + msec(1)));
+}
+
+TEST(HitSet, IndependentObjects) {
+  HitSet hs(kSecond, 4, 2);
+  hs.access("a", msec(10));
+  hs.access("a", msec(20));
+  EXPECT_TRUE(hs.is_hot("a", msec(30)));
+  EXPECT_FALSE(hs.is_hot("b", msec(30)));
+}
+
+TEST(HitSet, ThresholdRespected) {
+  HitSet hs(kSecond, 8, 5);
+  for (int i = 0; i < 4; i++) hs.access("x", msec(i * 10));
+  EXPECT_FALSE(hs.is_hot("x", msec(100)));
+  hs.access("x", msec(110));
+  EXPECT_TRUE(hs.is_hot("x", msec(120)));
+}
+
+// --------------------------------------------------------- RateController
+
+DedupTierConfig tier_cfg(bool rate_on = true) {
+  DedupTierConfig c;
+  c.mode = DedupMode::kPostProcess;
+  c.rate_control = rate_on;
+  c.low_watermark_iops = 100;
+  c.high_watermark_iops = 1000;
+  c.ios_per_dedup_mid = 100;
+  c.ios_per_dedup_high = 500;
+  return c;
+}
+
+TEST(RateController, DisabledGrantsEverything) {
+  RateController rc(tier_cfg(false));
+  EXPECT_EQ(rc.take(0, 64), 64);
+}
+
+TEST(RateController, UnthrottledBelowLowWatermark) {
+  RateController rc(tier_cfg());
+  // 50 foreground ops in the last second: below low watermark (100).
+  for (int i = 0; i < 50; i++) rc.on_foreground(msec(i));
+  EXPECT_EQ(rc.take(msec(100), 64), 64);
+}
+
+TEST(RateController, MidRegimeOnePerHundred) {
+  RateController rc(tier_cfg());
+  // 500 fg IOPS: between watermarks -> credit 1/100 per op = 5 credits.
+  for (int i = 0; i < 500; i++) rc.on_foreground(msec(i));
+  const int granted = rc.take(msec(600), 64);
+  EXPECT_GE(granted, 3);
+  EXPECT_LE(granted, 5);
+}
+
+TEST(RateController, HighRegimeOnePerFiveHundred) {
+  RateController rc(tier_cfg());
+  // Warm into the high regime (2000 IOPS), then drain accumulated credits.
+  SimTime t = 0;
+  for (int i = 0; i < 2000; i++) {
+    rc.on_foreground(t);
+    t += kMillisecond / 2;
+  }
+  (void)rc.take(t, 1000);
+  // Steady state: 1000 further ops at 2000 IOPS accrue 1000/500 = 2.
+  for (int i = 0; i < 1000; i++) {
+    rc.on_foreground(t);
+    t += kMillisecond / 2;
+  }
+  const int granted = rc.take(t, 64);
+  EXPECT_GE(granted, 1);
+  EXPECT_LE(granted, 3);
+}
+
+TEST(RateController, CreditsAreConsumed) {
+  RateController rc(tier_cfg());
+  for (int i = 0; i < 600; i++) rc.on_foreground(msec(i));
+  const int first = rc.take(msec(700), 64);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(rc.take(msec(700), 64), 0);  // drained
+}
+
+TEST(RateController, DedupDominatedByForeground) {
+  // Property (paper 4.4.2): in the throttled regimes, granted dedup I/Os
+  // never exceed foreground I/Os divided by the configured ratio.
+  RateController rc(tier_cfg());
+  int granted_total = 0;
+  int fg_total = 0;
+  SimTime t = 0;
+  for (int round = 0; round < 20; round++) {
+    for (int i = 0; i < 300; i++) {
+      rc.on_foreground(t);
+      fg_total++;
+      t += kMillisecond;  // 1000 IOPS -> mid/high boundary region
+    }
+    granted_total += rc.take(t, 64);
+  }
+  EXPECT_LE(granted_total, fg_total / 100 + 1);
+  EXPECT_GT(granted_total, 0);
+}
+
+TEST(RateController, IopsMeasurement) {
+  RateController rc(tier_cfg());
+  for (int i = 0; i < 250; i++) rc.on_foreground(msec(i * 2));
+  EXPECT_NEAR(rc.current_iops(msec(499)), 250, 5);
+  EXPECT_NEAR(rc.current_iops(msec(1600)), 0, 1);
+}
+
+}  // namespace
+}  // namespace gdedup

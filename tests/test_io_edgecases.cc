@@ -1,0 +1,190 @@
+// Cluster I/O edge cases: at-rest compression pools, higher redundancy
+// (3x replication, EC m=2), boundary offsets, recreate-after-remove, and
+// placement corner cases.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/content.h"
+
+namespace gdedup {
+namespace {
+
+using testutil::random_buffer;
+
+TEST(IoEdge, CompressedPoolRoundTrip) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("z", 2, 128, /*compress=*/true);
+  RadosClient client(&c, c.client_node(0));
+  // Highly compressible payload.
+  Buffer data = workload::BlockContent::make(1, 256 * 1024, 0.9);
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, data).is_ok());
+  auto r = sync_read(c, client, pool, "obj", 0, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->content_equals(data));
+  const auto s = c.pool_stats(pool);
+  EXPECT_EQ(s.logical_bytes, 2u * 256 * 1024);      // 2 replicas
+  EXPECT_LT(s.stored_data_bytes, s.logical_bytes / 2);  // really compressed
+}
+
+TEST(IoEdge, CompressedPoolIncompressibleData) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("z", 2, 128, true);
+  RadosClient client(&c, c.client_node(0));
+  Buffer data = random_buffer(64 * 1024, 2);
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, data).is_ok());
+  const auto s = c.pool_stats(pool);
+  // Stored-raw fallback: at most a few bytes of framing per extent.
+  EXPECT_LE(s.stored_data_bytes, s.logical_bytes + 64);
+  EXPECT_TRUE(sync_read(c, client, pool, "obj", 0, 0)->content_equals(data));
+}
+
+TEST(IoEdge, ThreeWayReplication) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("r3", 3);
+  RadosClient client(&c, c.client_node(0));
+  Buffer data = random_buffer(16 * 1024, 3);
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, data).is_ok());
+  auto acting = c.osdmap().acting(pool, "obj");
+  ASSERT_EQ(acting.size(), 3u);
+  std::set<NodeId> hosts;
+  for (OsdId o : acting) {
+    hosts.insert(c.node_of_osd(o));
+    EXPECT_TRUE(c.osd(o)->local_exists(pool, "obj"));
+  }
+  EXPECT_EQ(hosts.size(), 3u);  // three distinct failure domains
+
+  // Survives two failures.
+  c.fail_osd(acting[0]);
+  c.fail_osd(acting[1]);
+  auto r = sync_read(c, client, pool, "obj", 0, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->content_equals(data));
+}
+
+TEST(IoEdge, EcWithTwoParityShards) {
+  Cluster c;
+  const PoolId pool = c.create_ec_pool("ec22", 2, 2);
+  RadosClient client(&c, c.client_node(0));
+  Buffer data = random_buffer(100 * 1024, 4);
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, data).is_ok());
+  auto acting = c.osdmap().acting(pool, "obj");
+  ASSERT_EQ(acting.size(), 4u);
+  // Any two shards may die.
+  c.fail_osd(acting[0]);
+  c.fail_osd(acting[2]);
+  auto r = sync_read(c, client, pool, "obj", 0, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->content_equals(data));
+}
+
+TEST(IoEdge, RecreateAfterRemove) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("p", 2);
+  RadosClient client(&c, c.client_node(0));
+  ASSERT_TRUE(
+      sync_write(c, client, pool, "obj", 0, Buffer::copy_of("first")).is_ok());
+  ASSERT_TRUE(sync_remove(c, client, pool, "obj").is_ok());
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0,
+                         Buffer::copy_of("second life"))
+                  .is_ok());
+  auto r = sync_read(c, client, pool, "obj", 0, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->view(), "second life");
+}
+
+TEST(IoEdge, ReadWindowsAtExactBoundaries) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("p", 2);
+  RadosClient client(&c, c.client_node(0));
+  Buffer data = random_buffer(10000, 5);
+  ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, data).is_ok());
+  // Exactly at the end, one before, one past.
+  EXPECT_EQ(sync_read(c, client, pool, "obj", 10000, 10)->size(), 0u);
+  EXPECT_EQ(sync_read(c, client, pool, "obj", 9999, 10)->size(), 1u);
+  auto whole = sync_read(c, client, pool, "obj", 0, 10000);
+  ASSERT_TRUE(whole.is_ok());
+  EXPECT_TRUE(whole->content_equals(data));
+}
+
+TEST(IoEdge, ManySmallObjectsBalance) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("p", 2, /*pg_num=*/512);
+  RadosClient client(&c, c.client_node(0));
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(sync_write(c, client, pool, "o" + std::to_string(i), 0,
+                           Buffer(1024, static_cast<uint8_t>(i)))
+                    .is_ok());
+  }
+  // Every OSD holds a share; no OSD dominates.
+  size_t min_objs = SIZE_MAX, max_objs = 0;
+  for (Osd* o : c.osds()) {
+    const ObjectStore* st = o->store_if_exists(pool);
+    const size_t n = st == nullptr ? 0 : st->list(pool).size();
+    min_objs = std::min(min_objs, n);
+    max_objs = std::max(max_objs, n);
+  }
+  EXPECT_GT(min_objs, 0u);
+  EXPECT_LT(max_objs, 400u / 16 * 2 * 4);  // loose balance bound
+}
+
+TEST(IoEdge, XattrRoundTripThroughClient) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("p", 2);
+  RadosClient client(&c, c.client_node(0));
+  ASSERT_TRUE(
+      sync_write(c, client, pool, "obj", 0, Buffer::copy_of("x")).is_ok());
+  bool done = false;
+  client.setxattr(pool, "obj", "user.tag", Buffer::copy_of("blue"),
+                  [&](Status s) {
+                    ASSERT_TRUE(s.is_ok());
+                    done = true;
+                  });
+  while (!done) ASSERT_TRUE(c.sched().step());
+  done = false;
+  Buffer got;
+  client.getxattr(pool, "obj", "user.tag", [&](Result<Buffer> r) {
+    ASSERT_TRUE(r.is_ok());
+    got = std::move(r).value();
+    done = true;
+  });
+  while (!done) ASSERT_TRUE(c.sched().step());
+  EXPECT_EQ(got.view(), "blue");
+}
+
+TEST(IoEdge, DedupWithCompressedChunkPool) {
+  // Dedup + at-rest compression composing (the Figure 13 "rep+dedup+comp"
+  // path) down at the pool level.
+  auto cfg = testutil::test_tier_config();
+  Cluster c;
+  const PoolId meta = c.create_replicated_pool("meta", 2);
+  const PoolId chunks = c.create_replicated_pool("chunks", 2, 128, true);
+  c.enable_dedup(meta, chunks, cfg);
+  RadosClient client(&c, c.client_node(0));
+  Buffer data = workload::BlockContent::make(7, 64 * 1024, 0.8);
+  ASSERT_TRUE(sync_write(c, client, meta, "obj", 0, data).is_ok());
+  ASSERT_TRUE(c.drain_dedup());
+  const auto ck = c.pool_stats(chunks);
+  EXPECT_LT(ck.stored_data_bytes, 2u * 64 * 1024 / 2);  // compressed
+  EXPECT_TRUE(sync_read(c, client, meta, "obj", 0, 0)->content_equals(data));
+}
+
+TEST(IoEdge, SequentialOverwriteConvergesToLastWriter) {
+  Cluster c;
+  const PoolId pool = c.create_replicated_pool("p", 2);
+  RadosClient client(&c, c.client_node(0));
+  Buffer last;
+  for (int i = 0; i < 10; i++) {
+    last = random_buffer(8192, static_cast<uint64_t>(100 + i));
+    ASSERT_TRUE(sync_write(c, client, pool, "obj", 0, last).is_ok());
+  }
+  EXPECT_TRUE(sync_read(c, client, pool, "obj", 0, 0)->content_equals(last));
+  // Replicas agree.
+  auto acting = c.osdmap().acting(pool, "obj");
+  auto a = c.osd(acting[0])->store(pool).read({pool, "obj"}, 0, 0);
+  auto b = c.osd(acting[1])->store(pool).read({pool, "obj"}, 0, 0);
+  EXPECT_TRUE(a->content_equals(*b));
+}
+
+}  // namespace
+}  // namespace gdedup

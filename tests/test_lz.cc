@@ -1,0 +1,150 @@
+// LZ codec: round-trip property tests across content classes and sizes,
+// corruption rejection, compression-effectiveness expectations.
+
+#include "compress/lz.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/content.h"
+
+namespace gdedup {
+namespace {
+
+void expect_roundtrip(const Buffer& in) {
+  Buffer c = LzCodec::compress(in);
+  auto out = LzCodec::decompress(c);
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  ASSERT_EQ(out->size(), in.size());
+  EXPECT_TRUE(out->content_equals(in));
+}
+
+TEST(Lz, EmptyInput) { expect_roundtrip(Buffer()); }
+
+TEST(Lz, TinyInputs) {
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 15u}) {
+    Buffer b(n, 'q');
+    expect_roundtrip(b);
+  }
+}
+
+TEST(Lz, AllZerosCompressesHard) {
+  Buffer b(32 * 1024);
+  Buffer c = LzCodec::compress(b);
+  EXPECT_LT(c.size(), b.size() / 50);
+  expect_roundtrip(b);
+}
+
+TEST(Lz, RepeatingPattern) {
+  Buffer b(10000);
+  uint8_t* p = b.mutable_data();
+  for (size_t i = 0; i < b.size(); i++) p[i] = "pattern!"[i % 8];
+  Buffer c = LzCodec::compress(b);
+  EXPECT_LT(c.size(), b.size() / 10);
+  expect_roundtrip(b);
+}
+
+TEST(Lz, RandomDataStoredRaw) {
+  Rng rng(2);
+  Buffer b(8192);
+  rng.fill(b.mutable_data(), b.size());
+  Buffer c = LzCodec::compress(b);
+  // Incompressible input must not blow up: stored-raw cap is size + 5.
+  EXPECT_LE(c.size(), b.size() + 5);
+  expect_roundtrip(b);
+}
+
+TEST(Lz, TextLikeContent) {
+  std::string text;
+  for (int i = 0; i < 500; i++) {
+    text += "the quick brown fox jumps over the lazy dog #" +
+            std::to_string(i % 37) + "\n";
+  }
+  Buffer b = Buffer::copy_of(text);
+  Buffer c = LzCodec::compress(b);
+  EXPECT_LT(c.size(), b.size() / 2);
+  expect_roundtrip(b);
+}
+
+TEST(Lz, OverlappingMatchCopy) {
+  // "aaaa..." triggers matches that overlap their own output.
+  Buffer b(1000, 'a');
+  expect_roundtrip(b);
+}
+
+TEST(Lz, LongMatchExtendedLengths) {
+  Buffer b(100000);
+  uint8_t* p = b.mutable_data();
+  for (size_t i = 0; i < 64; i++) p[i] = static_cast<uint8_t>(i * 7);
+  for (size_t i = 64; i < b.size(); i++) p[i] = p[i - 64];
+  Buffer c = LzCodec::compress(b);
+  EXPECT_LT(c.size(), 4096u);
+  expect_roundtrip(b);
+}
+
+TEST(Lz, DecompressRejectsTruncation) {
+  Buffer b(4096, 'x');
+  Buffer c = LzCodec::compress(b);
+  Buffer cut = c.slice(0, c.size() / 2);
+  auto r = LzCodec::decompress(Buffer::copy_of(cut.span()));
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Lz, DecompressRejectsBadFlag) {
+  Buffer c = LzCodec::compress(Buffer::copy_of("hello world hello world"));
+  Buffer bad = c;
+  bad.mutable_data()[0] = 9;
+  EXPECT_FALSE(LzCodec::decompress(bad).is_ok());
+}
+
+TEST(Lz, DecompressRejectsShortStream) {
+  EXPECT_FALSE(LzCodec::decompress(Buffer::copy_of("ab")).is_ok());
+}
+
+// Property sweep over the synthetic content generator at multiple
+// compressibility levels — the exact buffers the experiments store.
+class LzContentSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(LzContentSweep, RoundTripAndMonotoneRatio) {
+  const auto [size_kb, compressible] = GetParam();
+  Buffer b = workload::BlockContent::make(/*seed=*/mix64(size_kb * 31 + 7),
+                                          static_cast<size_t>(size_kb) * 1024,
+                                          compressible);
+  Buffer c = LzCodec::compress(b);
+  expect_roundtrip(b);
+  if (compressible >= 0.5) {
+    EXPECT_LT(c.size(), b.size() * 0.7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LzContentSweep,
+    ::testing::Combine(::testing::Values(1, 4, 16, 32, 64, 256),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.9)));
+
+// Fuzz-ish property: random slices of random data round-trip.
+TEST(Lz, RandomizedRoundTrips) {
+  Rng rng(77);
+  for (int iter = 0; iter < 50; iter++) {
+    const size_t n = rng.below(20000);
+    Buffer b(n);
+    // Mix of runs and noise.
+    uint8_t* p = b.mutable_data();
+    size_t i = 0;
+    while (i < n) {
+      if (rng.chance(0.5)) {
+        const size_t run = std::min<size_t>(rng.below(200) + 1, n - i);
+        const uint8_t v = static_cast<uint8_t>(rng.below(256));
+        for (size_t j = 0; j < run; j++) p[i++] = v;
+      } else {
+        const size_t run = std::min<size_t>(rng.below(100) + 1, n - i);
+        rng.fill(p + i, run);
+        i += run;
+      }
+    }
+    expect_roundtrip(b);
+  }
+}
+
+}  // namespace
+}  // namespace gdedup

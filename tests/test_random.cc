@@ -1,0 +1,125 @@
+// RNG determinism and distribution sanity; Zipf sampler shape.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace gdedup {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; i++) counts[r.below(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; i++) {
+    const uint64_t v = r.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(5);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, FillDeterministic) {
+  Rng a(42), b(42);
+  uint8_t ba[37], bb[37];
+  a.fill(ba, sizeof(ba));
+  b.fill(bb, sizeof(bb));
+  EXPECT_EQ(std::memcmp(ba, bb, sizeof(ba)), 0);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::map<uint64_t, uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; i++) {
+    auto [it, inserted] = seen.emplace(mix64(i), i);
+    EXPECT_TRUE(inserted) << "collision between " << i << " and " << it->second;
+  }
+}
+
+TEST(Zipf, RanksInRange) {
+  ZipfDistribution z(1000, 0.99);
+  Rng r(9);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(z.sample(r), 1000u);
+  }
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  ZipfDistribution z(10000, 0.99);
+  Rng r(13);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    if (z.sample(r) < 100) head++;  // top 1% of ranks
+  }
+  // For theta ~1, the top 1% draws a large share (far more than uniform 1%).
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, HigherThetaSkewsMore) {
+  Rng r1(17), r2(17);
+  ZipfDistribution mild(10000, 0.5);
+  ZipfDistribution steep(10000, 1.2);
+  int head_mild = 0, head_steep = 0;
+  for (int i = 0; i < 20000; i++) {
+    if (mild.sample(r1) < 10) head_mild++;
+    if (steep.sample(r2) < 10) head_steep++;
+  }
+  EXPECT_GT(head_steep, head_mild);
+}
+
+}  // namespace
+}  // namespace gdedup

@@ -1,0 +1,294 @@
+// Scrub & garbage collection: self-verifying chunk objects (OID ==
+// fingerprint), replica repair, dangling-reference GC, leak reclamation.
+
+#include "dedup/scrub.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gdedup {
+namespace {
+
+using testutil::DedupHarness;
+using testutil::random_buffer;
+using testutil::test_tier_config;
+
+constexpr uint32_t kChunk = 32 * 1024;
+
+TEST(Scrub, CleanClusterScrubsClean) {
+  DedupHarness h(test_tier_config());
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(h.write("o" + std::to_string(i), 0,
+                        random_buffer(2 * kChunk, static_cast<uint64_t>(i)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(h.drain());
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_GT(rep.chunks_checked, 0u);
+  EXPECT_GT(rep.bytes_verified, 0u);
+  EXPECT_GT(rep.duration, 0);
+
+  const ScrubReport gc = s.collect_garbage();
+  EXPECT_EQ(gc.dangling_refs_dropped, 0u);
+  EXPECT_EQ(gc.leaked_chunks_reclaimed, 0u);
+  EXPECT_GT(gc.refs_checked, 0u);
+}
+
+TEST(Scrub, DetectsAndRepairsReplicaCorruption) {
+  DedupHarness h(test_tier_config());
+  Buffer data = random_buffer(kChunk, 1);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+  ASSERT_TRUE(h.drain());
+
+  // Flip a byte on one replica of the chunk object (silent corruption).
+  const Fingerprint fp =
+      Fingerprint::compute(FingerprintAlgo::kSha256, data.span());
+  auto acting = h.cluster->osdmap().acting(h.chunks, fp.hex());
+  ASSERT_EQ(acting.size(), 2u);
+  ObjectStore& victim = h.cluster->osd(acting[1])->store(h.chunks);
+  Buffer corrupted = data;
+  corrupted.mutable_data()[100] ^= 0xFF;
+  Transaction txn;
+  txn.write_full({h.chunks, fp.hex()}, corrupted);
+  ASSERT_TRUE(victim.apply(txn).is_ok());
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub(/*repair=*/true);
+  EXPECT_EQ(rep.replica_mismatches, 1u);
+  EXPECT_EQ(rep.replicas_repaired, 1u);
+  EXPECT_EQ(rep.fingerprint_mismatches, 0u);
+
+  // The replica is byte-identical again and a re-scrub is clean.
+  auto fixed = victim.read({h.chunks, fp.hex()}, 0, 0);
+  ASSERT_TRUE(fixed.is_ok());
+  EXPECT_TRUE(fixed->content_equals(data));
+  EXPECT_TRUE(s.deep_scrub().clean());
+}
+
+TEST(Scrub, DetectsAllReplicasCorrupt) {
+  DedupHarness h(test_tier_config());
+  Buffer data = random_buffer(kChunk, 2);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+  ASSERT_TRUE(h.drain());
+  const Fingerprint fp =
+      Fingerprint::compute(FingerprintAlgo::kSha256, data.span());
+  Buffer corrupted = data;
+  corrupted.mutable_data()[0] ^= 1;
+  for (OsdId id : h.cluster->osdmap().acting(h.chunks, fp.hex())) {
+    Transaction txn;
+    txn.write_full({h.chunks, fp.hex()}, corrupted);
+    ASSERT_TRUE(h.cluster->osd(id)->store(h.chunks).apply(txn).is_ok());
+  }
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub();
+  EXPECT_EQ(rep.fingerprint_mismatches, 1u);  // unrepairable: no good copy
+  EXPECT_EQ(rep.replicas_repaired, 0u);
+}
+
+TEST(Scrub, GcDropsDanglingRefAndReclaims) {
+  DedupHarness h(test_tier_config());
+  Buffer data = random_buffer(kChunk, 3);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+  ASSERT_TRUE(h.drain());
+  const Fingerprint fp =
+      Fingerprint::compute(FingerprintAlgo::kSha256, data.span());
+
+  // Simulate the false-positive refcount residue: plant an extra ref whose
+  // source never existed (as a crashed increment-without-decrement would).
+  const OsdId primary = h.cluster->osdmap().primary(h.chunks, fp.hex());
+  Osd* po = h.cluster->osd(primary);
+  auto raw = po->local_getxattr(h.chunks, fp.hex(), kRefsXattr);
+  ASSERT_TRUE(raw.is_ok());
+  auto refs = decode_refs(raw.value());
+  ASSERT_TRUE(refs.is_ok());
+  refs->push_back(ChunkRef{h.meta, "ghost-object", 0});
+  bool done = false;
+  Transaction txn;
+  txn.setxattr({h.chunks, fp.hex()}, kRefsXattr, encode_refs(refs.value()));
+  po->submit_write(h.chunks, fp.hex(), std::move(txn), [&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    done = true;
+  });
+  while (!done) ASSERT_TRUE(h.cluster->sched().step());
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  ScrubReport gc = s.collect_garbage();
+  EXPECT_EQ(gc.dangling_refs_dropped, 1u);
+  EXPECT_EQ(gc.leaked_chunks_reclaimed, 0u);  // live ref remains
+  EXPECT_TRUE(h.refcounts_consistent());
+  // Data still readable.
+  EXPECT_TRUE(h.read("obj", 0, 0)->content_equals(data));
+
+  // Now remove the object but plant the chunk back as a leak: GC reclaims.
+  ASSERT_TRUE(sync_remove(*h.cluster, *h.client, h.meta, "obj").is_ok());
+  ASSERT_TRUE(h.drain());
+  EXPECT_EQ(h.chunk_object_count(), 0u);
+}
+
+TEST(Scrub, GcReclaimsLeakedChunk) {
+  // A chunk put whose map update was lost forever (crash, no redo because
+  // the object itself was deleted) leaves an orphan chunk; GC removes it.
+  DedupHarness h(test_tier_config());
+  Buffer keep = random_buffer(kChunk, 4);
+  ASSERT_TRUE(h.write("keeper", 0, keep).is_ok());
+  ASSERT_TRUE(h.drain());
+
+  // Plant an orphan chunk object directly (bypassing the tier).
+  Buffer orphan = random_buffer(kChunk, 5);
+  const Fingerprint ofp =
+      Fingerprint::compute(FingerprintAlgo::kSha256, orphan.span());
+  const OsdId primary = h.cluster->osdmap().primary(h.chunks, ofp.hex());
+  OsdOp put;
+  put.type = OsdOpType::kChunkPutRef;
+  put.pool = h.chunks;
+  put.oid = ofp.hex();
+  put.data = orphan;
+  put.ref = ChunkRef{h.meta, "vanished", 12345};
+  bool done = false;
+  send_osd_op(*h.cluster, h.cluster->client_node(0), primary, std::move(put),
+              [&](OsdOpReply rep) {
+                ASSERT_TRUE(rep.status.is_ok());
+                done = true;
+              });
+  while (!done) ASSERT_TRUE(h.cluster->sched().step());
+  EXPECT_EQ(h.chunk_object_count(), 2u);
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  ScrubReport gc = s.collect_garbage();
+  EXPECT_EQ(gc.dangling_refs_dropped, 1u);
+  EXPECT_EQ(gc.leaked_chunks_reclaimed, 1u);
+  EXPECT_EQ(h.chunk_object_count(), 1u);
+  // The legitimate chunk survived.
+  EXPECT_TRUE(h.read("keeper", 0, 0)->content_equals(keep));
+  EXPECT_TRUE(s.collect_garbage().clean());
+}
+
+TEST(Scrub, GcKeepsDirtyObjectsRefs) {
+  // References held by still-dirty chunk maps are live even though the
+  // data also sits cached in the metadata pool.
+  DedupHarness h(test_tier_config());
+  Buffer v1 = random_buffer(kChunk, 6);
+  ASSERT_TRUE(h.write("obj", 0, v1).is_ok());
+  ASSERT_TRUE(h.drain());
+  // Dirty it again (entry keeps the old chunk_id until re-flushed).
+  ASSERT_TRUE(h.write("obj", 0, random_buffer(kChunk, 7)).is_ok());
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport gc = s.collect_garbage();
+  EXPECT_EQ(gc.dangling_refs_dropped, 0u);
+  EXPECT_EQ(gc.leaked_chunks_reclaimed, 0u);
+  ASSERT_TRUE(h.drain());
+  EXPECT_TRUE(h.refcounts_consistent());
+}
+
+TEST(Scrub, EcChunkPoolScrub) {
+  DedupHarness h(test_tier_config(), testutil::small_cluster_config(),
+                 RedundancyScheme::kErasure);
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(h.write("e" + std::to_string(i), 0,
+                        random_buffer(2 * kChunk, 10 + static_cast<uint64_t>(i)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(h.drain());
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub();
+  EXPECT_EQ(rep.fingerprint_mismatches, 0u);
+  EXPECT_EQ(rep.chunks_checked, 8u);
+}
+
+TEST(Scrub, ScrubAfterFailureInjectionConverges) {
+  // End-to-end: crash-heavy run, then GC + scrub leave a clean cluster.
+  DedupHarness h(test_tier_config());
+  const OsdId any = 0;
+  (void)any;
+  int crashes = 12;
+  for (Osd* o : h.cluster->osds()) {
+    h.cluster->tier_of(o->id(), h.meta)
+        ->set_failure_hook([&crashes](FailurePoint p, const std::string&) {
+          if (p == FailurePoint::kAfterChunkPut && crashes > 0) {
+            crashes--;
+            return true;
+          }
+          return false;
+        });
+  }
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(h.write("w" + std::to_string(i), 0,
+                        random_buffer(2 * kChunk, 20 + static_cast<uint64_t>(i)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(h.drain());
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  (void)s.collect_garbage();
+  EXPECT_TRUE(s.deep_scrub().clean());
+  EXPECT_TRUE(s.collect_garbage().clean());
+  EXPECT_TRUE(h.refcounts_consistent());
+  for (int i = 0; i < 10; i++) {
+    auto r = h.read("w" + std::to_string(i), 0, 0);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_TRUE(r->content_equals(
+        random_buffer(2 * kChunk, 20 + static_cast<uint64_t>(i))));
+  }
+}
+
+TEST(Scrub, AsyncDerefModeConvergesWithGc) {
+  // Section 4.6's "no locking on decrement": flushes do not wait for the
+  // old chunk's de-reference.  Overwrites still converge, and whatever a
+  // dropped deref would leave behind is the GC's job.
+  auto cfg = test_tier_config();
+  cfg.async_deref = true;
+  DedupHarness h(cfg);
+  Buffer v1 = random_buffer(kChunk, 50);
+  Buffer v2 = random_buffer(kChunk, 51);
+  ASSERT_TRUE(h.write("obj", 0, v1).is_ok());
+  ASSERT_TRUE(h.drain());
+  ASSERT_TRUE(h.write("obj", 0, v2).is_ok());
+  ASSERT_TRUE(h.drain());
+  // Let the fire-and-forget derefs land.
+  h.cluster->sched().run_for(sec(1));
+  EXPECT_TRUE(h.read("obj", 0, 0)->content_equals(v2));
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  (void)s.collect_garbage();
+  EXPECT_EQ(h.chunk_object_count(), 1u);
+  EXPECT_TRUE(h.refcounts_consistent());
+  EXPECT_TRUE(s.deep_scrub().clean());
+}
+
+TEST(Scrub, AsyncDerefLostDecrementReclaimedByGc) {
+  // Drop the deref entirely (crash right after it was "sent"): the stale
+  // reference keeps the old chunk alive until the GC audits it.
+  auto cfg = test_tier_config();
+  cfg.async_deref = true;
+  DedupHarness h(cfg);
+  Buffer v1 = random_buffer(kChunk, 52);
+  Buffer v2 = random_buffer(kChunk, 53);
+  ASSERT_TRUE(h.write("obj", 0, v1).is_ok());
+  ASSERT_TRUE(h.drain());
+
+  // Crash the chunk-pool primary's link for the deref: emulate by marking
+  // the old chunk's primary to drop ops during the overwrite flush.
+  const Fingerprint f1 =
+      Fingerprint::compute(FingerprintAlgo::kSha256, v1.span());
+  const OsdId old_primary = h.cluster->osdmap().primary(h.chunks, f1.hex());
+  h.cluster->osd(old_primary)->set_drop_when_down(true);
+  h.cluster->osd(old_primary)->set_up(false);
+  ASSERT_TRUE(h.write("obj", 0, v2).is_ok());
+  h.cluster->sched().run_for(sec(2));
+  h.cluster->osd(old_primary)->set_up(true);
+  ASSERT_TRUE(h.drain());
+
+  // v1's chunk may still exist with its stale ref; the GC reclaims it.
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  ScrubReport gc = s.collect_garbage();
+  EXPECT_GE(gc.dangling_refs_dropped + gc.leaked_chunks_reclaimed, 1u);
+  EXPECT_EQ(h.chunk_object_count(), 1u);
+  EXPECT_TRUE(h.read("obj", 0, 0)->content_equals(v2));
+  EXPECT_TRUE(h.refcounts_consistent());
+}
+
+}  // namespace
+}  // namespace gdedup

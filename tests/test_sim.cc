@@ -1,0 +1,303 @@
+// Discrete-event scheduler, FIFO/pooled resources, disk & network models,
+// rate series and sliding-window counters.
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace gdedup {
+namespace {
+
+// -------------------------------------------------------------- Scheduler
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(msec(30), [&] { order.push_back(3); });
+  s.at(msec(10), [&] { order.push_back(1); });
+  s.at(msec(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), msec(30));
+}
+
+TEST(Scheduler, FifoAmongSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(msec(5), [&] { order.push_back(1); });
+  s.at(msec(5), [&] { order.push_back(2); });
+  s.at(msec(5), [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  SimTime fired = -1;
+  s.at(sec(1), [&] {
+    s.after(msec(500), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, sec(1) + msec(500));
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.at(sec(2), [&] {
+    s.at(sec(1), [&] { EXPECT_EQ(s.now(), sec(2)); });
+  });
+  s.run();
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  auto id = s.at(msec(10), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(sec(5));
+  EXPECT_EQ(s.now(), sec(5));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int count = 0;
+  s.at(sec(1), [&] { count++; });
+  s.at(sec(3), [&] { count++; });
+  s.run_until(sec(2));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), sec(2));
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.after(msec(1), recurse);
+  };
+  s.after(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 10);
+}
+
+// -------------------------------------------------------------- Resources
+
+TEST(FifoResource, SerializesJobs) {
+  FifoResource r;
+  EXPECT_EQ(r.submit(0, 100), 100);
+  EXPECT_EQ(r.submit(0, 100), 200);  // queued behind the first
+  EXPECT_EQ(r.submit(500, 100), 600);  // idle gap before the third
+  EXPECT_EQ(r.cumulative_busy_ns(), 300u);
+}
+
+TEST(FifoResource, BacklogReflectsQueue) {
+  FifoResource r;
+  r.submit(0, 1000);
+  EXPECT_EQ(r.backlog(0), 1000);
+  EXPECT_EQ(r.backlog(400), 600);
+  EXPECT_EQ(r.backlog(2000), 0);
+}
+
+TEST(PooledResource, ParallelismUpToServers) {
+  PooledResource p(2);
+  EXPECT_EQ(p.submit(0, 100), 100);
+  EXPECT_EQ(p.submit(0, 100), 100);  // second core
+  EXPECT_EQ(p.submit(0, 100), 200);  // queues
+}
+
+TEST(PooledResource, UtilizationMath) {
+  EXPECT_DOUBLE_EQ(PooledResource::utilization(0, 500, 0, 1000, 1), 0.5);
+  EXPECT_DOUBLE_EQ(PooledResource::utilization(0, 500, 0, 1000, 2), 0.25);
+}
+
+// ------------------------------------------------------------------ Disk
+
+TEST(Ssd, LatencyPlusBandwidth) {
+  Scheduler s;
+  SsdConfig cfg;
+  cfg.read_latency = usec(100);
+  cfg.read_bw_bytes_per_sec = 1e9;  // 1 GB/s
+  cfg.journal_write_amplification = 1.0;
+  SsdModel d(&s, cfg);
+  SimTime done = 0;
+  d.read(1'000'000, [&] { done = s.now(); });  // 1MB at 1GB/s = 1ms
+  s.run();
+  EXPECT_EQ(done, usec(100) + msec(1));
+  EXPECT_EQ(d.read_ops(), 1u);
+  EXPECT_EQ(d.read_bytes(), 1'000'000u);
+}
+
+TEST(Ssd, WritesQueueBehindReads) {
+  Scheduler s;
+  SsdConfig cfg;
+  cfg.read_latency = usec(10);
+  cfg.write_latency = usec(10);
+  cfg.read_bw_bytes_per_sec = 1e9;
+  cfg.write_bw_bytes_per_sec = 1e9;
+  cfg.journal_write_amplification = 1.0;
+  SsdModel d(&s, cfg);
+  SimTime r_done = 0, w_done = 0;
+  d.read(1'000'000, [&] { r_done = s.now(); });
+  d.write(1'000'000, [&] { w_done = s.now(); });
+  s.run();
+  EXPECT_GT(w_done, r_done);  // FIFO: write waited for the read
+}
+
+TEST(Ssd, JournalAmplificationSlowsWrites) {
+  Scheduler s;
+  SsdConfig fast;
+  fast.journal_write_amplification = 1.0;
+  SsdConfig amp = fast;
+  amp.journal_write_amplification = 2.0;
+  SsdModel d1(&s, fast), d2(&s, amp);
+  const SimTime t1 = d1.write(10'000'000);
+  const SimTime t2 = d2.write(10'000'000);
+  EXPECT_GT(t2, t1);
+}
+
+// --------------------------------------------------------------- Network
+
+TEST(Network, TransferTimeMatchesBandwidth) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.nic_bw_bytes_per_sec = 1.25e9;  // 10 Gbit
+  cfg.hop_latency = usec(50);
+  cfg.per_message_overhead_bytes = 0;
+  Network net(&s, 2, cfg);
+  SimTime done = 0;
+  net.send(0, 1, 1'250'000, [&] { done = s.now(); });  // 1ms serialize
+  s.run();
+  // tx 1ms + 50us hop + rx 1ms
+  EXPECT_EQ(done, msec(1) + usec(50) + msec(1));
+}
+
+TEST(Network, SenderSerializationQueues) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.nic_bw_bytes_per_sec = 1e9;
+  cfg.hop_latency = 0;
+  cfg.per_message_overhead_bytes = 0;
+  Network net(&s, 3, cfg);
+  SimTime d1 = 0, d2 = 0;
+  net.send(0, 1, 1'000'000, [&] { d1 = s.now(); });
+  net.send(0, 2, 1'000'000, [&] { d2 = s.now(); });
+  s.run();
+  // Second message waits for the first to leave node 0's NIC.
+  EXPECT_GE(d2, d1 + msec(1));
+}
+
+TEST(Network, LoopbackIsCheap) {
+  Scheduler s;
+  NetworkConfig cfg;
+  Network net(&s, 2, cfg);
+  SimTime done = 0;
+  net.send(1, 1, 100'000'000, [&] { done = s.now(); });
+  s.run();
+  EXPECT_EQ(done, cfg.loopback_latency);
+}
+
+TEST(Network, CountsBytes) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.per_message_overhead_bytes = 100;
+  Network net(&s, 2, cfg);
+  net.send(0, 1, 900, nullptr);
+  EXPECT_EQ(net.total_bytes_sent(), 1000u);
+}
+
+// ------------------------------------------------------------------ CPU
+
+TEST(Cpu, CoresRunInParallel) {
+  Scheduler s;
+  CpuConfig cfg;
+  cfg.cores = 4;
+  CpuModel cpu(&s, cfg);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; i++) {
+    cpu.execute(msec(10), [&] { done.push_back(s.now()); });
+  }
+  cpu.execute(msec(10), [&] { done.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(done.size(), 5u);
+  for (int i = 0; i < 4; i++) EXPECT_EQ(done[static_cast<size_t>(i)], msec(10));
+  EXPECT_EQ(done[4], msec(20));  // fifth job waited for a core
+}
+
+TEST(Cpu, CostsScaleWithBytes) {
+  Scheduler s;
+  CpuConfig cfg;
+  CpuModel cpu(&s, cfg);
+  EXPECT_GT(cpu.fingerprint_cost(64 * 1024), cpu.fingerprint_cost(16 * 1024));
+  EXPECT_LT(cpu.fingerprint_cost(32 * 1024, /*sha1=*/true),
+            cpu.fingerprint_cost(32 * 1024, /*sha1=*/false));
+  EXPECT_GT(cpu.compress_cost(1 << 20), cpu.crc_cost(1 << 20));
+}
+
+TEST(Cpu, UtilizationWindow) {
+  Scheduler s;
+  CpuConfig cfg;
+  cfg.cores = 2;
+  CpuModel cpu(&s, cfg);
+  const uint64_t before = cpu.cumulative_busy_ns();
+  cpu.execute(msec(10));
+  s.run();
+  // 10ms busy on one of two cores over a 10ms window = 50%.
+  EXPECT_NEAR(cpu.utilization(before, cpu.cumulative_busy_ns(), 0, msec(10)),
+              0.5, 1e-9);
+}
+
+// --------------------------------------------------------------- Metrics
+
+TEST(RateSeries, BucketsPerSecond) {
+  RateSeries rs(kSecond);
+  rs.add(msec(100), 10);
+  rs.add(msec(900), 20);
+  rs.add(msec(1500), 5);
+  auto rates = rs.rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rs.total(), 35.0);
+  EXPECT_DOUBLE_EQ(rs.mean_rate(0, 2), 17.5);
+}
+
+TEST(RateSeries, SubSecondBuckets) {
+  RateSeries rs(msec(100));
+  rs.add(msec(50), 1);
+  auto rates = rs.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);  // 1 per 100ms = 10/s
+}
+
+TEST(SlidingWindow, CountsRecentOnly) {
+  SlidingWindowCounter w(kSecond);
+  w.add(msec(0));
+  w.add(msec(500));
+  w.add(msec(900));
+  EXPECT_EQ(w.count(msec(900)), 3u);
+  EXPECT_EQ(w.count(msec(1400)), 2u);  // t=0 aged out
+  EXPECT_EQ(w.count(msec(2500)), 0u);
+}
+
+TEST(SlidingWindow, WeightedAdds) {
+  SlidingWindowCounter w(kSecond);
+  w.add(0, 10);
+  w.add(msec(100), 5);
+  EXPECT_EQ(w.count(msec(200)), 15u);
+}
+
+}  // namespace
+}  // namespace gdedup

@@ -1,0 +1,281 @@
+// Workload generators: determinism, dedupability profiles, content layout.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cluster/osd_map.h"
+#include "compress/lz.h"
+#include "dedup/ratio_analyzer.h"
+#include "workload/content.h"
+#include "workload/fio_gen.h"
+#include "workload/sfs_db.h"
+#include "workload/vm_corpus.h"
+
+namespace gdedup {
+namespace {
+
+using namespace workload;
+
+OsdMap make_map(int osds) {
+  OsdMap m;
+  for (int i = 0; i < osds; i++) m.add_osd(i, i / 4);
+  PoolConfig cfg;
+  cfg.name = "p";
+  cfg.pg_num = 4096;  // fine-grained placement for ratio accounting
+  m.create_pool(cfg);
+  return m;
+}
+
+// ------------------------------------------------------------ BlockContent
+
+TEST(BlockContent, DeterministicBySeed) {
+  Buffer a = BlockContent::make(42, 8192, 0.3);
+  Buffer b = BlockContent::make(42, 8192, 0.3);
+  Buffer c = BlockContent::make(43, 8192, 0.3);
+  EXPECT_TRUE(a.content_equals(b));
+  EXPECT_FALSE(a.content_equals(c));
+}
+
+TEST(BlockContent, CompressibilityKnobWorks) {
+  for (double frac : {0.0, 0.5, 0.9}) {
+    Buffer b = BlockContent::make(7, 32 * 1024, frac);
+    const double ratio =
+        static_cast<double>(LzCodec::compress(b).size()) / b.size();
+    if (frac == 0.0) {
+      EXPECT_GT(ratio, 0.95);
+    } else {
+      EXPECT_LT(ratio, 1.05 - frac + 0.15);
+    }
+  }
+}
+
+TEST(BlockContent, PatternedPartDoesNotCrossDedup) {
+  // Two different seeds at high compressibility must still differ —
+  // compression must not create accidental duplicates.
+  Buffer a = BlockContent::make(1, 8192, 0.9);
+  Buffer b = BlockContent::make(2, 8192, 0.9);
+  EXPECT_FALSE(a.content_equals(b));
+}
+
+// ------------------------------------------------------------------- FIO
+
+TEST(Fio, BlockCountAndSize) {
+  FioConfig cfg;
+  cfg.total_bytes = 1 << 20;
+  cfg.block_size = 8192;
+  FioGenerator gen(cfg);
+  EXPECT_EQ(gen.num_blocks(), 128u);
+  EXPECT_EQ(gen.block(0).size(), 8192u);
+}
+
+TEST(Fio, DeterministicAcrossInstances) {
+  FioConfig cfg;
+  cfg.total_bytes = 1 << 20;
+  cfg.dedupe_ratio = 0.5;
+  FioGenerator a(cfg), b(cfg);
+  for (uint64_t i = 0; i < a.num_blocks(); i++) {
+    EXPECT_EQ(a.content_seed(i), b.content_seed(i));
+  }
+}
+
+TEST(Fio, DedupKnobIsAccurate) {
+  for (double p : {0.0, 0.5, 0.8}) {
+    FioConfig cfg;
+    cfg.total_bytes = 32ull << 20;
+    cfg.block_size = 8192;
+    cfg.dedupe_ratio = p;
+    FioGenerator gen(cfg);
+    EXPECT_NEAR(gen.exact_dedup_ratio(), p, 0.03) << p;
+  }
+}
+
+TEST(Fio, DuplicateBlocksShareBytes) {
+  FioConfig cfg;
+  cfg.total_bytes = 4 << 20;
+  cfg.dedupe_ratio = 0.9;
+  FioGenerator gen(cfg);
+  // Find two indices with the same seed and verify identical content.
+  std::map<uint64_t, uint64_t> first;
+  bool verified = false;
+  for (uint64_t i = 0; i < gen.num_blocks() && !verified; i++) {
+    auto [it, fresh] = first.emplace(gen.content_seed(i), i);
+    if (!fresh) {
+      EXPECT_TRUE(gen.block(i).content_equals(gen.block(it->second)));
+      verified = true;
+    }
+  }
+  EXPECT_TRUE(verified);
+}
+
+TEST(Fio, OpStreams) {
+  auto seq = make_sequential_ops(1 << 20, 32768, 40, true, 0.0, 1);
+  ASSERT_EQ(seq.size(), 40u);
+  EXPECT_EQ(seq[0].offset, 0u);
+  EXPECT_EQ(seq[1].offset, 32768u);
+  EXPECT_TRUE(seq[0].is_write);
+
+  auto rnd = make_random_ops(1 << 20, 8192, 100, false, 0.0, 2);
+  for (const auto& op : rnd) {
+    EXPECT_FALSE(op.is_write);
+    EXPECT_EQ(op.offset % 8192, 0u);
+    EXPECT_LT(op.offset, 1u << 20);
+  }
+}
+
+// ---------------------------------------------------------------- SFS DB
+
+TEST(SfsDb, LoadProfilesMatchPaper) {
+  // The content calibration: LD1 ~36%, LD3 ~81%, LD10 ~93% global dedup
+  // (Figure 3's SFS DB bars).
+  struct Expect {
+    int load;
+    double global_pct;
+    double tol;
+  };
+  for (const auto& e : {Expect{1, 36.0, 6.0}, Expect{3, 80.6, 6.0},
+                        Expect{10, 92.7, 4.0}}) {
+    SfsDbConfig cfg;
+    cfg.load = e.load;
+    cfg.dataset_bytes = 32ull << 20;
+    SfsDbGenerator gen(cfg);
+    OsdMap m = make_map(16);
+    RatioAnalyzer a(&m, 0, cfg.page_size);
+    for (uint64_t i = 0; i < gen.num_pages(); i++) {
+      a.add_object("p" + std::to_string(i), gen.dataset_page(i));
+    }
+    EXPECT_NEAR(a.global().percent(), e.global_pct, e.tol)
+        << "load " << e.load;
+    // Local dedup must trail global but beat the pure-random FIO gap
+    // (duplicates have same-object locality).
+    EXPECT_LT(a.local().percent(), a.global().percent()) << e.load;
+  }
+}
+
+TEST(SfsDb, OpsMixRoughly40_40_20) {
+  SfsDbConfig cfg;
+  cfg.load = 3;
+  SfsDbGenerator gen(cfg);
+  auto ops = gen.make_ops(10000);
+  int w = 0, r8 = 0, scan = 0;
+  for (const auto& op : ops) {
+    if (op.is_write) {
+      w++;
+    } else if (op.length == cfg.page_size) {
+      r8++;
+    } else {
+      scan++;
+    }
+  }
+  EXPECT_NEAR(w, 4000, 400);
+  EXPECT_NEAR(r8, 4000, 400);
+  EXPECT_NEAR(scan, 2000, 300);
+}
+
+TEST(SfsDb, IssueRateScalesWithLoad) {
+  SfsDbConfig l1;
+  l1.load = 1;
+  SfsDbConfig l10;
+  l10.load = 10;
+  EXPECT_DOUBLE_EQ(SfsDbGenerator(l10).issue_rate_ops_per_sec(),
+                   10 * SfsDbGenerator(l1).issue_rate_ops_per_sec());
+}
+
+// ------------------------------------------------------------- VM corpora
+
+TEST(VmImages, OsRegionSharedAcrossVms) {
+  VmImageConfig cfg;
+  cfg.image_bytes = 8 << 20;
+  VmImageCorpus corpus(cfg);
+  EXPECT_TRUE(corpus.image_block(0, 0).content_equals(corpus.image_block(7, 0)));
+}
+
+TEST(VmImages, UniqueRegionDiffersPerVm) {
+  VmImageConfig cfg;
+  cfg.image_bytes = 8 << 20;
+  VmImageCorpus corpus(cfg);
+  const uint64_t os_blocks =
+      static_cast<uint64_t>(corpus.blocks_per_image() * cfg.os_fraction);
+  EXPECT_FALSE(corpus.image_block(0, os_blocks)
+                   .content_equals(corpus.image_block(1, os_blocks)));
+}
+
+TEST(VmImages, TailIsZeros) {
+  VmImageConfig cfg;
+  cfg.image_bytes = 8 << 20;
+  VmImageCorpus corpus(cfg);
+  Buffer last = corpus.image_block(3, corpus.blocks_per_image() - 1);
+  for (size_t i = 0; i < last.size(); i++) ASSERT_EQ(last[i], 0);
+}
+
+TEST(VmImages, DedupCollapsesClones) {
+  VmImageConfig cfg;
+  cfg.image_bytes = 8 << 20;
+  VmImageCorpus corpus(cfg);
+  OsdMap m = make_map(16);
+  RatioAnalyzer a(&m, 0, cfg.block_size);
+  for (int vm = 0; vm < 4; vm++) {
+    for (uint64_t b = 0; b < corpus.blocks_per_image(); b++) {
+      a.add_object(corpus.image_object_name(vm, b), corpus.image_block(vm, b));
+    }
+  }
+  // Clones + zero tail: the corpus is overwhelmingly dedupable.
+  EXPECT_GT(a.global().percent(), 85.0);
+}
+
+TEST(CloudCorpus, DeterministicAndSized) {
+  CloudCorpusConfig cfg;
+  cfg.num_vms = 4;
+  cfg.vm_bytes = 4 << 20;
+  CloudCorpus a(cfg), b(cfg);
+  EXPECT_EQ(a.atoms_per_vm(), (4ull << 20) / cfg.atom_size);
+  for (uint64_t at = 0; at < a.atoms_per_vm(); at += 13) {
+    EXPECT_EQ(a.atom_seed(2, at), b.atom_seed(2, at));
+  }
+  EXPECT_TRUE(a.read(1, 0, 4).content_equals(b.read(1, 0, 4)));
+}
+
+TEST(CloudCorpus, ProfileNearPrivateCloud) {
+  // Figure 3's SKT private cloud bars: ~45% global, ~21% local (16 OSDs);
+  // the corpus calibration should land in that neighbourhood.
+  CloudCorpusConfig cfg;
+  cfg.num_vms = 16;
+  cfg.vm_bytes = 8 << 20;
+  CloudCorpus corpus(cfg);
+  OsdMap m = make_map(16);
+  RatioAnalyzer a(&m, 0, 32 * 1024);
+  const uint64_t atoms_per_obj = (4 << 20) / cfg.atom_size;  // 4MB objects
+  for (int vm = 0; vm < cfg.num_vms; vm++) {
+    for (uint64_t at = 0; at < corpus.atoms_per_vm(); at += atoms_per_obj) {
+      const uint64_t n =
+          std::min<uint64_t>(atoms_per_obj, corpus.atoms_per_vm() - at);
+      a.add_object("vm" + std::to_string(vm) + "." + std::to_string(at),
+                   corpus.read(vm, at, n));
+    }
+  }
+  EXPECT_NEAR(a.global().percent(), 45.0, 12.0);
+  EXPECT_GT(a.local().percent(), 10.0);
+  EXPECT_LT(a.local().percent(), a.global().percent() * 0.75);
+}
+
+TEST(CloudCorpus, ChunkSizeSensitivity) {
+  // Table 2's shape: dedup ratio declines gently as chunks grow.
+  CloudCorpusConfig cfg;
+  cfg.num_vms = 12;
+  cfg.vm_bytes = 8 << 20;
+  CloudCorpus corpus(cfg);
+  OsdMap m = make_map(16);
+  double prev = 100.0;
+  for (uint32_t cs : {16u * 1024, 32u * 1024, 64u * 1024}) {
+    RatioAnalyzer a(&m, 0, cs);
+    for (int vm = 0; vm < cfg.num_vms; vm++) {
+      a.add_object("vm" + std::to_string(vm),
+                   corpus.read(vm, 0, corpus.atoms_per_vm()));
+    }
+    EXPECT_LT(a.global().percent(), prev + 0.5) << cs;
+    prev = a.global().percent();
+  }
+}
+
+}  // namespace
+}  // namespace gdedup
