@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_small_random"
+  "../bench/bench_fig10_small_random.pdb"
+  "CMakeFiles/bench_fig10_small_random.dir/bench_fig10_small_random.cc.o"
+  "CMakeFiles/bench_fig10_small_random.dir/bench_fig10_small_random.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_small_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_sfs_db"
+  "../bench/bench_fig12_sfs_db.pdb"
+  "CMakeFiles/bench_fig12_sfs_db.dir/bench_fig12_sfs_db.cc.o"
+  "CMakeFiles/bench_fig12_sfs_db.dir/bench_fig12_sfs_db.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sfs_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_rate_control"
+  "../bench/bench_fig14_rate_control.pdb"
+  "CMakeFiles/bench_fig14_rate_control.dir/bench_fig14_rate_control.cc.o"
+  "CMakeFiles/bench_fig14_rate_control.dir/bench_fig14_rate_control.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rate_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

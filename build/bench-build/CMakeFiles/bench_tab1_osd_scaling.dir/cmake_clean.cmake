@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_osd_scaling"
+  "../bench/bench_tab1_osd_scaling.pdb"
+  "CMakeFiles/bench_tab1_osd_scaling.dir/bench_tab1_osd_scaling.cc.o"
+  "CMakeFiles/bench_tab1_osd_scaling.dir/bench_tab1_osd_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_osd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

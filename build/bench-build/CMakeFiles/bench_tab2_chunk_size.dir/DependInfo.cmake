@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab2_chunk_size.cc" "bench-build/CMakeFiles/bench_tab2_chunk_size.dir/bench_tab2_chunk_size.cc.o" "gcc" "bench-build/CMakeFiles/bench_tab2_chunk_size.dir/bench_tab2_chunk_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rados/CMakeFiles/gdedup_rados.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/gdedup_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/osd/CMakeFiles/gdedup_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/gdedup_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gdedup_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gdedup_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gdedup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdedup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gdedup_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdedup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

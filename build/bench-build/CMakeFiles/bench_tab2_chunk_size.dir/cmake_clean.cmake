@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_chunk_size"
+  "../bench/bench_tab2_chunk_size.pdb"
+  "CMakeFiles/bench_tab2_chunk_size.dir/bench_tab2_chunk_size.cc.o"
+  "CMakeFiles/bench_tab2_chunk_size.dir/bench_tab2_chunk_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_recovery"
+  "../bench/bench_tab3_recovery.pdb"
+  "CMakeFiles/bench_tab3_recovery.dir/bench_tab3_recovery.cc.o"
+  "CMakeFiles/bench_tab3_recovery.dir/bench_tab3_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

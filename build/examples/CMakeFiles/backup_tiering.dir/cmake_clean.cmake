@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_tiering.dir/backup_tiering.cpp.o"
+  "CMakeFiles/backup_tiering.dir/backup_tiering.cpp.o.d"
+  "backup_tiering"
+  "backup_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

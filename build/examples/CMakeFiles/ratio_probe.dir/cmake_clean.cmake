@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_probe.dir/ratio_probe.cpp.o"
+  "CMakeFiles/ratio_probe.dir/ratio_probe.cpp.o.d"
+  "ratio_probe"
+  "ratio_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

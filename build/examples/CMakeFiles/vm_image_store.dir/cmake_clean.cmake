@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_image_store.dir/vm_image_store.cpp.o"
+  "CMakeFiles/vm_image_store.dir/vm_image_store.cpp.o.d"
+  "vm_image_store"
+  "vm_image_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_image_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

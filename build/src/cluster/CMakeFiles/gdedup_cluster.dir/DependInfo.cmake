@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/crush.cc" "src/cluster/CMakeFiles/gdedup_cluster.dir/crush.cc.o" "gcc" "src/cluster/CMakeFiles/gdedup_cluster.dir/crush.cc.o.d"
+  "/root/repo/src/cluster/osd_map.cc" "src/cluster/CMakeFiles/gdedup_cluster.dir/osd_map.cc.o" "gcc" "src/cluster/CMakeFiles/gdedup_cluster.dir/osd_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdedup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gdedup_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdedup_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_cluster.dir/crush.cc.o"
+  "CMakeFiles/gdedup_cluster.dir/crush.cc.o.d"
+  "CMakeFiles/gdedup_cluster.dir/osd_map.cc.o"
+  "CMakeFiles/gdedup_cluster.dir/osd_map.cc.o.d"
+  "libgdedup_cluster.a"
+  "libgdedup_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

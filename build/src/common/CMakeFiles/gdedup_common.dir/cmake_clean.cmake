@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_common.dir/bloom_filter.cc.o"
+  "CMakeFiles/gdedup_common.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/buffer.cc.o"
+  "CMakeFiles/gdedup_common.dir/buffer.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/crc32.cc.o"
+  "CMakeFiles/gdedup_common.dir/crc32.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/histogram.cc.o"
+  "CMakeFiles/gdedup_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/logging.cc.o"
+  "CMakeFiles/gdedup_common.dir/logging.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/options.cc.o"
+  "CMakeFiles/gdedup_common.dir/options.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/random.cc.o"
+  "CMakeFiles/gdedup_common.dir/random.cc.o.d"
+  "CMakeFiles/gdedup_common.dir/status.cc.o"
+  "CMakeFiles/gdedup_common.dir/status.cc.o.d"
+  "libgdedup_common.a"
+  "libgdedup_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_compress.dir/lz.cc.o"
+  "CMakeFiles/gdedup_compress.dir/lz.cc.o.d"
+  "libgdedup_compress.a"
+  "libgdedup_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

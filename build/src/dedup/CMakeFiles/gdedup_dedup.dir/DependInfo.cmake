@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dedup/chunk_map.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/chunk_map.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/chunk_map.cc.o.d"
+  "/root/repo/src/dedup/chunker.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/chunker.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/chunker.cc.o.d"
+  "/root/repo/src/dedup/hitset.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/hitset.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/hitset.cc.o.d"
+  "/root/repo/src/dedup/ratio_analyzer.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/ratio_analyzer.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/ratio_analyzer.cc.o.d"
+  "/root/repo/src/dedup/scrub.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/scrub.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/scrub.cc.o.d"
+  "/root/repo/src/dedup/tier.cc" "src/dedup/CMakeFiles/gdedup_dedup.dir/tier.cc.o" "gcc" "src/dedup/CMakeFiles/gdedup_dedup.dir/tier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osd/CMakeFiles/gdedup_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gdedup_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gdedup_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdedup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/gdedup_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gdedup_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdedup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_dedup.dir/chunk_map.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/chunk_map.cc.o.d"
+  "CMakeFiles/gdedup_dedup.dir/chunker.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/chunker.cc.o.d"
+  "CMakeFiles/gdedup_dedup.dir/hitset.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/hitset.cc.o.d"
+  "CMakeFiles/gdedup_dedup.dir/ratio_analyzer.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/ratio_analyzer.cc.o.d"
+  "CMakeFiles/gdedup_dedup.dir/scrub.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/scrub.cc.o.d"
+  "CMakeFiles/gdedup_dedup.dir/tier.cc.o"
+  "CMakeFiles/gdedup_dedup.dir/tier.cc.o.d"
+  "libgdedup_dedup.a"
+  "libgdedup_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

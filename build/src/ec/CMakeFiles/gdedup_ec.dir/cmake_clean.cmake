@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_ec.dir/galois.cc.o"
+  "CMakeFiles/gdedup_ec.dir/galois.cc.o.d"
+  "CMakeFiles/gdedup_ec.dir/reed_solomon.cc.o"
+  "CMakeFiles/gdedup_ec.dir/reed_solomon.cc.o.d"
+  "libgdedup_ec.a"
+  "libgdedup_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

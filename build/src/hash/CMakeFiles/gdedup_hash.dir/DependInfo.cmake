@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/fingerprint.cc" "src/hash/CMakeFiles/gdedup_hash.dir/fingerprint.cc.o" "gcc" "src/hash/CMakeFiles/gdedup_hash.dir/fingerprint.cc.o.d"
+  "/root/repo/src/hash/rabin.cc" "src/hash/CMakeFiles/gdedup_hash.dir/rabin.cc.o" "gcc" "src/hash/CMakeFiles/gdedup_hash.dir/rabin.cc.o.d"
+  "/root/repo/src/hash/sha1.cc" "src/hash/CMakeFiles/gdedup_hash.dir/sha1.cc.o" "gcc" "src/hash/CMakeFiles/gdedup_hash.dir/sha1.cc.o.d"
+  "/root/repo/src/hash/sha256.cc" "src/hash/CMakeFiles/gdedup_hash.dir/sha256.cc.o" "gcc" "src/hash/CMakeFiles/gdedup_hash.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdedup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_hash.dir/fingerprint.cc.o"
+  "CMakeFiles/gdedup_hash.dir/fingerprint.cc.o.d"
+  "CMakeFiles/gdedup_hash.dir/rabin.cc.o"
+  "CMakeFiles/gdedup_hash.dir/rabin.cc.o.d"
+  "CMakeFiles/gdedup_hash.dir/sha1.cc.o"
+  "CMakeFiles/gdedup_hash.dir/sha1.cc.o.d"
+  "CMakeFiles/gdedup_hash.dir/sha256.cc.o"
+  "CMakeFiles/gdedup_hash.dir/sha256.cc.o.d"
+  "libgdedup_hash.a"
+  "libgdedup_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_osd.dir/messages.cc.o"
+  "CMakeFiles/gdedup_osd.dir/messages.cc.o.d"
+  "CMakeFiles/gdedup_osd.dir/object_store.cc.o"
+  "CMakeFiles/gdedup_osd.dir/object_store.cc.o.d"
+  "CMakeFiles/gdedup_osd.dir/osd.cc.o"
+  "CMakeFiles/gdedup_osd.dir/osd.cc.o.d"
+  "libgdedup_osd.a"
+  "libgdedup_osd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_osd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

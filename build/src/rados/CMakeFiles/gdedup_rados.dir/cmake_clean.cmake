@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_rados.dir/client.cc.o"
+  "CMakeFiles/gdedup_rados.dir/client.cc.o.d"
+  "CMakeFiles/gdedup_rados.dir/cluster.cc.o"
+  "CMakeFiles/gdedup_rados.dir/cluster.cc.o.d"
+  "libgdedup_rados.a"
+  "libgdedup_rados.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_rados.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_sim.dir/metrics.cc.o"
+  "CMakeFiles/gdedup_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/gdedup_sim.dir/network.cc.o"
+  "CMakeFiles/gdedup_sim.dir/network.cc.o.d"
+  "CMakeFiles/gdedup_sim.dir/scheduler.cc.o"
+  "CMakeFiles/gdedup_sim.dir/scheduler.cc.o.d"
+  "libgdedup_sim.a"
+  "libgdedup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

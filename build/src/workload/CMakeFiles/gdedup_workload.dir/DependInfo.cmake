@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/content.cc" "src/workload/CMakeFiles/gdedup_workload.dir/content.cc.o" "gcc" "src/workload/CMakeFiles/gdedup_workload.dir/content.cc.o.d"
+  "/root/repo/src/workload/fio_gen.cc" "src/workload/CMakeFiles/gdedup_workload.dir/fio_gen.cc.o" "gcc" "src/workload/CMakeFiles/gdedup_workload.dir/fio_gen.cc.o.d"
+  "/root/repo/src/workload/sfs_db.cc" "src/workload/CMakeFiles/gdedup_workload.dir/sfs_db.cc.o" "gcc" "src/workload/CMakeFiles/gdedup_workload.dir/sfs_db.cc.o.d"
+  "/root/repo/src/workload/vm_corpus.cc" "src/workload/CMakeFiles/gdedup_workload.dir/vm_corpus.cc.o" "gcc" "src/workload/CMakeFiles/gdedup_workload.dir/vm_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdedup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdedup_workload.dir/content.cc.o"
+  "CMakeFiles/gdedup_workload.dir/content.cc.o.d"
+  "CMakeFiles/gdedup_workload.dir/fio_gen.cc.o"
+  "CMakeFiles/gdedup_workload.dir/fio_gen.cc.o.d"
+  "CMakeFiles/gdedup_workload.dir/sfs_db.cc.o"
+  "CMakeFiles/gdedup_workload.dir/sfs_db.cc.o.d"
+  "CMakeFiles/gdedup_workload.dir/vm_corpus.cc.o"
+  "CMakeFiles/gdedup_workload.dir/vm_corpus.cc.o.d"
+  "libgdedup_workload.a"
+  "libgdedup_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdedup_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

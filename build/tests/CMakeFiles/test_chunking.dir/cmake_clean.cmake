@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunking.dir/test_chunking.cc.o"
+  "CMakeFiles/test_chunking.dir/test_chunking.cc.o.d"
+  "test_chunking"
+  "test_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_io.dir/test_cluster_io.cc.o"
+  "CMakeFiles/test_cluster_io.dir/test_cluster_io.cc.o.d"
+  "test_cluster_io"
+  "test_cluster_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

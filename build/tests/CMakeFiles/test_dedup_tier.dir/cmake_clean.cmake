@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedup_tier.dir/test_dedup_tier.cc.o"
+  "CMakeFiles/test_dedup_tier.dir/test_dedup_tier.cc.o.d"
+  "test_dedup_tier"
+  "test_dedup_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedup_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_hashing.dir/test_double_hashing.cc.o"
+  "CMakeFiles/test_double_hashing.dir/test_double_hashing.cc.o.d"
+  "test_double_hashing"
+  "test_double_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

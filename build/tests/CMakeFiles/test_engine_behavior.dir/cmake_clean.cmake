@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_behavior.dir/test_engine_behavior.cc.o"
+  "CMakeFiles/test_engine_behavior.dir/test_engine_behavior.cc.o.d"
+  "test_engine_behavior"
+  "test_engine_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

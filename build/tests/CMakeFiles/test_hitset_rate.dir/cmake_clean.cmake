@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hitset_rate.dir/test_hitset_rate.cc.o"
+  "CMakeFiles/test_hitset_rate.dir/test_hitset_rate.cc.o.d"
+  "test_hitset_rate"
+  "test_hitset_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hitset_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

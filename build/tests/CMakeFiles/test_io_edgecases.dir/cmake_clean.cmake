@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_edgecases.dir/test_io_edgecases.cc.o"
+  "CMakeFiles/test_io_edgecases.dir/test_io_edgecases.cc.o.d"
+  "test_io_edgecases"
+  "test_io_edgecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

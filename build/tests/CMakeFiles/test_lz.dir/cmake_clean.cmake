@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz.dir/test_lz.cc.o"
+  "CMakeFiles/test_lz.dir/test_lz.cc.o.d"
+  "test_lz"
+  "test_lz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

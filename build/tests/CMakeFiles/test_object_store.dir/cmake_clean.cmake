@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_store.dir/test_object_store.cc.o"
+  "CMakeFiles/test_object_store.dir/test_object_store.cc.o.d"
+  "test_object_store"
+  "test_object_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osd_internals.dir/test_osd_internals.cc.o"
+  "CMakeFiles/test_osd_internals.dir/test_osd_internals.cc.o.d"
+  "test_osd_internals"
+  "test_osd_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osd_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratio_analyzer.dir/test_ratio_analyzer.cc.o"
+  "CMakeFiles/test_ratio_analyzer.dir/test_ratio_analyzer.cc.o.d"
+  "test_ratio_analyzer"
+  "test_ratio_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratio_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrub.dir/test_scrub.cc.o"
+  "CMakeFiles/test_scrub.dir/test_scrub.cc.o.d"
+  "test_scrub"
+  "test_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tier_edgecases.dir/test_tier_edgecases.cc.o"
+  "CMakeFiles/test_tier_edgecases.dir/test_tier_edgecases.cc.o.d"
+  "test_tier_edgecases"
+  "test_tier_edgecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tier_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_determinism.dir/test_workload_determinism.cc.o"
+  "CMakeFiles/test_workload_determinism.dir/test_workload_determinism.cc.o.d"
+  "test_workload_determinism"
+  "test_workload_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
