@@ -3,11 +3,21 @@
 // hash, chunking (fixed vs CDC — the Section 5 trade-off), LZ codec,
 // Reed-Solomon, CRUSH selection, bloom filters, chunk-map codec — plus a
 // double-hashing-vs-fingerprint-index lookup comparison.
+//
+// Extra modes (bypass google-benchmark):
+//   --pipeline_json=PATH  run the content-pipeline suite (live vs frozen
+//                         seed reference implementations) and write the
+//                         BENCH_PIPELINE.json trajectory point to PATH
+//   --smoke               same suite with tiny inputs/durations; used by
+//                         the `bench_smoke` ctest to exercise the harness
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string_view>
 #include <unordered_map>
 
+#include "bench_util.h"
 #include "cluster/crush.h"
 #include "common/bloom_filter.h"
 #include "common/buffer.h"
@@ -16,11 +26,13 @@
 #include "compress/lz.h"
 #include "dedup/chunk_map.h"
 #include "dedup/chunker.h"
+#include "dedup/fingerprint_cache.h"
 #include "ec/reed_solomon.h"
 #include "hash/fingerprint.h"
 #include "hash/rabin.h"
 #include "hash/sha1.h"
 #include "hash/sha256.h"
+#include "reference_impls.h"
 #include "workload/content.h"
 
 namespace gdedup {
@@ -221,7 +233,193 @@ void BM_LookupFingerprintIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_LookupFingerprintIndex)->Arg(100000)->Arg(1000000);
 
+// ------------------------------------------------- content-pipeline suite
+//
+// Measures the live implementations against the frozen seed copies in
+// reference_impls.h, cross-checking outputs (digest / boundary mismatches
+// abort), and writes a flat JSON document — the perf trajectory point.
+
+int run_pipeline_suite(const std::string& json_path, bool smoke) {
+  using bench::JsonWriter;
+  using bench::WallTimer;
+  using bench::measure_mbps;
+
+  const double min_sec = smoke ? 0.02 : 0.25;
+  const size_t hash_len = 32 * 1024;               // one chunk
+  const size_t cdc_len = smoke ? (1 << 20) : (8 << 20);
+
+  WallTimer total;
+  JsonWriter j;
+  j.add("schema", std::string("gdedup.bench_pipeline.v1"));
+  j.add("mode", std::string(smoke ? "smoke" : "full"));
+
+  Buffer hash_buf = test_data(hash_len);
+  Buffer cdc_buf = test_data(cdc_len);
+
+  // --- SHA-1 ---
+  {
+    const auto live = Sha1::of(hash_buf.span());
+    const auto ref = bench::ref::Sha1::of(hash_buf.span());
+    if (std::memcmp(live.data(), ref.data(), live.size()) != 0) {
+      std::fprintf(stderr, "FATAL: sha1 fast path digest mismatch\n");
+      return 1;
+    }
+    const double mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(Sha1::of(hash_buf.span())); },
+        hash_len, min_sec);
+    const double ref_mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(bench::ref::Sha1::of(hash_buf.span())); },
+        hash_len, min_sec);
+    j.add("sha1_mbps", mbps);
+    j.add("sha1_ref_mbps", ref_mbps);
+    j.add("sha1_speedup", mbps / ref_mbps);
+  }
+
+  // --- SHA-256 ---
+  {
+    const auto live = Sha256::of(hash_buf.span());
+    const auto ref = bench::ref::Sha256::of(hash_buf.span());
+    if (std::memcmp(live.data(), ref.data(), live.size()) != 0) {
+      std::fprintf(stderr, "FATAL: sha256 fast path digest mismatch\n");
+      return 1;
+    }
+    const double mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(Sha256::of(hash_buf.span())); },
+        hash_len, min_sec);
+    const double ref_mbps = measure_mbps(
+        [&] {
+          benchmark::DoNotOptimize(bench::ref::Sha256::of(hash_buf.span()));
+        },
+        hash_len, min_sec);
+    j.add("sha256_mbps", mbps);
+    j.add("sha256_ref_mbps", ref_mbps);
+    j.add("sha256_speedup", mbps / ref_mbps);
+  }
+
+  // --- CRC32C ---
+  {
+    if (crc32c(hash_buf.span()) != bench::ref::crc32c_slice4(hash_buf.span())) {
+      std::fprintf(stderr, "FATAL: crc32c fast path mismatch\n");
+      return 1;
+    }
+    const double mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(crc32c(hash_buf.span())); }, hash_len,
+        min_sec);
+    const double ref_mbps = measure_mbps(
+        [&] {
+          benchmark::DoNotOptimize(bench::ref::crc32c_slice4(hash_buf.span()));
+        },
+        hash_len, min_sec);
+    j.add("crc32c_mbps", mbps);
+    j.add("crc32c_ref_mbps", ref_mbps);
+    j.add("crc32c_speedup", mbps / ref_mbps);
+  }
+
+  // --- fixed chunking ---
+  {
+    FixedChunker c(32 * 1024);
+    const double mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(c.split(cdc_buf)); }, cdc_len, min_sec);
+    j.add("fixed_mbps", mbps);
+  }
+
+  // --- CDC chunking: fast split vs frozen seed split ---
+  {
+    CdcChunker c(8192, 32768, 131072);
+    const auto fast = c.split(cdc_buf);
+    const auto ref = bench::ref::cdc_split(cdc_buf, 8192, 32768, 131072);
+    bool same = fast.size() == ref.size();
+    for (size_t i = 0; same && i < fast.size(); i++) {
+      same = fast[i].offset == ref[i].offset &&
+             fast[i].data.size() == ref[i].data.size();
+    }
+    if (!same) {
+      std::fprintf(stderr, "FATAL: cdc fast path boundary mismatch\n");
+      return 1;
+    }
+    const double mbps = measure_mbps(
+        [&] { benchmark::DoNotOptimize(c.split(cdc_buf)); }, cdc_len, min_sec);
+    const double ref_mbps = measure_mbps(
+        [&] {
+          benchmark::DoNotOptimize(
+              bench::ref::cdc_split(cdc_buf, 8192, 32768, 131072));
+        },
+        cdc_len, min_sec);
+    j.add("cdc_mbps", mbps);
+    j.add("cdc_ref_mbps", ref_mbps);
+    j.add("cdc_speedup", mbps / ref_mbps);
+  }
+
+  // --- fingerprint memoization cache (COW identity) ---
+  {
+    FingerprintCache cache;
+    const size_t nbufs = smoke ? 32 : 256;
+    std::vector<Buffer> bufs;
+    bufs.reserve(nbufs);
+    for (size_t i = 0; i < nbufs; i++) {
+      bufs.push_back(test_data(4096 + i));
+    }
+    // First pass misses and fills; second pass (same Buffers, unmutated)
+    // must hit — the noop re-flush pattern.
+    for (int pass = 0; pass < 2; pass++) {
+      for (const Buffer& b : bufs) {
+        const Fingerprint* hit = cache.find(b, FingerprintAlgo::kSha1);
+        if (hit == nullptr) {
+          cache.insert(b, FingerprintAlgo::kSha1,
+                       Fingerprint::compute(FingerprintAlgo::kSha1, b.span()));
+        }
+      }
+    }
+    const double hit_rate =
+        static_cast<double>(cache.hits()) / static_cast<double>(cache.lookups());
+    if (cache.hits() != nbufs) {
+      std::fprintf(stderr, "FATAL: fingerprint cache re-probe missed\n");
+      return 1;
+    }
+    j.add("fp_cache_hit_rate", hit_rate);
+  }
+
+  j.add("wall_sec", total.elapsed_sec());
+
+  const std::string doc = j.str();
+  std::fputs(doc.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (!j.write_file(json_path)) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gdedup
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--pipeline_json=", 0) == 0) {
+      json_path = std::string(a.substr(std::strlen("--pipeline_json=")));
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty() || smoke) {
+    return gdedup::run_pipeline_suite(json_path, smoke);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 // virtual time, and prints the same rows/series the paper reports,
 // alongside the paper's published numbers for eyeballing the shape.
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -35,6 +36,100 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 inline void print_note(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
+
+// --------------------------------------------------- wall-clock self-timing
+//
+// The load drivers below run in *virtual* time; this layer measures real
+// host time, for tracking how fast the benchmark binaries themselves run
+// across PRs (BENCH_PIPELINE.json is the recorded trajectory).
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Run `fn` repeatedly until ~min_sec of wall time has elapsed (always at
+// least once) and return achieved MB/s given `bytes` processed per call.
+template <typename Fn>
+double measure_mbps(Fn&& fn, uint64_t bytes_per_call, double min_sec = 0.2) {
+  // Untimed warm-up: first-touch page faults, table init, dispatch resolve.
+  fn();
+  WallTimer t;
+  uint64_t calls = 0;
+  do {
+    fn();
+    calls++;
+  } while (t.elapsed_sec() < min_sec);
+  const double sec = t.elapsed_sec();
+  return static_cast<double>(calls * bytes_per_call) / (1e6 * sec);
+}
+
+// Minimal JSON emitter for flat metric documents: {"key": value, ...} with
+// one nesting level of objects.  Enough for BENCH_*.json trajectory files;
+// avoids dragging in a JSON dependency.
+class JsonWriter {
+ public:
+  void add(const std::string& key, double value) {
+    entries_.push_back({key, format_number(value), false});
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.push_back({key, value, true});
+  }
+
+  std::string str() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); i++) {
+      out += "  \"" + entries_[i].key + "\": ";
+      if (entries_[i].quoted) {
+        out += "\"" + entries_[i].value + "\"";
+      } else {
+        out += entries_[i].value;
+      }
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string format_number(double v) {
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f", v);
+    }
+    return buf;
+  }
+
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool quoted;
+  };
+  std::vector<Entry> entries_;
+};
 
 // ------------------------------------------------------------ load driver
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build Release and record the content-pipeline perf trajectory point.
+#
+# Usage: scripts/run_bench.sh [output.json]
+#
+# Writes BENCH_PIPELINE.json (MB/s for sha1/sha256/crc32c/fixed/cdc, each
+# with its frozen-seed reference and speedup, the fingerprint-cache hit
+# rate, and the suite's wall time).  The suite cross-checks fast-path
+# digests and chunk boundaries against the reference implementations and
+# fails loudly on any mismatch.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_components
+
+"${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
+
+echo "perf trajectory point recorded at ${out_json}"

@@ -4,6 +4,13 @@
 
 namespace gdedup {
 
+uint64_t Buffer::next_generation() {
+  // Global monotonic counter; the simulation is single-threaded, so a plain
+  // static suffices.  Starts at 1 so gen 0 means "no storage yet".
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
 void Buffer::detach() {
   const bool sole = store_ && store_.use_count() == 1 && off_ == 0 &&
                     len_ == store_->size();
@@ -18,9 +25,11 @@ uint8_t* Buffer::mutable_data() {
   if (!store_) {
     store_ = std::make_shared<std::vector<uint8_t>>();
     off_ = len_ = 0;
+    gen_ = next_generation();
     return store_->data();
   }
   detach();
+  gen_ = next_generation();  // caller may write through the pointer
   return store_->data();
 }
 
@@ -30,6 +39,7 @@ Buffer Buffer::slice(size_t off, size_t len) const {
   b.store_ = store_;
   b.off_ = off_ + off;
   b.len_ = std::min(len, len_ - off);
+  b.gen_ = gen_;  // same bytes until someone detaches
   return b;
 }
 
@@ -55,6 +65,7 @@ void Buffer::resize(size_t len) {
   if (!store_) store_ = std::make_shared<std::vector<uint8_t>>();
   store_->resize(len);
   len_ = len;
+  gen_ = next_generation();
 }
 
 }  // namespace gdedup

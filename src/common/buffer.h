@@ -26,7 +26,8 @@ class Buffer {
   explicit Buffer(size_t len, uint8_t fill = 0)
       : store_(std::make_shared<std::vector<uint8_t>>(len, fill)),
         off_(0),
-        len_(len) {}
+        len_(len),
+        gen_(next_generation()) {}
 
   static Buffer copy_of(const void* data, size_t len) {
     Buffer b(len);
@@ -81,12 +82,27 @@ class Buffer {
     return store_ && store_ == o.store_;
   }
 
+  // Content-identity for memoization (e.g. the fingerprint cache).
+  //
+  // generation() is bumped from a global monotonic counter on every event
+  // that can change the bytes this Buffer exposes: fresh-storage
+  // construction, mutable_data(), resize().  slice() inherits the parent's
+  // generation (a slice's bytes are stable until someone detaches).  Two
+  // Buffers with equal (data(), size(), generation()) are guaranteed to
+  // hold identical bytes: generations are globally unique per mutation
+  // event, so a recycled allocation at the same address can never collide
+  // with a stale cache entry (ABA-safe).
+  uint64_t generation() const { return gen_; }
+  const void* storage_id() const { return store_.get(); }
+
  private:
   void detach();  // ensure sole ownership of exactly [off_, off_+len_)
+  static uint64_t next_generation();
 
   std::shared_ptr<std::vector<uint8_t>> store_;
   size_t off_ = 0;
   size_t len_ = 0;
+  uint64_t gen_ = 0;
 };
 
 }  // namespace gdedup

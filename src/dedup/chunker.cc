@@ -40,6 +40,103 @@ CdcChunker::CdcChunker(uint32_t min_size, uint32_t avg_size, uint32_t max_size)
 }
 
 std::vector<Chunk> CdcChunker::split(const Buffer& object_data) const {
+  // Skip-ahead fast path.  A boundary requires len >= min_size_ and a full
+  // window; the rolling hash at any position depends only on the last
+  // kWindow bytes (the out_table subtraction cancels everything older,
+  // exactly, in mod-2^64 arithmetic).  Since min_size_ >= kWindow (ctor
+  // assert), it is safe to start rolling kWindow bytes before the first
+  // candidate position of each chunk — the skipped prefix provably cannot
+  // cut.  The inner loop keeps the hash and ring index in locals, evicts
+  // via a preloaded table pointer, and wraps with a compare instead of `%`.
+  std::vector<Chunk> out;
+  const uint8_t* p = object_data.data();
+  const size_t n = object_data.size();
+  out.reserve(n / avg_size_ + 2);
+
+  constexpr size_t kW = RabinRolling::kWindow;
+  constexpr uint64_t kMul = RabinRolling::kMul;
+  const uint64_t* out_tab = RabinRolling::out_table().data();
+
+  size_t start = 0;
+  while (n - start >= min_size_) {
+    const size_t limit = std::min(n, start + max_size_);
+
+    // Warm up: roll the kW bytes ending at the first candidate position
+    // (len == min_size_).  No eviction happens until the window is full,
+    // and no ring buffer is needed at all — the last kW bytes are always
+    // available in the input itself, so eviction reads p[i - kW] directly.
+    const uint8_t* q = p + start + min_size_ - kW;
+    uint64_t h = 0;
+    for (size_t j = 0; j < kW; j++) {
+      h = h * kMul + q[j];
+    }
+
+    size_t i = start + min_size_ - 1;
+    size_t cut_end = 0;  // 0 = no boundary found (real cuts are >= min_size_)
+    if ((h & mask_) == mask_) {
+      cut_end = i + 1;
+    } else if (i + 1 < limit) {
+      // Steady-state scan as two interleaved stride-2 chains.  Expanding
+      // the recurrence once gives h[i+2] = h[i]*kMul^2 + d[i+1]*kMul +
+      // d[i+2] with d[j] = p[j] - out_tab[p[j-kW]] (all mod 2^64, exact),
+      // so each chain still yields the true hash at its positions while
+      // the serial multiply latency is paid once per two bytes.
+      constexpr uint64_t kMul2 = kMul * kMul;
+      uint64_t a = h;  // hash at position i
+      uint64_t dprev = static_cast<uint64_t>(p[i + 1]) - out_tab[p[i + 1 - kW]];
+      uint64_t b = a * kMul + dprev;  // hash at position i + 1
+      if ((b & mask_) == mask_) {
+        cut_end = i + 2;
+      } else {
+        while (i + 3 < limit) {
+          const uint64_t d2 =
+              static_cast<uint64_t>(p[i + 2]) - out_tab[p[i + 2 - kW]];
+          const uint64_t d3 =
+              static_cast<uint64_t>(p[i + 3]) - out_tab[p[i + 3 - kW]];
+          a = a * kMul2 + dprev * kMul + d2;  // hash at i + 2
+          b = b * kMul2 + d2 * kMul + d3;    // hash at i + 3
+          dprev = d3;
+          if ((a & mask_) == mask_) {
+            cut_end = i + 3;  // earliest boundary wins: check a before b
+            break;
+          }
+          if ((b & mask_) == mask_) {
+            cut_end = i + 4;
+            break;
+          }
+          i += 2;
+        }
+        if (cut_end == 0) {
+          // At most one unchecked candidate remains (position i + 2).
+          uint64_t hh = b;
+          for (size_t j = i + 2; j < limit; j++) {
+            hh = hh * kMul + p[j] - out_tab[p[j - kW]];
+            if ((hh & mask_) == mask_) {
+              cut_end = j + 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    if (cut_end == 0) {
+      if (limit == start + max_size_) {
+        cut_end = limit;  // forced max-size cut
+      } else {
+        break;  // ran out of data before any boundary: tail chunk below
+      }
+    }
+    out.push_back({start, object_data.slice(start, cut_end - start)});
+    start = cut_end;
+  }
+  if (start < n) {
+    out.push_back({start, object_data.slice(start, n - start)});
+  }
+  return out;
+}
+
+std::vector<Chunk> CdcChunker::split_reference(const Buffer& object_data) const {
   std::vector<Chunk> out;
   const uint8_t* p = object_data.data();
   const size_t n = object_data.size();

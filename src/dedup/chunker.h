@@ -50,9 +50,19 @@ class CdcChunker {
  public:
   CdcChunker(uint32_t min_size, uint32_t avg_size, uint32_t max_size);
 
+  // Fast path: skips straight to each chunk's candidate region (a boundary
+  // needs len >= min_size and a full window, and min_size >= kWindow, so
+  // only the last kWindow bytes before the candidate region affect the
+  // hash).  Bit-identical to split_reference() — tests assert it.
   std::vector<Chunk> split(const Buffer& object_data) const;
 
+  // The original byte-at-a-time scalar implementation, kept as the
+  // equivalence oracle for the fast path.
+  std::vector<Chunk> split_reference(const Buffer& object_data) const;
+
+  uint32_t min_size() const { return min_size_; }
   uint32_t avg_size() const { return avg_size_; }
+  uint32_t max_size() const { return max_size_; }
 
  private:
   uint32_t min_size_;

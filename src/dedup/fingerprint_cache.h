@@ -1,0 +1,91 @@
+#pragma once
+
+// COW-aware fingerprint memoization.
+//
+// Fingerprinting dominates flush CPU (the paper fingerprints every dirty
+// chunk's real bytes).  Buffers are copy-on-write and carry a globally
+// unique mutation generation (see Buffer::generation()), so the tuple
+// (data pointer, length, generation, algo) identifies chunk *content*
+// exactly: a noop re-flush or a re-dirtied-but-unchanged chunk presents the
+// same tuple and can skip hashing entirely.  Generations are never reused,
+// which makes recycled allocations at the same address harmless (no ABA).
+
+#include <cstdint>
+#include <functional>
+
+#include "common/buffer.h"
+#include "common/lru.h"
+#include "hash/fingerprint.h"
+
+namespace gdedup {
+
+struct FingerprintCacheKey {
+  uintptr_t data = 0;
+  size_t len = 0;
+  uint64_t gen = 0;
+  uint8_t algo = 0;
+
+  bool operator==(const FingerprintCacheKey& o) const {
+    return data == o.data && len == o.len && gen == o.gen && algo == o.algo;
+  }
+};
+
+}  // namespace gdedup
+
+template <>
+struct std::hash<gdedup::FingerprintCacheKey> {
+  size_t operator()(const gdedup::FingerprintCacheKey& k) const noexcept {
+    uint64_t h = k.data;
+    h = h * 0x9e3779b97f4a7c15ULL + k.len;
+    h = h * 0x9e3779b97f4a7c15ULL + k.gen;
+    h = h * 0x9e3779b97f4a7c15ULL + k.algo;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+namespace gdedup {
+
+class FingerprintCache {
+ public:
+  using Key = FingerprintCacheKey;
+
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit FingerprintCache(size_t capacity = kDefaultCapacity)
+      : lru_(capacity) {}
+
+  // Buffers with no storage (default-constructed / empty) have no stable
+  // identity to key on.
+  static bool cacheable(const Buffer& b) {
+    return b.storage_id() != nullptr && !b.empty();
+  }
+
+  const Fingerprint* find(const Buffer& b, FingerprintAlgo algo) {
+    lookups_++;
+    if (!cacheable(b)) return nullptr;
+    const Fingerprint* fp = lru_.get(key_of(b, algo));
+    if (fp != nullptr) hits_++;
+    return fp;
+  }
+
+  void insert(const Buffer& b, FingerprintAlgo algo, const Fingerprint& fp) {
+    if (!cacheable(b)) return;
+    lru_.put(key_of(b, algo), fp);
+  }
+
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+  size_t size() const { return lru_.size(); }
+
+ private:
+  static Key key_of(const Buffer& b, FingerprintAlgo algo) {
+    return {reinterpret_cast<uintptr_t>(b.data()), b.size(), b.generation(),
+            static_cast<uint8_t>(algo)};
+  }
+
+  LruMap<Key, Fingerprint> lru_;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace gdedup

@@ -381,14 +381,12 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
       content.write_at(cov_b - c, data.slice(cov_b - off, cov_e - cov_b));
 
       // Fingerprint on the foreground path: CPU is costed and the hash is
-      // really computed (it becomes the chunk OID).
-      CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
-      cpu.execute(
-          cpu.fingerprint_cost(content.size(),
-                               cfg().fp_algo == FingerprintAlgo::kSha1),
-          [this, c, clen, content, oid, step, finish]() mutable {
-            const Fingerprint fp =
-                Fingerprint::compute(cfg().fp_algo, content.span());
+      // really computed (it becomes the chunk OID), unless the memoization
+      // cache already knows this exact content.
+      fingerprint_async(
+          content,
+          [this, c, clen, content, oid, step, finish](
+              const Fingerprint& fp) mutable {
             const std::string new_id = fp.hex();
             ChunkMapEntry& ent = cached_map(oid).obtain(c, clen);
             ent.length = clen;
@@ -840,17 +838,33 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
       /*foreground=*/false);
 }
 
+void DedupTier::fingerprint_async(const Buffer& content,
+                                  std::function<void(const Fingerprint&)> k) {
+  const FingerprintAlgo algo = cfg().fp_algo;
+  if (const Fingerprint* hit = fp_cache_.find(content, algo)) {
+    // Known content: skip the hash and its simulated CPU cost entirely.
+    stats_.fingerprint_cache_hits++;
+    k(*hit);
+    return;
+  }
+  CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+  cpu.execute(
+      cpu.fingerprint_cost(content.size(), algo == FingerprintAlgo::kSha1),
+      [this, algo, content, k = std::move(k)]() mutable {
+        const Fingerprint fp = Fingerprint::compute(algo, content.span());
+        fp_cache_.insert(content, algo, fp);
+        k(fp);
+      });
+}
+
 void DedupTier::run_flush_pipeline(const std::string& oid,
                                    const ChunkMapEntry& entry, Buffer content,
                                    std::function<void()> done) {
   {
-        CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
-        cpu.execute(
-            cpu.fingerprint_cost(content.size(),
-                                 cfg().fp_algo == FingerprintAlgo::kSha1),
-            [this, oid, entry, content, done = std::move(done)]() mutable {
-              const Fingerprint fp =
-                  Fingerprint::compute(cfg().fp_algo, content.span());
+        fingerprint_async(
+            content,
+            [this, oid, entry, content, done = std::move(done)](
+                const Fingerprint& fp) mutable {
               const std::string new_id = fp.hex();
 
               if (entry.chunk_id == new_id) {

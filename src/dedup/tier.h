@@ -47,6 +47,7 @@
 #include "common/lru.h"
 #include "dedup/chunk_map.h"
 #include "dedup/chunker.h"
+#include "dedup/fingerprint_cache.h"
 #include "dedup/hitset.h"
 #include "dedup/rate_controller.h"
 #include "osd/osd.h"
@@ -81,6 +82,7 @@ struct DedupTierStats {
   uint64_t racy_flushes = 0;      // object changed mid-flush; stayed dirty
   uint64_t engine_ticks = 0;
   uint64_t engine_aborts = 0;     // injected failures taken
+  uint64_t fingerprint_cache_hits = 0;  // hashes skipped via COW memoization
 };
 
 class DedupTier : public TierService {
@@ -179,12 +181,20 @@ class DedupTier : public TierService {
 
   bool fail_at(FailurePoint p, const std::string& oid);
 
+  // Fingerprint a chunk's content and deliver the result.  Probes the
+  // COW-aware memoization cache first: a hit skips both the real hash and
+  // the simulated CPU cost (and bumps stats_.fingerprint_cache_hits); a
+  // miss computes under the costed CPU model and populates the cache.
+  void fingerprint_async(const Buffer& content,
+                         std::function<void(const Fingerprint&)> k);
+
   Osd* osd_;
   PoolId pool_;
   FixedChunker chunker_;
   HitSet hitset_;
   RateController rate_;
   DedupTierStats stats_;
+  FingerprintCache fp_cache_;
 
   std::unordered_map<std::string, ChunkMap> map_cache_;
   uint64_t dirty_gen_counter_ = 1;

@@ -3,11 +3,9 @@
 namespace gdedup {
 
 namespace {
-constexpr uint64_t kMul = 0x9b97714def8a0d8dULL;  // odd multiplier
-
 constexpr uint64_t pow_mul(size_t e) {
   uint64_t r = 1;
-  for (size_t i = 0; i < e; i++) r *= kMul;
+  for (size_t i = 0; i < e; i++) r *= RabinRolling::kMul;
   return r;
 }
 }  // namespace
@@ -29,18 +27,6 @@ void RabinRolling::reset() {
   count_ = 0;
   pos_ = 0;
   window_.fill(0);
-}
-
-uint64_t RabinRolling::roll(uint8_t in) {
-  hash_ = hash_ * kMul + in;
-  if (count_ >= kWindow) {
-    hash_ -= out_table()[window_[pos_]];
-  } else {
-    count_++;
-  }
-  window_[pos_] = in;
-  pos_ = (pos_ + 1) % kWindow;
-  return hash_;
 }
 
 }  // namespace gdedup

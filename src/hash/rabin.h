@@ -16,24 +16,41 @@ namespace gdedup {
 class RabinRolling {
  public:
   static constexpr size_t kWindow = 48;
+  static constexpr uint64_t kMul = 0x9b97714def8a0d8dULL;  // odd multiplier
 
   RabinRolling() { reset(); }
 
   void reset();
 
   // Slide one byte in (and the oldest out once the window is full).
-  uint64_t roll(uint8_t in);
+  // Inline and branch-light: the table pointer is resolved once in the
+  // constructor so the hot loop carries no static-init guard, and the ring
+  // index wraps with a compare instead of `%`.
+  uint64_t roll(uint8_t in) {
+    hash_ = hash_ * kMul + in;
+    if (count_ >= kWindow) {
+      hash_ -= out_[window_[pos_]];
+    } else {
+      count_++;
+    }
+    window_[pos_] = in;
+    if (++pos_ == kWindow) pos_ = 0;
+    return hash_;
+  }
 
   uint64_t value() const { return hash_; }
   bool window_full() const { return count_ >= kWindow; }
 
- private:
-  // Multiplier tables precomputed for the "remove oldest byte" step.
+  // Multiplier table for the "remove oldest byte" step: out_table()[b] ==
+  // b * kMul^kWindow.  Public so the chunker's skip-ahead loop can hoist
+  // the lookup out of its inner loop too.
   static const std::array<uint64_t, 256>& out_table();
 
+ private:
   uint64_t hash_;
   size_t count_;
   size_t pos_;
+  const uint64_t* out_ = out_table().data();
   std::array<uint8_t, kWindow> window_;
 };
 

@@ -2,10 +2,340 @@
 
 #include <cstring>
 
+// Two interchangeable block compressors sit behind process_blocks(): a
+// portable unrolled scalar path and (on x86-64 with SHA-NI) a hardware
+// path.  Both are the same FIPS 180-4 function, so digests are
+// bit-identical regardless of which one runs — the tests pin that with
+// golden vectors.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GDEDUP_HAVE_SHA_NI 1
+#include <immintrin.h>
+#endif
+
 namespace gdedup {
 
 namespace {
+
 inline uint32_t rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline uint32_t load_be32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#else
+  return __builtin_bswap32(v);
+#endif
+}
+
+// Portable compressor: branch-free unrolled rounds over a 16-word rolling
+// schedule (the w[80] expansion of the textbook form is redundant — only
+// the last 16 words are ever live).
+void compress_portable(uint32_t state[5], const uint8_t* p, size_t nblocks) {
+  uint32_t a, b, c, d, e;
+  uint32_t w[16];
+  while (nblocks-- > 0) {
+    for (int i = 0; i < 16; i++) w[i] = load_be32(p + i * 4);
+    p += 64;
+    a = state[0];
+    b = state[1];
+    c = state[2];
+    d = state[3];
+    e = state[4];
+
+#define W(i) w[(i)&15]
+#define SCHED(i) \
+  (W(i) = rotl32(W(i + 13) ^ W(i + 8) ^ W(i + 2) ^ W(i), 1))
+#define R(f, k, x, a, b, c, d, e) \
+  e += rotl32(a, 5) + (f) + (k) + (x); \
+  b = rotl32(b, 30);
+#define F1(b, c, d) (((c ^ d) & b) ^ d)
+#define F2(b, c, d) (b ^ c ^ d)
+#define F3(b, c, d) (((b | c) & d) | (b & c))
+
+    R(F1(b, c, d), 0x5A827999, W(0), a, b, c, d, e)
+    R(F1(a, b, c), 0x5A827999, W(1), e, a, b, c, d)
+    R(F1(e, a, b), 0x5A827999, W(2), d, e, a, b, c)
+    R(F1(d, e, a), 0x5A827999, W(3), c, d, e, a, b)
+    R(F1(c, d, e), 0x5A827999, W(4), b, c, d, e, a)
+    R(F1(b, c, d), 0x5A827999, W(5), a, b, c, d, e)
+    R(F1(a, b, c), 0x5A827999, W(6), e, a, b, c, d)
+    R(F1(e, a, b), 0x5A827999, W(7), d, e, a, b, c)
+    R(F1(d, e, a), 0x5A827999, W(8), c, d, e, a, b)
+    R(F1(c, d, e), 0x5A827999, W(9), b, c, d, e, a)
+    R(F1(b, c, d), 0x5A827999, W(10), a, b, c, d, e)
+    R(F1(a, b, c), 0x5A827999, W(11), e, a, b, c, d)
+    R(F1(e, a, b), 0x5A827999, W(12), d, e, a, b, c)
+    R(F1(d, e, a), 0x5A827999, W(13), c, d, e, a, b)
+    R(F1(c, d, e), 0x5A827999, W(14), b, c, d, e, a)
+    R(F1(b, c, d), 0x5A827999, W(15), a, b, c, d, e)
+    R(F1(a, b, c), 0x5A827999, SCHED(16), e, a, b, c, d)
+    R(F1(e, a, b), 0x5A827999, SCHED(17), d, e, a, b, c)
+    R(F1(d, e, a), 0x5A827999, SCHED(18), c, d, e, a, b)
+    R(F1(c, d, e), 0x5A827999, SCHED(19), b, c, d, e, a)
+
+    R(F2(b, c, d), 0x6ED9EBA1, SCHED(20), a, b, c, d, e)
+    R(F2(a, b, c), 0x6ED9EBA1, SCHED(21), e, a, b, c, d)
+    R(F2(e, a, b), 0x6ED9EBA1, SCHED(22), d, e, a, b, c)
+    R(F2(d, e, a), 0x6ED9EBA1, SCHED(23), c, d, e, a, b)
+    R(F2(c, d, e), 0x6ED9EBA1, SCHED(24), b, c, d, e, a)
+    R(F2(b, c, d), 0x6ED9EBA1, SCHED(25), a, b, c, d, e)
+    R(F2(a, b, c), 0x6ED9EBA1, SCHED(26), e, a, b, c, d)
+    R(F2(e, a, b), 0x6ED9EBA1, SCHED(27), d, e, a, b, c)
+    R(F2(d, e, a), 0x6ED9EBA1, SCHED(28), c, d, e, a, b)
+    R(F2(c, d, e), 0x6ED9EBA1, SCHED(29), b, c, d, e, a)
+    R(F2(b, c, d), 0x6ED9EBA1, SCHED(30), a, b, c, d, e)
+    R(F2(a, b, c), 0x6ED9EBA1, SCHED(31), e, a, b, c, d)
+    R(F2(e, a, b), 0x6ED9EBA1, SCHED(32), d, e, a, b, c)
+    R(F2(d, e, a), 0x6ED9EBA1, SCHED(33), c, d, e, a, b)
+    R(F2(c, d, e), 0x6ED9EBA1, SCHED(34), b, c, d, e, a)
+    R(F2(b, c, d), 0x6ED9EBA1, SCHED(35), a, b, c, d, e)
+    R(F2(a, b, c), 0x6ED9EBA1, SCHED(36), e, a, b, c, d)
+    R(F2(e, a, b), 0x6ED9EBA1, SCHED(37), d, e, a, b, c)
+    R(F2(d, e, a), 0x6ED9EBA1, SCHED(38), c, d, e, a, b)
+    R(F2(c, d, e), 0x6ED9EBA1, SCHED(39), b, c, d, e, a)
+
+    R(F3(b, c, d), 0x8F1BBCDC, SCHED(40), a, b, c, d, e)
+    R(F3(a, b, c), 0x8F1BBCDC, SCHED(41), e, a, b, c, d)
+    R(F3(e, a, b), 0x8F1BBCDC, SCHED(42), d, e, a, b, c)
+    R(F3(d, e, a), 0x8F1BBCDC, SCHED(43), c, d, e, a, b)
+    R(F3(c, d, e), 0x8F1BBCDC, SCHED(44), b, c, d, e, a)
+    R(F3(b, c, d), 0x8F1BBCDC, SCHED(45), a, b, c, d, e)
+    R(F3(a, b, c), 0x8F1BBCDC, SCHED(46), e, a, b, c, d)
+    R(F3(e, a, b), 0x8F1BBCDC, SCHED(47), d, e, a, b, c)
+    R(F3(d, e, a), 0x8F1BBCDC, SCHED(48), c, d, e, a, b)
+    R(F3(c, d, e), 0x8F1BBCDC, SCHED(49), b, c, d, e, a)
+    R(F3(b, c, d), 0x8F1BBCDC, SCHED(50), a, b, c, d, e)
+    R(F3(a, b, c), 0x8F1BBCDC, SCHED(51), e, a, b, c, d)
+    R(F3(e, a, b), 0x8F1BBCDC, SCHED(52), d, e, a, b, c)
+    R(F3(d, e, a), 0x8F1BBCDC, SCHED(53), c, d, e, a, b)
+    R(F3(c, d, e), 0x8F1BBCDC, SCHED(54), b, c, d, e, a)
+    R(F3(b, c, d), 0x8F1BBCDC, SCHED(55), a, b, c, d, e)
+    R(F3(a, b, c), 0x8F1BBCDC, SCHED(56), e, a, b, c, d)
+    R(F3(e, a, b), 0x8F1BBCDC, SCHED(57), d, e, a, b, c)
+    R(F3(d, e, a), 0x8F1BBCDC, SCHED(58), c, d, e, a, b)
+    R(F3(c, d, e), 0x8F1BBCDC, SCHED(59), b, c, d, e, a)
+
+    R(F2(b, c, d), 0xCA62C1D6, SCHED(60), a, b, c, d, e)
+    R(F2(a, b, c), 0xCA62C1D6, SCHED(61), e, a, b, c, d)
+    R(F2(e, a, b), 0xCA62C1D6, SCHED(62), d, e, a, b, c)
+    R(F2(d, e, a), 0xCA62C1D6, SCHED(63), c, d, e, a, b)
+    R(F2(c, d, e), 0xCA62C1D6, SCHED(64), b, c, d, e, a)
+    R(F2(b, c, d), 0xCA62C1D6, SCHED(65), a, b, c, d, e)
+    R(F2(a, b, c), 0xCA62C1D6, SCHED(66), e, a, b, c, d)
+    R(F2(e, a, b), 0xCA62C1D6, SCHED(67), d, e, a, b, c)
+    R(F2(d, e, a), 0xCA62C1D6, SCHED(68), c, d, e, a, b)
+    R(F2(c, d, e), 0xCA62C1D6, SCHED(69), b, c, d, e, a)
+    R(F2(b, c, d), 0xCA62C1D6, SCHED(70), a, b, c, d, e)
+    R(F2(a, b, c), 0xCA62C1D6, SCHED(71), e, a, b, c, d)
+    R(F2(e, a, b), 0xCA62C1D6, SCHED(72), d, e, a, b, c)
+    R(F2(d, e, a), 0xCA62C1D6, SCHED(73), c, d, e, a, b)
+    R(F2(c, d, e), 0xCA62C1D6, SCHED(74), b, c, d, e, a)
+    R(F2(b, c, d), 0xCA62C1D6, SCHED(75), a, b, c, d, e)
+    R(F2(a, b, c), 0xCA62C1D6, SCHED(76), e, a, b, c, d)
+    R(F2(e, a, b), 0xCA62C1D6, SCHED(77), d, e, a, b, c)
+    R(F2(d, e, a), 0xCA62C1D6, SCHED(78), c, d, e, a, b)
+    R(F2(c, d, e), 0xCA62C1D6, SCHED(79), b, c, d, e, a)
+
+#undef W
+#undef SCHED
+#undef R
+#undef F1
+#undef F2
+#undef F3
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+  }
+}
+
+#if GDEDUP_HAVE_SHA_NI
+
+__attribute__((target("sha,sse4.1"))) void compress_shani(uint32_t state[5],
+                                                          const uint8_t* data,
+                                                          size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0001020304050607ULL, 0x08090a0b0c0d0e0fULL);
+  __m128i abcd =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  __m128i e0 = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+
+  while (nblocks-- > 0) {
+    const __m128i abcd_save = abcd;
+    const __m128i e_save = e0;
+    __m128i e1;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+    data += 64;
+
+    // Rounds 0-3
+    e0 = _mm_add_epi32(e0, msg0);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    // Rounds 4-7
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    // Rounds 8-11
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 12-15
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 16-19
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 20-23
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 24-27
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 28-31
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 32-35
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 36-39
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 40-43
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 44-47
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 48-51
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 52-55
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 56-59
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 60-63
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 64-67
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 68-71
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 72-75
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    // Rounds 76-79
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+    e0 = _mm_sha1nexte_epu32(e0, e_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+  }
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  state[4] = static_cast<uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+#endif  // GDEDUP_HAVE_SHA_NI
+
+using CompressFn = void (*)(uint32_t*, const uint8_t*, size_t);
+
+CompressFn resolve_compress() {
+#if GDEDUP_HAVE_SHA_NI
+  if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1")) {
+    return compress_shani;
+  }
+#endif
+  return compress_portable;
+}
+
+inline void compress(uint32_t* state, const uint8_t* p, size_t nblocks) {
+  static const CompressFn fn = resolve_compress();
+  fn(state, p, nblocks);
+}
+
 }  // namespace
 
 void Sha1::reset() {
@@ -18,47 +348,8 @@ void Sha1::reset() {
   buf_len_ = 0;
 }
 
-void Sha1::process_block(const uint8_t* block) {
-  uint32_t w[80];
-  for (int i = 0; i < 16; i++) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 80; i++) {
-    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-           e = state_[4];
-  for (int i = 0; i < 80; i++) {
-    uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | ((~b) & d);
-      k = 0x5A827999;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDC;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6;
-    }
-    const uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = rotl32(b, 30);
-    b = a;
-    a = tmp;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
+void Sha1::process_blocks(const uint8_t* blocks, size_t nblocks) {
+  compress(state_, blocks, nblocks);
 }
 
 void Sha1::update(std::span<const uint8_t> data) {
@@ -72,14 +363,17 @@ void Sha1::update(std::span<const uint8_t> data) {
     p += take;
     n -= take;
     if (buf_len_ == sizeof(buf_)) {
-      process_block(buf_);
+      process_blocks(buf_, 1);
       buf_len_ = 0;
     }
   }
-  while (n >= 64) {
-    process_block(p);
-    p += 64;
-    n -= 64;
+  if (n >= 64) {
+    // Bulk path: compress whole blocks straight out of the caller's span,
+    // no staging copy through buf_.
+    const size_t nblocks = n / 64;
+    process_blocks(p, nblocks);
+    p += nblocks * 64;
+    n -= nblocks * 64;
   }
   if (n > 0) {
     std::memcpy(buf_, p, n);
@@ -89,15 +383,17 @@ void Sha1::update(std::span<const uint8_t> data) {
 
 Sha1::Digest Sha1::finish() {
   const uint64_t bit_len = total_len_ * 8;
-  const uint8_t pad = 0x80;
-  update({&pad, 1});
-  const uint8_t zero = 0;
-  while (buf_len_ != 56) update({&zero, 1});
-  uint8_t len_be[8];
-  for (int i = 0; i < 8; i++) {
-    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  buf_[buf_len_++] = 0x80;
+  if (buf_len_ > 56) {
+    std::memset(buf_ + buf_len_, 0, sizeof(buf_) - buf_len_);
+    process_blocks(buf_, 1);
+    buf_len_ = 0;
   }
-  update({len_be, 8});
+  std::memset(buf_ + buf_len_, 0, 56 - buf_len_);
+  for (int i = 0; i < 8; i++) {
+    buf_[56 + i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  }
+  process_blocks(buf_, 1);
 
   Digest d;
   for (int i = 0; i < 5; i++) {

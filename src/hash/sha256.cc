@@ -2,11 +2,31 @@
 
 #include <cstring>
 
+// Same layering as sha1.cc: a portable unrolled compressor and (on x86-64
+// with SHA-NI) a hardware compressor behind one dispatch point.  Both
+// compute the identical FIPS 180-4 function; golden-vector tests pin the
+// outputs.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GDEDUP_HAVE_SHA_NI 1
+#include <immintrin.h>
+#endif
+
 namespace gdedup {
 
 namespace {
 
 inline uint32_t rotr32(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
+
+inline uint32_t load_be32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#else
+  return __builtin_bswap32(v);
+#endif
+}
 
 constexpr uint32_t kK[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
@@ -20,6 +40,279 @@ constexpr uint32_t kK[64] = {
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+// Portable compressor: 16-word rolling schedule and rounds unrolled eight
+// at a time via register rotation, instead of the textbook w[64] + per-
+// round shifting of eight state variables.
+void compress_portable(uint32_t state[8], const uint8_t* p, size_t nblocks) {
+  uint32_t w[16];
+  while (nblocks-- > 0) {
+    for (int i = 0; i < 16; i++) w[i] = load_be32(p + i * 4);
+    p += 64;
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+#define S0(x) (rotr32(x, 2) ^ rotr32(x, 13) ^ rotr32(x, 22))
+#define S1(x) (rotr32(x, 6) ^ rotr32(x, 11) ^ rotr32(x, 25))
+#define LS0(x) (rotr32(x, 7) ^ rotr32(x, 18) ^ ((x) >> 3))
+#define LS1(x) (rotr32(x, 17) ^ rotr32(x, 19) ^ ((x) >> 10))
+#define W(i) w[(i)&15]
+#define SCHED(i) \
+  (W(i) += LS1(W(i + 14)) + W(i + 9) + LS0(W(i + 1)))
+#define RND(a, b, c, d, e, f, g, h, k, x)                    \
+  {                                                          \
+    const uint32_t t1 = h + S1(e) + (g ^ (e & (f ^ g))) + (k) + (x); \
+    const uint32_t t2 = S0(a) + ((a & b) | (c & (a | b)));   \
+    d += t1;                                                 \
+    h = t1 + t2;                                             \
+  }
+
+    for (int i = 0; i < 64; i += 8) {
+      if (i >= 16) {
+        SCHED(i);
+        SCHED(i + 1);
+        SCHED(i + 2);
+        SCHED(i + 3);
+        SCHED(i + 4);
+        SCHED(i + 5);
+        SCHED(i + 6);
+        SCHED(i + 7);
+      }
+      RND(a, b, c, d, e, f, g, h, kK[i], W(i));
+      RND(h, a, b, c, d, e, f, g, kK[i + 1], W(i + 1));
+      RND(g, h, a, b, c, d, e, f, kK[i + 2], W(i + 2));
+      RND(f, g, h, a, b, c, d, e, kK[i + 3], W(i + 3));
+      RND(e, f, g, h, a, b, c, d, kK[i + 4], W(i + 4));
+      RND(d, e, f, g, h, a, b, c, kK[i + 5], W(i + 5));
+      RND(c, d, e, f, g, h, a, b, kK[i + 6], W(i + 6));
+      RND(b, c, d, e, f, g, h, a, kK[i + 7], W(i + 7));
+    }
+
+#undef S0
+#undef S1
+#undef LS0
+#undef LS1
+#undef W
+#undef SCHED
+#undef RND
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#if GDEDUP_HAVE_SHA_NI
+
+__attribute__((target("sha,sse4.1"))) void compress_shani(uint32_t state[8],
+                                                          const uint8_t* data,
+                                                          size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // State lanes as the SHA-NI instructions want them: ABEF / CDGH.
+  __m128i tmp = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0])), 0xB1);
+  __m128i st1 = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4])), 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);           // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);                // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg, tmp2;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+    data += 64;
+
+    // Rounds 0-3
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    // Rounds 4-7
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    // Rounds 8-11
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+    // Rounds 12-15
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp2);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    // Rounds 16-19
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp2);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+    // Rounds 20-23
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp2);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    // Rounds 24-27
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp2);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+    // Rounds 28-31
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp2);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    // Rounds 32-35
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp2);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+    // Rounds 36-39
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp2);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    // Rounds 40-43
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp2);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+    // Rounds 44-47
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp2);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    // Rounds 48-51
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp2);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+    // Rounds 52-55
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp2);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    // Rounds 56-59
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp2 = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp2);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    // Rounds 60-63
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);                   // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);                   // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);                // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);                   // ABEF -> HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+#endif  // GDEDUP_HAVE_SHA_NI
+
+using CompressFn = void (*)(uint32_t*, const uint8_t*, size_t);
+
+CompressFn resolve_compress() {
+#if GDEDUP_HAVE_SHA_NI
+  if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1")) {
+    return compress_shani;
+  }
+#endif
+  return compress_portable;
+}
+
+inline void compress(uint32_t* state, const uint8_t* p, size_t nblocks) {
+  static const CompressFn fn = resolve_compress();
+  fn(state, p, nblocks);
+}
 
 }  // namespace
 
@@ -36,48 +329,8 @@ void Sha256::reset() {
   buf_len_ = 0;
 }
 
-void Sha256::process_block(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; i++) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; i++) {
-    const uint32_t s0 =
-        rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 =
-        rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (int i = 0; i < 64; i++) {
-    const uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
-    const uint32_t ch = (e & f) ^ ((~e) & g);
-    const uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::process_blocks(const uint8_t* blocks, size_t nblocks) {
+  compress(state_, blocks, nblocks);
 }
 
 void Sha256::update(std::span<const uint8_t> data) {
@@ -91,14 +344,17 @@ void Sha256::update(std::span<const uint8_t> data) {
     p += take;
     n -= take;
     if (buf_len_ == sizeof(buf_)) {
-      process_block(buf_);
+      process_blocks(buf_, 1);
       buf_len_ = 0;
     }
   }
-  while (n >= 64) {
-    process_block(p);
-    p += 64;
-    n -= 64;
+  if (n >= 64) {
+    // Bulk path: compress whole blocks straight out of the caller's span,
+    // no staging copy through buf_.
+    const size_t nblocks = n / 64;
+    process_blocks(p, nblocks);
+    p += nblocks * 64;
+    n -= nblocks * 64;
   }
   if (n > 0) {
     std::memcpy(buf_, p, n);
@@ -108,15 +364,17 @@ void Sha256::update(std::span<const uint8_t> data) {
 
 Sha256::Digest Sha256::finish() {
   const uint64_t bit_len = total_len_ * 8;
-  const uint8_t pad = 0x80;
-  update({&pad, 1});
-  const uint8_t zero = 0;
-  while (buf_len_ != 56) update({&zero, 1});
-  uint8_t len_be[8];
-  for (int i = 0; i < 8; i++) {
-    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  buf_[buf_len_++] = 0x80;
+  if (buf_len_ > 56) {
+    std::memset(buf_ + buf_len_, 0, sizeof(buf_) - buf_len_);
+    process_blocks(buf_, 1);
+    buf_len_ = 0;
   }
-  update({len_be, 8});
+  std::memset(buf_ + buf_len_, 0, 56 - buf_len_);
+  for (int i = 0; i < 8; i++) {
+    buf_[56 + i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  }
+  process_blocks(buf_, 1);
 
   Digest d;
   for (int i = 0; i < 8; i++) {

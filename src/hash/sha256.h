@@ -26,7 +26,7 @@ class Sha256 {
   }
 
  private:
-  void process_block(const uint8_t* block);
+  void process_blocks(const uint8_t* blocks, size_t nblocks);
 
   uint32_t state_[8];
   uint64_t total_len_;

@@ -55,9 +55,7 @@ void ExtentMap::punch_hole(uint64_t off, uint64_t len) {
 }
 
 Buffer ExtentMap::read(uint64_t off, uint64_t len) const {
-  Buffer out(len);  // zero-filled
-  if (len == 0) return out;
-  uint8_t* dst = out.mutable_data();
+  if (len == 0) return Buffer(0);
   const uint64_t end = off + len;
 
   auto it = extents_.lower_bound(off);
@@ -65,6 +63,17 @@ Buffer ExtentMap::read(uint64_t off, uint64_t len) const {
     auto prev = std::prev(it);
     if (prev->first + prev->second.size() > off) it = prev;
   }
+  // Zero-copy fast path: one extent covers the whole range.  Returning a
+  // slice preserves the stored Buffer's storage identity and generation, so
+  // a flush re-reading unchanged data can hit the fingerprint cache (the
+  // slice is COW — any writer detaches before mutating).
+  if (it != extents_.end() && it->first <= off &&
+      it->first + it->second.size() >= end) {
+    return it->second.slice(off - it->first, len);
+  }
+
+  Buffer out(len);  // zero-filled
+  uint8_t* dst = out.mutable_data();
   for (; it != extents_.end() && it->first < end; ++it) {
     const uint64_t estart = it->first;
     const uint64_t eend = estart + it->second.size();

@@ -121,6 +121,7 @@ DedupTierStats Cluster::tier_stats(PoolId metadata_pool) {
     agg.racy_flushes += s.racy_flushes;
     agg.engine_ticks += s.engine_ticks;
     agg.engine_aborts += s.engine_aborts;
+    agg.fingerprint_cache_hits += s.fingerprint_cache_hits;
   }
   return agg;
 }

@@ -131,6 +131,58 @@ TEST(Buffer, MutableDataOnEmpty) {
   EXPECT_EQ(b.view(), "x");
 }
 
+// Generation semantics backing the fingerprint memoization cache: equal
+// (storage_id, generation) must imply identical bytes for the storage's
+// whole lifetime.
+
+TEST(Buffer, GenerationsAreUniquePerAllocation) {
+  Buffer a = Buffer::copy_of("aaaa");
+  Buffer b = Buffer::copy_of("aaaa");
+  EXPECT_NE(a.generation(), 0u);
+  EXPECT_NE(a.generation(), b.generation());
+  EXPECT_NE(a.storage_id(), nullptr);
+  EXPECT_NE(a.storage_id(), b.storage_id());
+}
+
+TEST(Buffer, CopyAndSliceInheritGeneration) {
+  Buffer a = Buffer::copy_of("0123456789");
+  Buffer copy = a;
+  Buffer s = a.slice(2, 6);
+  EXPECT_EQ(copy.generation(), a.generation());
+  EXPECT_EQ(copy.storage_id(), a.storage_id());
+  EXPECT_EQ(s.generation(), a.generation());
+  EXPECT_EQ(s.storage_id(), a.storage_id());
+}
+
+TEST(Buffer, SoleOwnerMutationBumpsGeneration) {
+  Buffer a = Buffer::copy_of("abcd");
+  const uint64_t g0 = a.generation();
+  const void* id0 = a.storage_id();
+  a.mutable_data()[0] = 'x';
+  EXPECT_EQ(a.storage_id(), id0);  // no sharer: storage reused in place
+  EXPECT_NE(a.generation(), g0);
+}
+
+TEST(Buffer, SharedMutationDetachesWithFreshGeneration) {
+  Buffer a = Buffer::copy_of("abcd");
+  Buffer b = a;
+  const uint64_t ga = a.generation();
+  b.mutable_data()[0] = 'x';
+  // The sharer detached onto new storage; a's identity is untouched, so a
+  // cached fingerprint for (a.storage_id, ga) remains valid.
+  EXPECT_NE(b.storage_id(), a.storage_id());
+  EXPECT_NE(b.generation(), ga);
+  EXPECT_EQ(a.generation(), ga);
+  EXPECT_EQ(a.view(), "abcd");
+}
+
+TEST(Buffer, ResizeBumpsGeneration) {
+  Buffer a = Buffer::copy_of("abcd");
+  const uint64_t g0 = a.generation();
+  a.resize(8);
+  EXPECT_NE(a.generation(), g0);
+}
+
 TEST(Buffer, LargeRandomRoundTrip) {
   Rng rng(99);
   Buffer b(1 << 16);

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "dedup/chunk_map.h"
 #include "dedup/chunker.h"
+#include "hash/rabin.h"
 
 namespace gdedup {
 namespace {
@@ -139,6 +140,99 @@ TEST(CdcChunker, FixedChunkerLacksShiftResistance) {
     if (set_a.count(ch.data.to_string())) shared++;
   }
   EXPECT_EQ(shared, 0u);
+}
+
+// The optimized split() must be bit-identical to the straightforward
+// byte-at-a-time scan it replaced; split_reference() is kept precisely so
+// this can be asserted on every interesting input shape.
+void expect_same_chunks(const CdcChunker& c, const Buffer& data) {
+  const auto fast = c.split(data);
+  const auto ref = c.split_reference(data);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (size_t i = 0; i < fast.size(); i++) {
+    EXPECT_EQ(fast[i].offset, ref[i].offset) << "chunk " << i;
+    ASSERT_EQ(fast[i].data.size(), ref[i].data.size()) << "chunk " << i;
+    EXPECT_TRUE(fast[i].data.content_equals(ref[i].data)) << "chunk " << i;
+  }
+}
+
+TEST(CdcChunker, FastPathMatchesReferenceRandom) {
+  CdcChunker c(8192, 32768, 131072);
+  expect_same_chunks(c, random_data(1 << 20, 21));
+  // Odd length exercises the stride-2 scan's scalar tail.
+  expect_same_chunks(c, random_data((1 << 20) + 1, 22));
+}
+
+TEST(CdcChunker, FastPathMatchesReferenceAcrossConfigs) {
+  // Dense cutting (min == window size, tiny average) hits boundaries at
+  // exactly min_size and at every loop-parity position; the wide config
+  // leaves long boundary-free stretches.
+  CdcChunker dense(48, 64, 4096);
+  CdcChunker mid(2048, 8192, 32768);
+  CdcChunker wide(65536, 262144, 1048576);
+  for (uint64_t seed = 30; seed < 34; seed++) {
+    for (size_t extra = 0; extra < 3; extra++) {
+      Buffer data = random_data(200000 + extra, seed);
+      expect_same_chunks(dense, data);
+      expect_same_chunks(mid, data);
+      expect_same_chunks(wide, data);
+    }
+  }
+}
+
+TEST(CdcChunker, FastPathMatchesReferenceAllZeros) {
+  // Zeros never satisfy the boundary mask: every cut is a forced max-size
+  // cut, plus a short tail.
+  CdcChunker c(2048, 8192, 32768);
+  Buffer zeros(100000);
+  expect_same_chunks(c, zeros);
+  auto chunks = c.split(zeros);
+  ASSERT_EQ(chunks.size(), 100000 / 32768 + 1);
+  for (size_t i = 0; i + 1 < chunks.size(); i++) {
+    EXPECT_EQ(chunks[i].data.size(), 32768u);
+  }
+  // Exact max-size multiple: no tail chunk.
+  Buffer exact(3 * 32768);
+  expect_same_chunks(c, exact);
+  EXPECT_EQ(c.split(exact).size(), 3u);
+}
+
+TEST(CdcChunker, FastPathMatchesReferenceAllBoundaryInput) {
+  // Adversarial opposite of all-zeros: a tiled 48-byte block chosen so the
+  // rolling hash satisfies the boundary mask at every min_size candidate
+  // (min == window == tile period), making every chunk cut immediately at
+  // the warm-up check without entering the steady-state scan.
+  constexpr uint32_t kWin = RabinRolling::kWindow;
+  CdcChunker c(kWin, 64, 4096);
+  Rng rng(55);
+  Buffer tile(kWin);
+  for (int tries = 0; tries < 100000; tries++) {
+    rng.fill(tile.mutable_data(), tile.size());
+    RabinRolling rh;
+    uint64_t h = 0;
+    for (uint8_t x : tile.span()) h = rh.roll(x);
+    if ((h & 63u) == 63u) break;
+  }
+  Buffer data(kWin * 100 + 17);  // +17: ragged tail on top of the tiling
+  uint8_t* p = data.mutable_data();
+  for (size_t i = 0; i < data.size(); i++) p[i] = tile.data()[i % kWin];
+  expect_same_chunks(c, data);
+  auto chunks = c.split(data);
+  ASSERT_EQ(chunks.size(), 101u);
+  for (size_t i = 0; i + 1 < chunks.size(); i++) {
+    EXPECT_EQ(chunks[i].data.size(), kWin);
+  }
+}
+
+TEST(CdcChunker, FastPathMatchesReferenceShortInputs) {
+  CdcChunker c(2048, 8192, 32768);
+  expect_same_chunks(c, Buffer());           // empty
+  expect_same_chunks(c, random_data(1, 40));  // below the rolling window
+  expect_same_chunks(c, random_data(47, 41));
+  expect_same_chunks(c, random_data(2047, 42));  // sub-min_size tail only
+  EXPECT_EQ(c.split(random_data(2047, 42)).size(), 1u);
+  expect_same_chunks(c, random_data(2048, 43));  // exactly min_size
+  expect_same_chunks(c, random_data(2049, 44));
 }
 
 // --------------------------------------------------------------- ChunkMap

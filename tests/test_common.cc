@@ -262,6 +262,33 @@ TEST(Crc32c, KnownVectors) {
             0xe3069283u);
 }
 
+TEST(Crc32c, Rfc3720Vectors) {
+  // The remaining RFC 3720 B.4 check values.
+  std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < 32; i++) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+  std::vector<uint8_t> descending(32);
+  for (size_t i = 0; i < 32; i++) descending[i] = static_cast<uint8_t>(31 - i);
+  EXPECT_EQ(crc32c(descending), 0x113fdb5cu);
+}
+
+TEST(Crc32c, SplitAnywhereMatchesOneShot) {
+  // Chaining through the seed must equal the one-shot CRC for every split
+  // point; the sweep drags the slicing-by-8 / hardware 8-byte inner loop
+  // across every alignment and remainder length.
+  Rng rng(13);
+  Buffer data(100);
+  rng.fill(data.mutable_data(), data.size());
+  const uint32_t whole = crc32c(data.span());
+  for (size_t cut = 0; cut <= data.size(); cut++) {
+    const uint32_t head = crc32c({data.data(), cut});
+    EXPECT_EQ(crc32c({data.data() + cut, data.size() - cut}, head), whole)
+        << "cut " << cut;
+  }
+}
+
 TEST(Crc32c, DetectsBitFlip) {
   Buffer b = Buffer::copy_of("some payload for checksum");
   const uint32_t before = crc32c(b.span());

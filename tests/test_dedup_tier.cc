@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dedup/fingerprint_cache.h"
 #include "test_util.h"
 #include "workload/content.h"
 
@@ -168,6 +169,44 @@ TEST(DedupTier, RewriteSameContentIsNoopFlush) {
   EXPECT_EQ(stats2.chunks_flushed, stats1.chunks_flushed);  // no new put
   EXPECT_GT(stats2.noop_flushes, stats1.noop_flushes);
   EXPECT_TRUE(h.refcounts_consistent());
+}
+
+TEST(DedupTier, NoopReflushHitsFingerprintCache) {
+  // Re-flushing unchanged content must not pay for rehashing: the write
+  // stores the client's Buffer by value and the flush read returns a
+  // zero-copy slice of it, so the memoization key (storage identity +
+  // generation) survives the round trip and the second flush hits.
+  DedupHarness h(test_tier_config());
+  Buffer data = random_buffer(kChunk, 10);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+  ASSERT_TRUE(h.drain());
+  const auto stats1 = h.cluster->tier_stats(h.meta);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+  ASSERT_TRUE(h.drain());
+  const auto stats2 = h.cluster->tier_stats(h.meta);
+  EXPECT_GT(stats2.fingerprint_cache_hits, stats1.fingerprint_cache_hits);
+  EXPECT_TRUE(h.refcounts_consistent());
+}
+
+TEST(FingerprintCache, SameStorageHitsMutationMisses) {
+  FingerprintCache cache;
+  Buffer b = random_buffer(4096, 77);
+  EXPECT_EQ(cache.find(b, FingerprintAlgo::kSha256), nullptr);
+  const Fingerprint fp =
+      Fingerprint::compute(FingerprintAlgo::kSha256, b.span());
+  cache.insert(b, FingerprintAlgo::kSha256, fp);
+  const Fingerprint* hit = cache.find(b, FingerprintAlgo::kSha256);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, fp);
+  Buffer copy = b;  // shares storage and generation
+  EXPECT_NE(cache.find(copy, FingerprintAlgo::kSha256), nullptr);
+  // The algorithm is part of the key.
+  EXPECT_EQ(cache.find(b, FingerprintAlgo::kSha1), nullptr);
+  // Mutation bumps the generation, so the stale digest can't come back.
+  b.mutable_data()[0] ^= 1;
+  EXPECT_EQ(cache.find(b, FingerprintAlgo::kSha256), nullptr);
+  EXPECT_EQ(cache.lookups(), 5u);
+  EXPECT_EQ(cache.hits(), 2u);
 }
 
 TEST(DedupTier, PartialWriteAfterEvictionMergesInBackground) {

@@ -50,6 +50,29 @@ TEST(Sha1, MillionAs) {
   EXPECT_EQ(hex_of(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
 }
 
+TEST(Sha1, Nist896BitMessage) {
+  // FIPS 180-2 vector whose 112-byte length exceeds one 512-bit block and
+  // forces the bulk multi-block update path.
+  EXPECT_EQ(hex_of(Sha1::of(bytes_of(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+            "a49b2446a02c645bf419f995b67091253a04a259");
+}
+
+TEST(Sha1, PaddingBoundaryLengthSweep) {
+  // One-shot vs byte-at-a-time agreement for every length through two
+  // blocks, covering the 55/56/64-byte padding edges and the bulk-block
+  // fast path's entry conditions.
+  Rng rng(11);
+  Buffer data(130);
+  rng.fill(data.mutable_data(), data.size());
+  for (size_t n = 0; n <= data.size(); n++) {
+    Sha1 inc;
+    for (size_t i = 0; i < n; i++) inc.update({data.data() + i, 1});
+    EXPECT_EQ(inc.finish(), Sha1::of({data.data(), n})) << "len " << n;
+  }
+}
+
 TEST(Sha1, IncrementalMatchesOneShot) {
   Rng rng(5);
   Buffer data(100000);
@@ -90,6 +113,24 @@ TEST(Sha256, MillionAs) {
   for (int i = 0; i < 1000; i++) h.update(chunk);
   EXPECT_EQ(hex_of(h.finish()),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, Nist896BitMessage) {
+  EXPECT_EQ(hex_of(Sha256::of(bytes_of(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, PaddingBoundaryLengthSweep) {
+  Rng rng(12);
+  Buffer data(130);
+  rng.fill(data.mutable_data(), data.size());
+  for (size_t n = 0; n <= data.size(); n++) {
+    Sha256 inc;
+    for (size_t i = 0; i < n; i++) inc.update({data.data() + i, 1});
+    EXPECT_EQ(inc.finish(), Sha256::of({data.data(), n})) << "len " << n;
+  }
 }
 
 TEST(Sha256, IncrementalMatchesOneShot) {
