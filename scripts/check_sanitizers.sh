@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the whole tree under ASan+UBSan and run the test suite.
+#
+# Usage: scripts/check_sanitizers.sh [ctest-regex]
+#
+# Uses a separate build directory (build-asan) so the regular build stays
+# untouched.  -fno-sanitize-recover=all turns every sanitizer report into
+# a hard failure, so a green ctest run really means no UB and no memory
+# errors on the exercised paths.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+filter="${1:-}"
+
+san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+cd "${build_dir}"
+if [[ -n "${filter}" ]]; then
+  ctest --output-on-failure -R "${filter}"
+else
+  ctest --output-on-failure
+fi

@@ -1,0 +1,143 @@
+#include "cluster/fault_planner.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace gdedup {
+
+namespace {
+
+constexpr int kNumEngineFailurePoints = 4;  // FailurePoint in dedup/tier.h
+constexpr int kNumOsdFailurePointsHere = 5; // OsdFailurePoint in osd/osd.h
+
+enum class EpisodeKind { kCrash, kEnginePoint, kOsdPoint, kNet };
+
+}  // namespace
+
+FaultPlan plan_faults(const OsdMap& map, uint64_t seed,
+                      const FaultPlannerConfig& cfg) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const std::vector<OsdId> up = map.up_osds();
+  if (up.empty() || cfg.max_episodes <= 0) return plan;
+
+  Rng rng(mix64(seed ^ 0xfa1075c4ed01eULL));
+  auto below_t = [&rng](SimTime n) -> SimTime {
+    return n > 0 ? static_cast<SimTime>(rng.below(static_cast<uint64_t>(n)))
+                 : 0;
+  };
+  const int episodes =
+      1 + static_cast<int>(rng.below(static_cast<uint64_t>(cfg.max_episodes)));
+  const SimTime slice = cfg.horizon / episodes;
+  // Tail of each slice reserved for heal + backfill to settle.
+  const SimTime settle = slice / 5;
+
+  for (int ep = 0; ep < episodes; ep++) {
+    const SimTime s = slice * ep;
+    const SimTime e = s + slice;
+
+    std::vector<EpisodeKind> kinds{EpisodeKind::kCrash};
+    if (cfg.allow_engine_points) kinds.push_back(EpisodeKind::kEnginePoint);
+    if (cfg.allow_osd_points) kinds.push_back(EpisodeKind::kOsdPoint);
+    if (cfg.allow_net_faults) kinds.push_back(EpisodeKind::kNet);
+    const EpisodeKind kind = kinds[rng.below(kinds.size())];
+    const OsdId victim = up[rng.below(up.size())];
+
+    switch (kind) {
+      case EpisodeKind::kCrash: {
+        const SimTime t_crash = s + below_t(slice / 4);
+        const SimTime t_revive = t_crash + slice / 4 + below_t(slice / 4);
+        // Crash revives wipe the store: without versioned peering a replica
+        // that died mid-fanout would rejoin with a stale chunk map whose old
+        // chunks may already be deref-reclaimed — backfilling it whole from
+        // the survivors is the only reconciliation the design offers (and
+        // the strongest variant of the Figure 9 recovery argument).
+        const bool wipe = cfg.allow_wipe;
+        plan.events.push_back(
+            {t_crash, FaultAction::kCrashOsd, victim, 0, 0, 0});
+        plan.events.push_back(
+            {t_revive, FaultAction::kReviveOsd, victim, wipe ? 1 : 0, 0, 0});
+        plan.events.push_back({t_revive, FaultAction::kRecover, -1, 0, 0, 0});
+        break;
+      }
+      case EpisodeKind::kEnginePoint: {
+        const int point = static_cast<int>(rng.below(kNumEngineFailurePoints));
+        const int mode = rng.chance(0.5) ? 1 : 0;  // 1 = crash, 0 = abort
+        plan.events.push_back(
+            {s, FaultAction::kArmEnginePoint, -1, point, mode, 0});
+        // Heal at episode end: disarm, and if the point crashed an OSD,
+        // revive it wiped and backfill (osd == -1: "whoever fired").
+        plan.events.push_back(
+            {e - settle, FaultAction::kReviveOsd, -1, 1, 0, 0});
+        plan.events.push_back(
+            {e - settle, FaultAction::kRecover, -1, 0, 0, 0});
+        break;
+      }
+      case EpisodeKind::kOsdPoint: {
+        const int point = static_cast<int>(rng.below(kNumOsdFailurePointsHere));
+        if (point == 3) {  // OsdFailurePoint::kBeforeRecoveryPull
+          // Pull traffic only exists during a recover() pass over diverged
+          // copies, and arming at episode start is useless — the heal-time
+          // revive disarms every hook before its recover runs.  Stage the
+          // divergence with a drop window instead of a crash: partially
+          // applied (unacked) writes skew per-copy versions without taking
+          // a disk down, so when the armed recover's pull source is killed
+          // mid-backfill it is the episode's ONLY store loss — acked data
+          // still has a surviving copy, keeping the schedule inside the
+          // pool's redundancy budget.
+          const int modulus = 2 + static_cast<int>(rng.below(2));
+          plan.events.push_back({s + below_t(slice / 8),
+                                 FaultAction::kNetDrop, -1, modulus, 0, 0});
+          plan.events.push_back(
+              {s + slice * 2 / 5, FaultAction::kNetHeal, -1, 0, 0, 0});
+          plan.events.push_back(
+              {s + slice / 2, FaultAction::kArmOsdPoint, -1, point, 0, 0});
+          plan.events.push_back(
+              {s + slice / 2, FaultAction::kRecover, -1, 0, 0, 0});
+          plan.events.push_back(
+              {e - settle, FaultAction::kReviveOsd, -1, 1, 0, 0});
+        } else {
+          plan.events.push_back(
+              {s, FaultAction::kArmOsdPoint, -1, point, 0, 0});
+          plan.events.push_back(
+              {e - settle, FaultAction::kReviveOsd, -1, 1, 0, 0});
+        }
+        plan.events.push_back(
+            {e - settle, FaultAction::kRecover, -1, 0, 0, 0});
+        break;
+      }
+      case EpisodeKind::kNet: {
+        const SimTime t0 = s + below_t(slice / 4);
+        if (rng.chance(0.5)) {
+          // Extra latency; kept far below the campaign op timeout so the
+          // cluster degrades instead of wedging.
+          const SimTime d = usec(500) + below_t(msec(20));
+          plan.events.push_back({t0, FaultAction::kNetDelay, -1, 0, 0, d});
+        } else {
+          const int modulus = 3 + static_cast<int>(rng.below(6));
+          plan.events.push_back(
+              {t0, FaultAction::kNetDrop, -1, modulus, 0, 0});
+        }
+        plan.events.push_back({e - settle, FaultAction::kNetHeal, -1, 0, 0, 0});
+        break;
+      }
+    }
+
+    if (rng.chance(cfg.concurrent_gc_chance)) {
+      plan.events.push_back({s + slice / 2, FaultAction::kGc, -1, 0, 0, 0});
+    }
+    if (rng.chance(cfg.concurrent_scrub_chance)) {
+      plan.events.push_back(
+          {s + slice * 3 / 4, FaultAction::kDeepScrub, -1, 0, 0, 0});
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace gdedup

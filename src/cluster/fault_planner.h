@@ -1,0 +1,47 @@
+#pragma once
+
+// Topology-aware generation of deterministic fault schedules.
+//
+// plan_faults(seed) carves the fault phase into disjoint *episodes* and
+// fills each one with a fault of a random kind: a plain crash/restart of a
+// random OSD, a one-shot crash point armed in the dedup engine or the OSD
+// replication/recovery paths, or a network degradation window.  Episode
+// discipline keeps every schedule survivable by construction:
+//
+//   * episodes never overlap, and at most one OSD is down at a time, so no
+//     schedule can lose the last copy of an object;
+//   * every revive is immediately followed by a recover, so stale or wiped
+//     stores are backfilled before the next episode begins;
+//   * armed crash points are disarmed at the episode end, and their victim
+//     (unknown at planning time, osd == -1) is revived with a wiped store —
+//     backfill then rebuilds it from the surviving copies, which is the
+//     strongest variant of the paper's Figure 9 recovery argument;
+//   * injected network delay stays well under the campaign's op timeout, so
+//     degradation slows the cluster down without wedging it.
+//
+// Concurrent GC / deep-scrub events are sprinkled into episodes to drive
+// exactly the "crash + restart + concurrent GC" combinations where dedup
+// refcount bugs live.
+
+#include "cluster/osd_map.h"
+#include "sim/fault_plan.h"
+
+namespace gdedup {
+
+struct FaultPlannerConfig {
+  SimTime horizon = sec(3);  // length of the fault phase
+  int max_episodes = 3;      // up to this many disjoint episodes
+  bool allow_wipe = true;    // wipe-on-revive for plain crashes (a stale
+                             // restarted replica has no peering to reconcile
+                             // against deref-reclaimed chunks; keep true)
+  bool allow_net_faults = true;
+  bool allow_engine_points = true;  // dedup-tier FailurePoint arming
+  bool allow_osd_points = true;     // OsdFailurePoint arming
+  double concurrent_gc_chance = 0.5;
+  double concurrent_scrub_chance = 0.35;
+};
+
+FaultPlan plan_faults(const OsdMap& map, uint64_t seed,
+                      const FaultPlannerConfig& cfg = {});
+
+}  // namespace gdedup

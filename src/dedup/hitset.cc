@@ -10,6 +10,17 @@ HitSet::HitSet(SimTime period, int retained_periods, int hit_threshold)
 uint64_t HitSet::key_of(const std::string& oid) { return fnv1a(oid); }
 
 void HitSet::rotate(SimTime now) {
+  // Long-idle fast-forward *before* any sealing work: when the gap spans
+  // the whole retention horizon, every retained period has aged out and the
+  // stale current-period counts are older than anything history may hold —
+  // sealing them would smuggle expired hotness into the new window.  O(1)
+  // regardless of how much virtual time passed.
+  if (now - window_start_ > period_ * static_cast<SimTime>(retained_ + 1)) {
+    history_.clear();
+    current_.clear();
+    window_start_ = now - (now % period_);
+    return;
+  }
   while (now >= window_start_ + period_) {
     // Seal the current period into a bloom filter.
     BloomFilter bf(current_.size() + 16, 0.01);
@@ -18,12 +29,7 @@ void HitSet::rotate(SimTime now) {
     while (static_cast<int>(history_.size()) > retained_) history_.pop_back();
     current_.clear();
     window_start_ += period_;
-    // If the gap spans many periods, fast-forward (empty periods add
-    // nothing to history beyond aging out old ones).
-    if (now - window_start_ > period_ * static_cast<SimTime>(retained_ + 1)) {
-      history_.clear();
-      window_start_ = now - (now % period_);
-    }
+    periods_sealed_++;
   }
 }
 

@@ -27,6 +27,11 @@ class HitSet {
 
   int threshold() const { return threshold_; }
   size_t history_depth() const { return history_.size(); }
+  // Observability for the long-gap fast-forward: periods sealed into
+  // blooms one by one (a fast-forward seals none) and the current window's
+  // aligned start time.
+  uint64_t periods_sealed() const { return periods_sealed_; }
+  SimTime window_start() const { return window_start_; }
 
  private:
   void rotate(SimTime now);
@@ -36,6 +41,7 @@ class HitSet {
   int retained_;
   int threshold_;
   SimTime window_start_ = 0;
+  uint64_t periods_sealed_ = 0;
   std::unordered_map<std::string, uint32_t> current_;
   std::deque<BloomFilter> history_;
 };

@@ -37,6 +37,7 @@ class RateController {
   void on_foreground(SimTime now, uint64_t bytes = 1) {
     ops_.add(now, 1);
     bytes_.add(now, bytes);
+    if (!enabled_) return;  // disabled controller must not accrue credits
     const double demand = current_demand(now);
     if (demand <= low_) return;  // unthrottled regime; credits irrelevant
     const int per = demand > high_ ? per_high_ : per_mid_;
@@ -47,10 +48,17 @@ class RateController {
   int take(SimTime now, int want) {
     if (!enabled_) return want;
     if (current_demand(now) <= low_) return want;
-    const int grant = std::min(want, static_cast<int>(credits_));
-    credits_ -= grant;
+    // Floor with an epsilon: `per` accruals of 1/per must sum to a whole
+    // credit even when the binary fractions land a few ulps short (e.g.
+    // 3 * (1/3) = 0.99999...), otherwise the engine starves one extra
+    // foreground op in the mid regime.
+    const int whole = static_cast<int>(credits_ + 1e-9);
+    const int grant = std::min(want, whole);
+    credits_ = std::max(0.0, credits_ - grant);
     return grant;
   }
+
+  double credits() const { return credits_; }
 
   double current_iops(SimTime now) const {
     return static_cast<double>(ops_.count(now));

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/encoding.h"
 #include "common/logging.h"
 #include "dedup/chunk_map.h"
+#include "dedup/invariants.h"
 #include "ec/reed_solomon.h"
 #include "hash/fingerprint.h"
 
@@ -14,17 +16,8 @@ namespace gdedup {
 
 std::vector<std::pair<ObjectKey, std::vector<OsdId>>> Scrubber::chunk_holders()
     const {
-  std::map<ObjectKey, std::vector<OsdId>> holders;
-  for (OsdId id : ctx_->osdmap().all_osds()) {
-    Osd* o = ctx_->osd(id);
-    if (o == nullptr || !o->is_up()) continue;
-    const ObjectStore* st = o->store_if_exists(chunks_);
-    if (st == nullptr) continue;
-    for (const auto& key : st->list(chunks_)) {
-      holders[key].push_back(id);
-    }
-  }
-  return {holders.begin(), holders.end()};
+  auto m = dedup_walk::holders(ctx_, chunks_);
+  return {m.begin(), m.end()};
 }
 
 ScrubReport Scrubber::deep_scrub(bool repair) {
@@ -49,8 +42,13 @@ ScrubReport Scrubber::deep_scrub(bool repair) {
       bool have_good = false;
       std::vector<OsdId> bad;
       for (OsdId id : who) {
+        // An OSD listed as a holder can drop mid-campaign; skip it rather
+        // than scrub a store that is no longer serving.
         Osd* o = ctx_->osd(id);
-        auto data = o->store(chunks_).read(key, 0, 0);
+        if (o == nullptr || !o->is_up()) continue;
+        const ObjectStore* st = o->store_if_exists(chunks_);
+        if (st == nullptr) continue;
+        auto data = st->read(key, 0, 0);
         if (!data.is_ok()) continue;
         latest = std::max(latest, o->disk().read(data->size()));
         CpuModel& cpu = ctx_->node_cpu(o->node());
@@ -76,6 +74,7 @@ ScrubReport Scrubber::deep_scrub(bool repair) {
         if (repair && have_good) {
           for (OsdId id : bad) {
             Osd* o = ctx_->osd(id);
+            if (o == nullptr || !o->is_up()) continue;
             Transaction txn;
             txn.write_full(key, good);
             latest = std::max(latest, o->disk().write(good.size()));
@@ -95,7 +94,9 @@ ScrubReport Scrubber::deep_scrub(bool repair) {
       uint64_t orig_len = 0;
       for (OsdId id : who) {
         Osd* o = ctx_->osd(id);
+        if (o == nullptr || !o->is_up()) continue;
         const ObjectStore* st = o->store_if_exists(chunks_);
+        if (st == nullptr) continue;  // holder dropped and lost its store
         auto data = st->read(key, 0, 0);
         auto shard_attr = st->getxattr(key, "ec.shard");
         if (!data.is_ok() || !shard_attr.is_ok()) continue;
@@ -135,30 +136,55 @@ ScrubReport Scrubber::collect_garbage() {
   ScrubReport rep;
   const SimTime start = ctx_->sched().now();
 
-  // Live references according to the metadata pool's chunk maps (primary
-  // copies are authoritative).
-  // key: chunk oid -> set of "source_oid@offset".
-  std::map<std::string, std::set<std::pair<std::string, uint64_t>>> live;
-  for (OsdId id : ctx_->osdmap().all_osds()) {
-    Osd* o = ctx_->osd(id);
-    if (o == nullptr || !o->is_up()) continue;
-    const ObjectStore* st = o->store_if_exists(meta_);
-    if (st == nullptr) continue;
-    for (const auto& key : st->list(meta_)) {
-      if (ctx_->osdmap().primary(meta_, key.oid) != id) continue;
-      auto cm = load_chunk_map(*st, key);
-      if (!cm.is_ok()) continue;
-      for (const auto& [off, e] : cm->entries()) {
-        if (e.flushed()) live[e.chunk_id].insert({key.oid, off});
-      }
-    }
-  }
+  // Live references according to the metadata pool's chunk maps.  GC
+  // takes the conservative any-holder union: while an object's home
+  // primary is down, the rotated-in primary may not hold a copy yet, and
+  // judging liveness by the primary alone would make every ref of that
+  // object look dangling and reclaim chunks that are still referenced.
+  const auto live = dedup_walk::live_refs(ctx_, meta_, /*any_holder=*/true);
+  // A flush's chunk-put -> map-update window means the maps lag the chunk
+  // pool; only a fully idle tier fleet lets us trust "no refs at all".
+  const bool engines_idle = dedup_walk::total_backlog(ctx_, meta_) == 0;
 
-  int outstanding = 0;
+  auto outstanding = std::make_shared<int>(0);
   for (const auto& [key, who] : chunk_holders()) {
     const OsdId primary = ctx_->osdmap().primary(chunks_, key.oid);
-    if (std::find(who.begin(), who.end(), primary) == who.end()) continue;
-    Osd* o = ctx_->osd(primary);
+    Osd* o = primary >= 0 ? ctx_->osd(primary) : nullptr;
+    if (o == nullptr || !o->is_up()) continue;  // audit next pass
+    if (std::find(who.begin(), who.end(), primary) == who.end()) {
+      // Placement orphan: the primary is up but holds no copy.  Usually
+      // recovery backfill fixes this, but a partially applied put or
+      // remove (shard sub-writes lost to a network fault or a mid-fanout
+      // crash) can leave residue recovery cannot rebuild — e.g. fewer
+      // than k surviving shards.  If no holder's refs are live or busy,
+      // the residue is garbage: reclaim it from every holder.  Any live
+      // or busy ref means real data may still converge; audit next pass.
+      if (!engines_idle) continue;
+      bool any_keep = false;
+      const auto live_it = live.find(key.oid);
+      for (OsdId id : who) {
+        auto raw = ctx_->osd(id)->local_getxattr(chunks_, key.oid,
+                                                 kRefsXattr);
+        if (!raw.is_ok()) continue;
+        auto dec = decode_refs(raw.value());
+        if (!dec.is_ok()) continue;
+        for (const auto& r : dec.value()) {
+          const bool alive = r.pool == meta_ && live_it != live.end() &&
+                             live_it->second.count(r) > 0;
+          if (alive ||
+              (r.pool == meta_ &&
+               dedup_walk::object_busy(ctx_, meta_, r.oid))) {
+            any_keep = true;
+          }
+        }
+      }
+      if (any_keep) continue;
+      rep.leaked_chunks_reclaimed++;
+      for (OsdId id : who) {
+        (void)ctx_->osd(id)->store(chunks_).remove_object(key);
+      }
+      continue;
+    }
     auto raw = o->local_getxattr(chunks_, key.oid, kRefsXattr);
     std::vector<ChunkRef> refs;
     if (raw.is_ok()) {
@@ -166,36 +192,72 @@ ScrubReport Scrubber::collect_garbage() {
       if (dec.is_ok()) refs = std::move(dec).value();
     }
 
-    auto live_it = live.find(key.oid);
+    const auto live_it = live.find(key.oid);
     std::vector<ChunkRef> kept;
     for (const auto& r : refs) {
       rep.refs_checked++;
-      const bool alive =
-          r.pool == meta_ && live_it != live.end() &&
-          live_it->second.count({r.oid, r.offset}) > 0;
+      const bool alive = r.pool == meta_ && live_it != live.end() &&
+                         live_it->second.count(r) > 0;
       if (alive) {
         kept.push_back(r);
-      } else {
-        rep.dangling_refs_dropped++;
+        continue;
+      }
+      if (r.pool == meta_ && dedup_walk::object_busy(ctx_, meta_, r.oid)) {
+        // The source object has volatile flush state: this may be the ref
+        // a chunk put recorded whose map update is still in flight (the
+        // open window of Figure 9 step 4).  Dropping it now would lose the
+        // data the map is about to reference.
+        rep.busy_ref_skips++;
+        kept.push_back(r);
+        continue;
+      }
+      rep.dangling_refs_dropped++;
+    }
+
+    // Repair direction: a map entry that references this chunk but is not
+    // recorded on it (possible when a chunk was re-created under a
+    // temporary acting set during downtime).  Without the ref, a later
+    // deref by another holder would reclaim the chunk out from under this
+    // entry — a real data-loss path the campaign exercises.
+    if (live_it != live.end()) {
+      for (const auto& r : live_it->second) {
+        if (std::find(kept.begin(), kept.end(), r) == kept.end() &&
+            !dedup_walk::object_busy(ctx_, meta_, r.oid)) {
+          kept.push_back(r);
+          rep.refs_repaired++;
+        }
       }
     }
-    if (kept.size() == refs.size() && !refs.empty()) continue;  // clean
 
-    outstanding++;
+    if (!refs.empty() && kept == refs) continue;  // clean
+
     if (kept.empty()) {
+      if (!engines_idle && refs.empty()) {
+        // Refs xattr empty or unreadable while engines are mid-flight:
+        // grace it this pass instead of reclaiming a chunk whose create
+        // may just not have recorded its first ref yet.
+        rep.busy_ref_skips++;
+        continue;
+      }
       rep.leaked_chunks_reclaimed++;
+      (*outstanding)++;
       o->submit_remove(chunks_, key.oid,
-                       [&outstanding](Status) { outstanding--; },
+                       [outstanding](Status) { (*outstanding)--; },
                        /*foreground=*/false);
     } else {
+      (*outstanding)++;
       Transaction txn;
       txn.setxattr(key, kRefsXattr, encode_refs(kept));
       o->submit_write(chunks_, key.oid, std::move(txn),
-                      [&outstanding](Status) { outstanding--; },
+                      [outstanding](Status) { (*outstanding)--; },
                       /*foreground=*/false);
     }
   }
-  while (outstanding > 0) {
+  // Bounded wait: the shared counter keeps late completions safe even if
+  // we give up, and the deadline keeps GC from spinning forever when an
+  // OSD dies mid-pass and its ack never comes.
+  const SimTime deadline = ctx_->sched().now() + sec(60);
+  while (*outstanding > 0 && ctx_->sched().now() < deadline) {
     if (!ctx_->sched().step()) break;
   }
   rep.duration = ctx_->sched().now() - start;

@@ -41,11 +41,14 @@ struct ScrubReport {
   uint64_t refs_checked = 0;
   uint64_t dangling_refs_dropped = 0;   // ref's source no longer holds it
   uint64_t leaked_chunks_reclaimed = 0; // zero live references
+  uint64_t refs_repaired = 0;           // held-but-unrecorded refs re-added
+  uint64_t busy_ref_skips = 0;          // refs spared: source mid-flush
   SimTime duration = 0;
 
   bool clean() const {
     return fingerprint_mismatches == 0 && replica_mismatches == 0 &&
-           dangling_refs_dropped == 0 && leaked_chunks_reclaimed == 0;
+           dangling_refs_dropped == 0 && leaked_chunks_reclaimed == 0 &&
+           refs_repaired == 0;
   }
 };
 
@@ -60,8 +63,10 @@ class Scrubber {
   ScrubReport deep_scrub(bool repair = true);
 
   // Cross-check references and collect garbage: drop refs whose source
-  // slot no longer points at the chunk, reclaim unreferenced chunks.
-  // Runs the scheduler to completion.
+  // slot no longer points at the chunk, repair refs the maps hold but the
+  // chunk forgot, reclaim unreferenced chunks.  Consults the dedup tiers'
+  // volatile state so an open chunk-put -> map-update flush window is never
+  // mistaken for garbage.  Runs the scheduler to completion.
   ScrubReport collect_garbage();
 
  private:

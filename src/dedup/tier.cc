@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "hash/fingerprint.h"
+#include "osd/messages.h"
 
 namespace gdedup {
 
@@ -23,7 +24,14 @@ struct Gather {
     } else if (worst.is_ok()) {
       worst = r.status();
     }
-    if (--outstanding == 0) done(worst);
+    if (--outstanding == 0) {
+      // Move out before invoking: `done` routinely captures the Gather's
+      // own shared_ptr (via a locked weak ref), and leaving it stored
+      // would keep the parts alive past completion.
+      auto fn = std::move(done);
+      done = nullptr;
+      fn(worst);
+    }
   }
 };
 
@@ -43,9 +51,38 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
 ChunkMap& DedupTier::cached_map(const std::string& oid) {
   auto it = map_cache_.find(oid);
   if (it != map_cache_.end()) return it->second;
+  const ObjectKey key{pool_, oid};
+  const ObjectStore* st = osd_->store_if_exists(pool_);
+  if ((st == nullptr || st->find(key) == nullptr) &&
+      osd_->ctx().osdmap().primary(pool_, oid) == osd_->id()) {
+    // Degraded object: this OSD became primary (a crash rotated the acting
+    // set) before recovery delivered its copy.  Building the object
+    // context from nothing would misclassify the next write — a partial
+    // write over an evicted chunk would look like a write to a brand-new
+    // object, be marked cached, and the next flush would replace the
+    // flushed chunk with zero-padded local bytes.  Do what Ceph does for a
+    // degraded object: recover it before serving ops, here by pulling the
+    // freshest copy any up peer holds into the local store.
+    const ObjectState* best = nullptr;
+    for (OsdId pid : osd_->ctx().osdmap().all_osds()) {
+      if (pid == osd_->id()) continue;
+      Osd* peer = osd_->ctx().osd(pid);
+      if (peer == nullptr || !peer->is_up()) continue;
+      const ObjectStore* ps = peer->store_if_exists(pool_);
+      const ObjectState* os = ps != nullptr ? ps->find(key) : nullptr;
+      if (os != nullptr && (best == nullptr || os->version > best->version)) {
+        best = os;
+      }
+    }
+    if (best != nullptr) {
+      osd_->store(pool_).install(key, *best);
+      stats_.degraded_pulls++;
+      st = osd_->store_if_exists(pool_);
+    }
+  }
   ChunkMap cm;
-  if (const ObjectStore* st = osd_->store_if_exists(pool_)) {
-    auto loaded = load_chunk_map(*st, {pool_, oid});
+  if (st != nullptr) {
+    auto loaded = load_chunk_map(*st, key);
     if (loaded.is_ok()) {
       cm = std::move(loaded).value();
     } else {
@@ -105,10 +142,20 @@ bool DedupTier::fail_at(FailurePoint p, const std::string& oid) {
 
 void DedupTier::rebuild_dirty_list() {
   // A restart loses the volatile context; the persisted chunk maps inside
-  // the self-contained objects are the source of truth.
+  // the self-contained objects are the source of truth.  Everything
+  // volatile goes: in-flight flush markers, queued derefs and promotions,
+  // unapplied-write counters — callbacks from ops that were in flight at
+  // crash time may still land afterwards and must not resurrect state (the
+  // pending-writes decrement below is find()-based for the same reason).
   dirty_list_.clear();
   dirty_set_.clear();
   map_cache_.clear();
+  inflight_oids_.clear();
+  pending_derefs_.clear();
+  pending_writes_.clear();
+  promote_queue_.clear();
+  promote_set_.clear();
+  in_tick_ = false;
   const ObjectStore* st = osd_->store_if_exists(pool_);
   if (st == nullptr) return;
   for (const auto& key : st->list(pool_)) {
@@ -140,6 +187,35 @@ void DedupTier::read_chunk_from_pool(const std::string& chunk_oid,
                   done(std::move(rep.data));
                 }
               });
+}
+
+std::string DedupTier::find_chunk_recording_ref(
+    const std::string& oid, uint64_t offset,
+    const std::string& not_this) const {
+  // Only one other chunk can legitimately record this entry's ref: the one
+  // a crashed flush attempt put before losing its map update.  Scan every
+  // up holder so EC shards and degraded placements are both covered; the
+  // walk is deterministic (ordered OSD ids, ordered stores) and only runs
+  // on the rare superseded-chunk-vanished path.
+  const ChunkRef want{pool_, oid, offset};
+  const PoolId cp = cfg().chunk_pool;
+  for (OsdId id : osd_->ctx().osdmap().all_osds()) {
+    Osd* o = osd_->ctx().osd(id);
+    if (o == nullptr || !o->is_up()) continue;
+    const ObjectStore* st = o->store_if_exists(cp);
+    if (st == nullptr) continue;
+    for (const auto& key : st->list(cp)) {
+      if (key.oid == not_this) continue;
+      auto raw = st->getxattr(key, kRefsXattr);
+      if (!raw.is_ok()) continue;
+      auto dec = decode_refs(raw.value());
+      if (!dec.is_ok()) continue;
+      if (std::find(dec->begin(), dec->end(), want) != dec->end()) {
+        return key.oid;
+      }
+    }
+  }
+  return {};
 }
 
 void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
@@ -233,8 +309,15 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
   auto g = std::make_shared<Gather>();
   g->parts.resize(prereads.size());
   g->outstanding = static_cast<int>(prereads.size()) + 1;  // +1 sentinel
+  // Stored as g->done, so it must not hold g strongly (refcount cycle —
+  // the Gather would leak its buffered parts whenever a crash abandons
+  // the in-flight reads).  arrive() runs from a continuation that owns a
+  // strong ref, so the lock always succeeds when the gather completes.
+  std::weak_ptr<Gather> gw = g;
   auto proceed = [this, key, oid, off, data, wlen, full, new_size, new_end,
-                  cs, g, prereads, reply = std::move(reply)](Status ps) mutable {
+                  cs, gw, prereads, reply = std::move(reply)](Status ps) mutable {
+    auto g = gw.lock();
+    if (!g) return;
     if (!ps.is_ok()) {
       reply(OsdOpReply{ps, {}, 0, {}, nullptr});
       return;
@@ -293,8 +376,11 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
     pending_writes_[oid]++;
     osd_->submit_write(pool_, oid, std::move(txn),
                        [this, oid, reply = std::move(reply)](Status s) {
-                         if (--pending_writes_[oid] == 0) {
-                           pending_writes_.erase(oid);
+                         // find()-based: a crash-rebuild may have cleared
+                         // the counter while this write was in flight.
+                         auto it = pending_writes_.find(oid);
+                         if (it != pending_writes_.end() && --it->second <= 0) {
+                           pending_writes_.erase(it);
                          }
                          reply(OsdOpReply{s, {}, 0, {}, nullptr});
                        },
@@ -351,8 +437,16 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
                        /*foreground=*/true);
   };
 
-  *step = [this, key, oid, off, data, wlen, new_size, cs, chunks, idx, step,
-           finish]() mutable {
+  // The stored function holds only a weak ref to itself: a self-capturing
+  // shared_ptr would be a refcount cycle, leaking every Buffer the write
+  // pipeline captured.  Each invocation re-locks; the async continuations
+  // below carry the strong refs, so the state lives exactly as long as
+  // work is in flight.
+  std::weak_ptr<std::function<void()>> step_weak = step;
+  *step = [this, key, oid, off, data, wlen, new_size, cs, chunks, idx,
+           step_weak, finish]() mutable {
+    auto step = step_weak.lock();
+    if (!step) return;  // caller holds a strong ref for every invocation
     if (*idx >= chunks->size()) {
       finish(Status::ok());
       return;
@@ -503,7 +597,11 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
   auto g = std::make_shared<Gather>();
   g->parts.resize(segs.size());
   g->outstanding = static_cast<int>(segs.size());
-  g->done = [this, g, op, attempt, reply = std::move(reply)](Status s) mutable {
+  // Weak self-reference: see post_process_write's `proceed`.
+  std::weak_ptr<Gather> gw = g;
+  g->done = [this, gw, op, attempt, reply = std::move(reply)](Status s) mutable {
+    auto g = gw.lock();
+    if (!g) return;
     if (!s.is_ok()) {
       // A chunk may vanish mid-flush (deref of the superseded copy races
       // the redirect); the refreshed map resolves it.  Retry briefly.
@@ -697,6 +795,27 @@ bool DedupTier::launch_one(const std::shared_ptr<TickState>& st) {
       dirty_set_.erase(oid);
       continue;
     }
+    const OsdId prim = osd_->ctx().osdmap().primary(pool_, oid);
+    if (prim >= 0 && prim != osd_->id()) {
+      // Another up OSD is the authoritative engine for this object; two
+      // concurrent flush pipelines would race (one's eviction punches the
+      // data part out from under the other's content read).  Re-derive our
+      // view from the store: once the primary's flush replicates here the
+      // entry goes clean and the object leaves our backlog — and if the
+      // primary dies first, a later pass finds us authoritative.
+      if (pending_writes_.count(oid) == 0) {
+        drop_context(oid);
+        if (!cached_map(oid).any_dirty()) {
+          dirty_list_.pop_front();
+          dirty_set_.erase(oid);
+          continue;
+        }
+      }
+      dirty_list_.pop_front();
+      dirty_list_.push_back(oid);
+      scanned++;
+      continue;
+    }
     if (hitset_.is_hot(oid, sched().now())) {
       // Hot object: not deduplicated until it cools down (key idea 3).
       stats_.hot_skips++;
@@ -765,7 +884,12 @@ void DedupTier::flush_object(const std::string& oid, int max_chunks,
 
   constexpr int kChunkParallelism = 8;
   auto pump_chunks = std::make_shared<std::function<void()>>();
-  *pump_chunks = [this, oid, fs, pump_chunks]() {
+  // Weak self-reference, same reason as handle_write's `step`: the flush
+  // completions hold the strong refs, the stored function must not.
+  std::weak_ptr<std::function<void()>> pump_weak = pump_chunks;
+  *pump_chunks = [this, oid, fs, pump_weak]() {
+    auto pump_chunks = pump_weak.lock();
+    if (!pump_chunks) return;
     while (fs->next < fs->offsets.size() && fs->inflight < kChunkParallelism) {
       const uint64_t off = fs->offsets[fs->next++];
       fs->inflight++;
@@ -809,7 +933,39 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
         [this, oid, entry, with_content,
          done = std::move(done)](Result<Buffer> r) mutable {
           if (!r.is_ok()) {
-            done();  // retry on a later pass
+            // The superseded chunk can be gone for good: a crash between
+            // the chunk put and the map update (Figure 9 steps 4-5) leaves
+            // this entry pointing at a chunk whose reference the crashed
+            // pipeline had already dropped, so GC may reclaim it before the
+            // redo runs.  The replacement chunk from that crashed attempt
+            // still records this entry's ref and holds the superseded
+            // content merged with every extent flushed then — adopt it as
+            // the merge base (the local extents overlaid below are a
+            // superset of what it absorbed) instead of retrying a read that
+            // can never succeed.
+            const std::string adopt = find_chunk_recording_ref(
+                oid, entry.offset, entry.chunk_id);
+            if (adopt.empty()) {
+              done();  // transient (e.g. chunk primary down); later pass
+              return;
+            }
+            stats_.orphan_adoptions++;
+            ChunkMapEntry rebased = entry;
+            rebased.chunk_id = adopt;
+            read_chunk_from_pool(
+                adopt, 0, entry.length, /*foreground=*/false,
+                [this, oid, rebased,
+                 done = std::move(done)](Result<Buffer> r2) mutable {
+                  if (!r2.is_ok()) {
+                    done();
+                    return;
+                  }
+                  Buffer content = std::move(r2).value();
+                  content.resize(rebased.length);
+                  overlay_local(oid, rebased.offset, &content);
+                  run_flush_pipeline(oid, rebased, std::move(content),
+                                     std::move(done));
+                });
             return;
           }
           Buffer content = std::move(r).value();
@@ -867,20 +1023,101 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                 const Fingerprint& fp) mutable {
               const std::string new_id = fp.hex();
 
-              if (entry.chunk_id == new_id) {
-                // Rewrite with identical content: reference already held,
-                // clear dirty locally with no chunk-pool traffic.
-                stats_.noop_flushes++;
-                finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
-                             /*was_noop=*/true, std::move(done));
-                return;
-              }
-
               const ChunkRef ref{pool_, oid, entry.offset};
+
+              if (entry.chunk_id == new_id) {
+                // Rewrite with identical content: if the reference is
+                // genuinely still held, clear dirty locally with no
+                // chunk-pool traffic.  The premise must be verified — an
+                // overwrite/overwrite-back sequence across a crash schedule
+                // can deref and reclaim this chunk while the entry was
+                // dirty, and a blind noop would then mark clean a map entry
+                // whose chunk no longer exists.  On any doubt fall through
+                // to the full put, which re-creates chunk and reference
+                // idempotently.
+                bool premise = false;
+                const PoolId cp = cfg().chunk_pool;
+                const OsdId cprim = osd_->ctx().osdmap().primary(cp, new_id);
+                Osd* co = cprim >= 0 ? osd_->ctx().osd(cprim) : nullptr;
+                if (co != nullptr && co->is_up() &&
+                    co->local_exists(cp, new_id)) {
+                  if (auto raw = co->local_getxattr(cp, new_id, kRefsXattr);
+                      raw.is_ok()) {
+                    if (auto dec = decode_refs(raw.value()); dec.is_ok()) {
+                      premise = std::find(dec->begin(), dec->end(), ref) !=
+                                dec->end();
+                    }
+                  }
+                }
+                if (premise) {
+                  stats_.noop_flushes++;
+                  finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
+                               /*was_noop=*/true, std::move(done));
+                  return;
+                }
+              }
               auto done_sp =
                   std::make_shared<std::function<void()>>(std::move(done));
-              auto after_put = [this, oid, entry, new_id,
-                                done_sp](Status s) mutable {
+
+              // De-reference of the superseded chunk runs LAST, only after
+              // the map durably names the replacement.  The reverse order
+              // (deref before put) has an unrecoverable crash window: the
+              // deref can drop the old chunk's final reference and destroy
+              // it while the map still points at it, and a crash before
+              // the new chunk lands then loses the only copy of the
+              // non-overlaid bytes — the redo's merge read can never
+              // succeed.  With deref last, every crash point leaves either
+              // (a) the old chunk referenced and the entry dirty (redo
+              // converges via the idempotent put), or (b) the new chunk
+              // mapped and the old one holding a stale ref that GC's
+              // dangling-ref sweep drops (the paper's false-positive
+              // refcounting, Section 4.6).
+              auto deref_old = [this, oid, entry, new_id, ref,
+                                done_sp]() mutable {
+                // Probed whether or not an old chunk exists, so the
+                // consistency sweep covers first flushes too.
+                if (fail_at(FailurePoint::kBeforeDeref, oid)) {
+                  (*done_sp)();
+                  return;
+                }
+                // A re-put of the entry's own chunk (failed noop premise:
+                // the chunk had been reclaimed) supersedes nothing — a
+                // deref here would drop the reference just re-taken.
+                if (!entry.flushed() || entry.chunk_id == new_id) {
+                  if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                    (*done_sp)();
+                    return;
+                  }
+                  (*done_sp)();
+                  return;
+                }
+                if (cfg().async_deref) {
+                  // False-positive refcounting (Section 4.6): fire the
+                  // de-reference without waiting; the GC mops up if it is
+                  // lost.
+                  send_chunk_deref(entry.chunk_id, ref, /*foreground=*/false,
+                                   [](Status) {});
+                  if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                    (*done_sp)();
+                    return;
+                  }
+                  (*done_sp)();
+                } else {
+                  send_chunk_deref(entry.chunk_id, ref, /*foreground=*/false,
+                                   [this, oid, done_sp](Status) mutable {
+                                     if (fail_at(FailurePoint::kAfterDeref,
+                                                 oid)) {
+                                       (*done_sp)();
+                                       return;
+                                     }
+                                     (*done_sp)();
+                                   });
+                }
+              };
+
+              auto after_put = [this, oid, entry, new_id, done_sp,
+                                deref_old = std::move(deref_old)](
+                                   Status s) mutable {
                 if (!s.is_ok()) {
                   (*done_sp)();
                   return;
@@ -894,54 +1131,13 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                   return;
                 }
                 finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
-                             /*was_noop=*/false, [done_sp] { (*done_sp)(); });
+                             /*was_noop=*/false, std::move(deref_old));
               };
 
-              auto do_put = [this, oid, new_id, content, ref,
-                             after_put = std::move(after_put)]() mutable {
-                stats_.chunks_flushed++;
-                stats_.flush_bytes += content.size();
-                send_chunk_put(new_id, std::move(content), ref,
-                               /*foreground=*/false, std::move(after_put));
-              };
-
-              // The crash points are pipeline positions; probed whether or
-              // not an old chunk exists, so the consistency sweep covers
-              // first flushes too.
-              if (fail_at(FailurePoint::kBeforeDeref, oid)) {
-                (*done_sp)();
-                return;
-              }
-              if (entry.flushed() && cfg().async_deref) {
-                // False-positive refcounting (Section 4.6): fire the
-                // de-reference without waiting; the GC mops up if it is
-                // lost.
-                send_chunk_deref(entry.chunk_id, ref, /*foreground=*/false,
-                                 [](Status) {});
-                if (fail_at(FailurePoint::kAfterDeref, oid)) {
-                  (*done_sp)();
-                  return;
-                }
-                do_put();
-              } else if (entry.flushed()) {
-                // Step 3: de-reference the superseded chunk and wait.
-                send_chunk_deref(
-                    entry.chunk_id, ref, /*foreground=*/false,
-                    [this, oid, do_put = std::move(do_put),
-                     done_sp](Status) mutable {
-                      if (fail_at(FailurePoint::kAfterDeref, oid)) {
-                        (*done_sp)();
-                        return;
-                      }
-                      do_put();
-                    });
-              } else {
-                if (fail_at(FailurePoint::kAfterDeref, oid)) {
-                  (*done_sp)();
-                  return;
-                }
-                do_put();
-              }
+              stats_.chunks_flushed++;
+              stats_.flush_bytes += content.size();
+              send_chunk_put(new_id, std::move(content), ref,
+                             /*foreground=*/false, std::move(after_put));
             });
   }
 }
@@ -974,7 +1170,10 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
 
   Transaction txn;
   const bool racy = e->dirty_gen != snapshot_gen;
-  if (!was_noop) e->chunk_id = new_id;
+  // Unconditional: a noop flush normally implies chunk_id == new_id, but a
+  // redo re-based onto an adopted chunk (see flush_chunk_at) reaches here
+  // with the entry still naming its reclaimed predecessor.
+  e->chunk_id = new_id;
   if (racy) {
     // A client write landed mid-flush; the local data is newer than what
     // we pushed.  Keep the chunk dirty so the engine reprocesses it.
@@ -1091,7 +1290,11 @@ void DedupTier::promote_object(const std::string& oid,
   auto g = std::make_shared<Gather>();
   g->parts.resize(targets->size());
   g->outstanding = static_cast<int>(targets->size());
-  g->done = [this, oid, targets, g, done = std::move(done)](Status s) mutable {
+  // Weak self-reference: see post_process_write's `proceed`.
+  std::weak_ptr<Gather> gw = g;
+  g->done = [this, oid, targets, gw, done = std::move(done)](Status s) mutable {
+    auto g = gw.lock();
+    if (!g) return;
     if (!s.is_ok() || !osd_->local_exists(pool_, oid)) {
       done();
       return;

@@ -62,6 +62,17 @@ enum class FailurePoint {
   kAfterChunkPut,    // chunk stored in chunk pool, map not yet updated
   kBeforeMapUpdate,  // alias of the ack-lost case (step 5 in Figure 9)
 };
+constexpr int kNumEngineFailurePoints = 4;
+
+inline const char* failure_point_name(FailurePoint p) {
+  switch (p) {
+    case FailurePoint::kBeforeDeref: return "before_deref";
+    case FailurePoint::kAfterDeref: return "after_deref";
+    case FailurePoint::kAfterChunkPut: return "after_chunk_put";
+    case FailurePoint::kBeforeMapUpdate: return "before_map_update";
+  }
+  return "?";
+}
 
 struct DedupTierStats {
   uint64_t writes = 0;
@@ -80,6 +91,10 @@ struct DedupTierStats {
   uint64_t promotions = 0;
   uint64_t hot_skips = 0;
   uint64_t racy_flushes = 0;      // object changed mid-flush; stayed dirty
+  uint64_t degraded_pulls = 0;    // objects recovered on-demand by a new
+                                  // primary before serving an op
+  uint64_t orphan_adoptions = 0;  // redo flushes re-based onto the chunk a
+                                  // crashed attempt already put
   uint64_t engine_ticks = 0;
   uint64_t engine_aborts = 0;     // injected failures taken
   uint64_t fingerprint_cache_hits = 0;  // hashes skipped via COW memoization
@@ -99,6 +114,17 @@ class DedupTier : public TierService {
   size_t dirty_backlog() const override {
     return dirty_list_.size() + inflight_oids_.size() +
            pending_derefs_.size() + promote_queue_.size();
+  }
+  bool object_busy(const std::string& oid) const override {
+    return is_dirty(oid) || pending_writes_.count(oid) > 0;
+  }
+  void forget_object(const std::string& oid) override {
+    // In-flight markers and pending-write counters stay: their completions
+    // are find()-based and clean up after themselves.
+    dirty_set_.erase(oid);
+    promote_set_.erase(oid);
+    map_cache_.erase(oid);
+    cache_lru_.erase(oid);
   }
 
   // --- introspection / test hooks ---
@@ -149,6 +175,11 @@ class DedupTier : public TierService {
                       std::function<void(Status)> done);
   void send_chunk_deref(const std::string& chunk_oid, const ChunkRef& ref,
                         bool foreground, std::function<void(Status)> done);
+  // Find a chunk-pool object (other than `not_this`) whose refs xattr
+  // records this entry; used to re-base a redo flush whose superseded
+  // chunk was reclaimed (see flush_chunk_at).
+  std::string find_chunk_recording_ref(const std::string& oid, uint64_t offset,
+                                       const std::string& not_this) const;
 
   // -- engine --
   struct TickState {

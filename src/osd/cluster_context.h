@@ -25,6 +25,12 @@ class ClusterContext {
   virtual Osd* osd(OsdId id) = 0;
   virtual NodeId node_of_osd(OsdId id) const = 0;
   virtual CpuModel& node_cpu(NodeId node) = 0;
+
+  // When > 0, remote OsdOps give up after this much virtual time and the
+  // reply callback fires with a timeout status — required for liveness when
+  // OSDs can crash (silently dropping requests) or the fabric loses
+  // messages.  0 (the default) preserves wait-forever semantics.
+  virtual SimTime op_timeout() const { return 0; }
 };
 
 }  // namespace gdedup

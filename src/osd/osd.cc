@@ -1,5 +1,6 @@
 #include "osd/osd.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/encoding.h"
@@ -41,8 +42,51 @@ struct Barrier {
 
 }  // namespace
 
+const char* osd_failure_point_name(OsdFailurePoint p) {
+  switch (p) {
+    case OsdFailurePoint::kBeforeReplicatedFanout:
+      return "before_replicated_fanout";
+    case OsdFailurePoint::kAfterLocalApply:
+      return "after_local_apply";
+    case OsdFailurePoint::kBeforeSubWriteApply:
+      return "before_sub_write_apply";
+    case OsdFailurePoint::kBeforeRecoveryPull:
+      return "before_recovery_pull";
+    case OsdFailurePoint::kBeforeChunkRefWrite:
+      return "before_chunk_ref_write";
+  }
+  return "?";
+}
+
 Osd::Osd(ClusterContext* ctx, OsdId id, NodeId node, const SsdConfig& disk_cfg)
     : ctx_(ctx), id_(id), node_(node), disk_(&ctx->sched(), disk_cfg) {}
+
+bool Osd::fail_at(OsdFailurePoint p, const ObjectKey& key) {
+  if (!failure_hook_ || !failure_hook_(p, key)) return false;
+  injected_crashes_++;
+  // Self-crash with kill -9 semantics.  Cluster-level cleanup (stopping
+  // tier services, scheduling the restart) belongs to whoever armed the
+  // hook — this layer only knows about the OSD itself.
+  drop_when_down_ = true;
+  up_ = false;
+  ctx_->osdmap().mark_down(id_);
+  reset_volatile();
+  return true;
+}
+
+void Osd::reset_volatile() {
+  // The call may originate *inside* a queued closure (fail_at at the top of
+  // chunk_put_ref_locked runs from chunk_op_queue_'s front element), so the
+  // closures cannot be destroyed here — that would free the frame we are
+  // executing.  Swap them into a graveyard that a zero-delay event buries
+  // after the stack unwinds; the live queues are empty immediately.
+  auto graveyard = std::make_shared<std::pair<OpQueue, OpQueue>>();
+  graveyard->first.swap(chunk_op_queue_);
+  graveyard->second.swap(ec_write_queue_);
+  if (!graveyard->first.empty() || !graveyard->second.empty()) {
+    ctx_->sched().after(0, [graveyard] {});
+  }
+}
 
 ObjectStore& Osd::store(PoolId pool) {
   auto it = stores_.find(pool);
@@ -241,6 +285,9 @@ void Osd::handle_setxattr(const OsdOp& op, ReplyFn reply) {
 }
 
 void Osd::handle_sub_write(const OsdOp& op, ReplyFn reply) {
+  if (fail_at(OsdFailurePoint::kBeforeSubWriteApply, {op.pool, op.oid})) {
+    return;  // crashed: the primary never hears back
+  }
   stats_.sub_writes++;
   assert(op.txn);
   local_apply(op.pool, *op.txn, [reply = std::move(reply)](Status s) {
@@ -271,6 +318,9 @@ void Osd::handle_shard_read(const OsdOp& op, ReplyFn reply) {
 }
 
 void Osd::handle_pull(const OsdOp& op, ReplyFn reply) {
+  if (fail_at(OsdFailurePoint::kBeforeRecoveryPull, {op.pool, op.oid})) {
+    return;  // crashed: recovery must route around this holder
+  }
   stats_.pulls++;
   auto snap = store(op.pool).snapshot({op.pool, op.oid});
   if (!snap.is_ok()) {
@@ -323,7 +373,9 @@ void Osd::enqueue_object_op(OpQueue& q, const ObjectKey& key,
 
 void Osd::finish_object_op(OpQueue& q, const ObjectKey& key) {
   auto it = q.find(key);
-  assert(it != q.end() && !it->second.empty());
+  // A crash resets the queues; an op that was in flight when it happened
+  // may still complete afterwards and must find its entry simply gone.
+  if (it == q.end() || it->second.empty()) return;
   it->second.pop_front();
   if (it->second.empty()) {
     q.erase(it);
@@ -335,6 +387,9 @@ void Osd::finish_object_op(OpQueue& q, const ObjectKey& key) {
 }
 
 void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
+  if (fail_at(OsdFailurePoint::kBeforeChunkRefWrite, {op.pool, op.oid})) {
+    return;  // crashed mid-refcount-update; queue already reset
+  }
   stats_.chunk_puts++;
   const ObjectKey key{op.pool, op.oid};
   auto finish = [this, key, reply = std::move(reply)](Status s) mutable {
@@ -344,7 +399,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
 
   if (local_exists(op.pool, op.oid)) {
     // Double hashing at work: same OID == same content, so this put is a
-    // duplicate.  Only reference bookkeeping is written.
+    // duplicate.  Normally only reference bookkeeping is written.
     auto raw = local_getxattr(op.pool, op.oid, kRefsXattr);
     std::vector<ChunkRef> refs;
     if (raw.is_ok()) {
@@ -355,16 +410,33 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
       }
       refs = std::move(dec).value();
     }
-    for (const auto& r : refs) {
-      if (r == op.ref) {
-        // Retried flush; the reference is already recorded.
-        finish(Status::ok());
-        return;
+    const bool recorded =
+        std::find(refs.begin(), refs.end(), op.ref) != refs.end();
+    // The local copy alone does not make the put durable: a prior attempt
+    // can have created the chunk here while its replica fanout was lost to
+    // a network fault, and acking a retry off local state would leave the
+    // chunk one disk-wipe away from vanishing under a recorded reference.
+    // If any acting member lacks a copy, rewrite the data so the fanout
+    // re-places it — the ack then means what the client thinks it means.
+    bool fully_placed = true;
+    for (OsdId t : ctx_->osdmap().acting(op.pool, op.oid)) {
+      Osd* to = ctx_->osd(t);
+      if (to == nullptr || !to->is_up() || !to->local_exists(op.pool, op.oid)) {
+        fully_placed = false;
+        break;
       }
     }
-    stats_.chunk_dedup_hits++;
-    refs.push_back(op.ref);
+    if (recorded && fully_placed) {
+      // Retried flush; the reference is already recorded everywhere.
+      finish(Status::ok());
+      return;
+    }
+    if (!recorded) {
+      stats_.chunk_dedup_hits++;
+      refs.push_back(op.ref);
+    }
     Transaction txn;
+    if (!fully_placed) txn.write_full(key, op.data);
     txn.setxattr(key, kRefsXattr, encode_refs(refs));
     submit_write(op.pool, op.oid, std::move(txn), std::move(finish),
                  op.foreground);
@@ -372,9 +444,33 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   }
 
   stats_.chunk_created++;
+  // A rotated-in primary can be "creating" over a degraded placement:
+  // other holders may still carry this content-addressed chunk with refs
+  // this primary cannot see locally.  The content is identical by
+  // construction (the OID is its fingerprint), but seeding the refs list
+  // with only the new reference would orphan every peer-recorded one — a
+  // later deref-to-zero would then destroy a chunk another object's map
+  // still names.  Union the surviving refs in.
+  std::vector<ChunkRef> refs{op.ref};
+  for (OsdId pid : ctx_->osdmap().all_osds()) {
+    if (pid == id_) continue;
+    Osd* peer = ctx_->osd(pid);
+    if (peer == nullptr || !peer->is_up()) continue;
+    const ObjectStore* ps = peer->store_if_exists(op.pool);
+    if (ps == nullptr) continue;
+    auto praw = ps->getxattr(key, kRefsXattr);
+    if (!praw.is_ok()) continue;
+    auto pdec = decode_refs(praw.value());
+    if (!pdec.is_ok()) continue;
+    for (const auto& r : pdec.value()) {
+      if (std::find(refs.begin(), refs.end(), r) == refs.end()) {
+        refs.push_back(r);
+      }
+    }
+  }
   Transaction txn;
   txn.write_full(key, op.data);
-  txn.setxattr(key, kRefsXattr, encode_refs({op.ref}));
+  txn.setxattr(key, kRefsXattr, encode_refs(refs));
   submit_write(op.pool, op.oid, std::move(txn), std::move(finish),
                op.foreground);
 }
@@ -422,6 +518,13 @@ void Osd::chunk_deref_locked(const OsdOp& op, ReplyFn reply) {
 
 void Osd::submit_write(PoolId pool, const std::string& oid, Transaction txn,
                        std::function<void(Status)> done, bool foreground) {
+  if (!up_ && drop_when_down_) {
+    // Crashed process: nothing this OSD coordinates can make progress.
+    ctx_->sched().after(0, [done = std::move(done)] {
+      done(Status::unavailable("osd crashed"));
+    });
+    return;
+  }
   const PoolConfig& cfg = ctx_->osdmap().pool(pool);
   if (cfg.scheme == RedundancyScheme::kReplicated) {
     replicated_write(pool, oid, std::move(txn), std::move(done), foreground);
@@ -433,6 +536,12 @@ void Osd::submit_write(PoolId pool, const std::string& oid, Transaction txn,
 void Osd::submit_read(PoolId pool, const std::string& oid, uint64_t off,
                       uint64_t len, std::function<void(Result<Buffer>)> done,
                       bool foreground) {
+  if (!up_ && drop_when_down_) {
+    ctx_->sched().after(0, [done = std::move(done)] {
+      done(Status::unavailable("osd crashed"));
+    });
+    return;
+  }
   const PoolConfig& cfg = ctx_->osdmap().pool(pool);
   if (cfg.scheme == RedundancyScheme::kReplicated) {
     auto r = store(pool).read({pool, oid}, off, len);
@@ -471,6 +580,9 @@ void Osd::local_apply(PoolId pool, Transaction txn,
 void Osd::replicated_write(PoolId pool, const std::string& oid,
                            Transaction txn, std::function<void(Status)> done,
                            bool foreground) {
+  if (fail_at(OsdFailurePoint::kBeforeReplicatedFanout, {pool, oid})) {
+    return;  // crashed: no replica ever sees this write
+  }
   auto acting = ctx_->osdmap().acting(pool, oid);
   if (acting.empty()) {
     ctx_->sched().after(0, [done = std::move(done)] {
@@ -486,7 +598,12 @@ void Osd::replicated_write(PoolId pool, const std::string& oid,
   auto shared_txn = std::make_shared<Transaction>(std::move(txn));
   for (OsdId target : acting) {
     if (target == id_) {
-      local_apply(pool, *shared_txn, [barrier](Status s) { barrier->arrive(s); });
+      local_apply(pool, *shared_txn, [this, pool, oid, barrier](Status s) {
+        if (fail_at(OsdFailurePoint::kAfterLocalApply, {pool, oid})) {
+          return;  // crashed between the local commit and the peer acks
+        }
+        barrier->arrive(s);
+      });
     } else {
       OsdOp sub;
       sub.type = OsdOpType::kSubWrite;
@@ -798,6 +915,22 @@ void send_osd_op(ClusterContext& ctx, NodeId from_node, OsdId target, OsdOp op,
   const NodeId tnode = ctx.node_of_osd(target);
   const uint64_t req_bytes = op.wire_bytes();
   ClusterContext* pctx = &ctx;
+  if (const SimTime timeout = ctx.op_timeout(); timeout > 0) {
+    // The reply races a timer; first arrival wins, the loser is dropped.
+    // Needed for liveness once OSDs can crash (silently eating requests)
+    // or the fabric can lose messages.
+    auto fired = std::make_shared<bool>(false);
+    ReplyFn inner = std::move(cb);
+    cb = [fired, inner](OsdOpReply rep) {
+      if (*fired) return;
+      *fired = true;
+      inner(std::move(rep));
+    };
+    ctx.sched().after(timeout, [cb] {
+      cb(OsdOpReply{Status::unavailable("osd op timed out"), {}, 0, {},
+                    nullptr});
+    });
+  }
   ctx.net().send(
       from_node, tnode, req_bytes,
       [pctx, osd, from_node, tnode, op = std::move(op), cb = std::move(cb)]() mutable {

@@ -39,7 +39,37 @@ class TierService {
   virtual void start() = 0;
   virtual void stop() = 0;
   virtual size_t dirty_backlog() const = 0;
+  // True while the tier holds volatile state for `oid` (dirty entry,
+  // in-flight flush, or an unapplied client write).  GC uses this to defer
+  // reclaiming chunks an open flush window is about to reference.
+  virtual bool object_busy(const std::string& oid) const {
+    (void)oid;
+    return false;
+  }
+  // The local copy of `oid` was trimmed as a stray (this OSD left the
+  // object's acting set): drop any volatile per-object state so a stale
+  // dirty flag cannot keep the engine busy with an object it no longer
+  // owns.
+  virtual void forget_object(const std::string& oid) { (void)oid; }
 };
+
+// Crash-injection points in the OSD's replication / recovery / chunk-verb
+// paths (the campaign's counterparts to the dedup tier's FailurePoints).
+// When the hook returns true the OSD crashes *at that point*: it goes down
+// with drop-when-down semantics, its volatile op queues are lost, and the
+// in-flight op is abandoned exactly as a kill -9 would abandon it.
+enum class OsdFailurePoint {
+  kBeforeReplicatedFanout,  // primary dies before any sub-write is sent
+  kAfterLocalApply,         // local copy applied; peer acks never collected
+  kBeforeSubWriteApply,     // replica dies before applying a sub-write
+  kBeforeRecoveryPull,      // holder dies before serving a recovery pull
+  kBeforeChunkRefWrite,     // chunk-pool OSD dies before a ref update
+};
+constexpr int kNumOsdFailurePoints = 5;
+const char* osd_failure_point_name(OsdFailurePoint p);
+
+using OsdFailureHook =
+    std::function<bool(OsdFailurePoint, const ObjectKey& key)>;
 
 struct OsdStats {
   uint64_t client_ops = 0;
@@ -67,6 +97,19 @@ class Osd {
   // When true, ops arriving while down are silently dropped (no reply) —
   // crash semantics for consistency tests.  Default: reply kUnavailable.
   void set_drop_when_down(bool drop) { drop_when_down_ = drop; }
+  bool drop_when_down() const { return drop_when_down_; }
+
+  // Fault-injection: arm a hook consulted at each OsdFailurePoint; return
+  // true to crash this OSD there.  nullptr disarms.
+  void set_failure_hook(OsdFailureHook hook) {
+    failure_hook_ = std::move(hook);
+  }
+  uint64_t injected_crashes() const { return injected_crashes_; }
+
+  // Drop the volatile per-object op queues — a crash loses them, and late
+  // completions of ops that were in flight must find them gone rather than
+  // assert.  Called on crash; harmless on a live OSD with no queued work.
+  void reset_volatile();
 
   // Per-pool backing store (created on first touch; compression-at-rest
   // follows the pool config).
@@ -111,6 +154,11 @@ class Osd {
 
  private:
   CpuModel& cpu() { return ctx_->node_cpu(node_); }
+
+  // Consult the armed failure hook; on true, self-crash (mark down with
+  // silent-drop semantics, reset volatile queues) and report true so the
+  // caller abandons the in-flight op.
+  bool fail_at(OsdFailurePoint p, const ObjectKey& key);
 
   void dispatch(OsdOp op, ReplyFn reply);
 
@@ -169,6 +217,8 @@ class Osd {
   OpQueue chunk_op_queue_;
   OpQueue ec_write_queue_;
   OsdStats stats_;
+  OsdFailureHook failure_hook_;
+  uint64_t injected_crashes_ = 0;
   SlidingWindowCounter fg_window_{kSecond};
 };
 

@@ -157,11 +157,21 @@ void Cluster::crash_osd(OsdId id) {
   o->set_drop_when_down(true);
   o->set_up(false);
   osdmap_.mark_down(id);
+  // A crash takes the process with it: engines stop and every queue the
+  // daemon held in memory is gone.  (Idempotent when the OSD already
+  // crashed itself via an injected failure point.)
+  for (PoolId p : osdmap_.pool_ids()) {
+    if (TierService* t = o->tier(p)) t->stop();
+  }
+  o->reset_volatile();
 }
 
 void Cluster::revive_osd(OsdId id, bool wipe_store) {
   Osd* o = osd(id);
   assert(o != nullptr);
+  // drop_when_down distinguishes a crash (volatile state lost) from an
+  // administrative fail_osd; compute before flipping up_.
+  const bool crashed = !o->is_up() && o->drop_when_down();
   if (wipe_store) {
     for (PoolId p : osdmap_.pool_ids()) {
       ObjectStore& st = o->store(p);
@@ -172,6 +182,16 @@ void Cluster::revive_osd(OsdId id, bool wipe_store) {
   }
   o->set_up(true);
   osdmap_.mark_up(id);
+  if (crashed) {
+    // Daemon restart: tiers rebuild their dirty knowledge from the local
+    // store (the crash dropped their in-memory lists) and resume ticking.
+    for (PoolId p : osdmap_.pool_ids()) {
+      if (auto* t = static_cast<DedupTier*>(o->tier(p))) {
+        t->rebuild_dirty_list();
+        t->start();
+      }
+    }
+  }
 }
 
 SimTime Cluster::recover(uint64_t* objects_recovered,
@@ -200,29 +220,76 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
   };
   auto tally = std::make_shared<Tally>();
 
+  // The EC read/write paths identify a copy's shard by its ec.shard xattr,
+  // but placement is by acting-set position.  Rotations while a member was
+  // down leave shards duplicated or mislabeled relative to the current
+  // order, which position-blind "pull what is missing" cannot repair.
+  auto shard_label = [this](const ObjectKey& key, OsdId id, int km) -> int {
+    Osd* o = osd(id);
+    const ObjectStore* st =
+        (o != nullptr && o->is_up()) ? o->store_if_exists(key.pool) : nullptr;
+    if (st == nullptr) return -1;
+    auto attr = st->getxattr(key, "ec.shard");
+    if (!attr.is_ok()) return -1;
+    Decoder d(attr.value());
+    uint32_t v = 0;
+    if (!d.get_u32(&v).is_ok() || v >= static_cast<uint32_t>(km)) return -1;
+    return static_cast<int>(v);
+  };
+
   for (const auto& [key, who] : holders) {
     const PoolConfig& pcfg = osdmap_.pool(key.pool);
     auto acting = osdmap_.acting(key.pool, key.oid);
-    for (size_t i = 0; i < acting.size(); i++) {
-      const OsdId target = acting[i];
-      if (std::find(who.begin(), who.end(), target) != who.end()) continue;
-      Osd* t = osd(target);
-      if (t == nullptr || !t->is_up()) continue;
-      tally->outstanding++;
-      tally->objects++;
 
-      if (pcfg.scheme == RedundancyScheme::kReplicated) {
-        // Pull the full object state from a surviving replica, then write
+    if (pcfg.scheme == RedundancyScheme::kReplicated) {
+      // Fanout auto-creates the object on a freshly rotated-in member, so
+      // a holder may be a partial "husk" carrying only the extents and
+      // omap keys of the writes it happened to see.  Every applied write
+      // bumps the copy's version, and every write reaches every acting
+      // member, so the highest-version holder has applied a superset of
+      // the transactions any lower-version holder saw: pull from it, and
+      // also refresh acting members whose copy lags it.
+      auto copy_version = [this, &key](OsdId id) -> int64_t {
+        Osd* o = osd(id);
+        const ObjectStore* st =
+            (o != nullptr && o->is_up()) ? o->store_if_exists(key.pool)
+                                         : nullptr;
+        const ObjectState* os = st != nullptr ? st->find(key) : nullptr;
+        return os == nullptr ? -1 : static_cast<int64_t>(os->version);
+      };
+      OsdId src = -1;
+      int64_t best_v = -1;
+      for (const OsdId h : who) {
+        const int64_t v = copy_version(h);
+        if (v > best_v) {
+          best_v = v;
+          src = h;
+        }
+      }
+      if (src < 0) continue;
+      for (const OsdId target : acting) {
+        if (target == src || copy_version(target) >= best_v) continue;
+        Osd* t = osd(target);
+        if (t == nullptr || !t->is_up()) continue;
+        tally->outstanding++;
+        tally->objects++;
+        // Pull the full object state from the chosen replica, then write
         // it locally (backfill initiated by the target).
-        const OsdId src = who.front();
         OsdOp pull;
         pull.type = OsdOpType::kPull;
         pull.pool = key.pool;
         pull.oid = key.oid;
         pull.foreground = false;
         Osd* tptr = t;
+        // Install is compare-and-swap on the target's version: between the
+        // pull launch and the snapshot landing, an in-flight client write
+        // can apply at the target, and blindly installing the (older)
+        // snapshot would erase it — an acked write lost to recovery.  On a
+        // raced install we skip; the caller's next pass re-evaluates with
+        // fresh versions.
+        const int64_t tv_launch = copy_version(target);
         send_osd_op(*this, t->node(), src, std::move(pull),
-                    [this, tptr, key, tally](OsdOpReply rep) {
+                    [this, tptr, key, tally, tv_launch](OsdOpReply rep) {
                       if (!rep.status.is_ok() || !rep.state) {
                         tally->outstanding--;
                         return;
@@ -230,63 +297,175 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
                       auto state = rep.state;
                       const uint64_t bytes = object_state_bytes(*state);
                       tally->bytes += bytes;
-                      tptr->disk().write(bytes, [tptr, key, state, tally] {
-                        tptr->store(key.pool).install(key, *state);
-                        tally->outstanding--;
-                      });
+                      tptr->disk().write(
+                          bytes, [tptr, key, state, tally, tv_launch] {
+                            const ObjectStore* st =
+                                tptr->store_if_exists(key.pool);
+                            const ObjectState* cur =
+                                st != nullptr ? st->find(key) : nullptr;
+                            const int64_t now_v =
+                                cur == nullptr
+                                    ? -1
+                                    : static_cast<int64_t>(cur->version);
+                            if (tptr->is_up() && now_v == tv_launch) {
+                              tptr->store(key.pool).install(key, *state);
+                            }
+                            tally->outstanding--;
+                          });
                     });
-      } else {
-        // EC shard rebuild: gather k shards through the normal EC read
-        // path (decode cost charged), re-encode, install shard i locally.
-        const int shard = static_cast<int>(i);
-        Osd* tptr = t;
-        const int k = pcfg.ec_k;
-        const int m = pcfg.ec_m;
-        // Borrow xattrs from a surviving holder (control-plane metadata;
-        // tiny next to the data transfer, which is costed).
-        ObjectState donor;
-        if (Osd* h = osd(who.front())) {
-          auto snap = h->store(key.pool).snapshot(key);
-          if (snap.is_ok()) donor = std::move(snap).value();
-        }
-        tptr->submit_read(
-            key.pool, key.oid, 0, 0,
-            [this, tptr, key, shard, k, m, donor, tally](Result<Buffer> r) {
-              if (!r.is_ok()) {
-                tally->outstanding--;
-                return;
-              }
-              ReedSolomon rs(k, m);
-              auto shards = rs.encode(r.value());
-              ObjectState st;
-              st.data.write(0, shards[static_cast<size_t>(shard)]);
-              st.logical_size = shards[static_cast<size_t>(shard)].size();
-              st.xattrs = donor.xattrs;
-              st.omap = donor.omap;
-              Encoder se;
-              se.put_u32(static_cast<uint32_t>(shard));
-              st.xattrs["ec.shard"] = se.finish();
-              Encoder ol;
-              ol.put_u64(r.value().size());
-              st.xattrs["ec.orig_len"] = ol.finish();
-              const uint64_t bytes = object_state_bytes(st);
-              tally->bytes += bytes;
-              auto stp = std::make_shared<ObjectState>(std::move(st));
-              tptr->disk().write(bytes, [tptr, key, stp, tally] {
-                tptr->store(key.pool).install(key, *stp);
-                tally->outstanding--;
-              });
-            },
-            /*foreground=*/false);
       }
+      continue;
+    }
+
+    // EC realignment: every acting position i must end up holding shard i.
+    const int k = pcfg.ec_k;
+    const int m = pcfg.ec_m;
+    std::vector<size_t> need;
+    for (size_t i = 0; i < acting.size(); i++) {
+      Osd* t = osd(acting[i]);
+      if (t == nullptr || !t->is_up()) continue;
+      if (shard_label(key, acting[i], k + m) != static_cast<int>(i)) {
+        need.push_back(i);
+      }
+    }
+    if (need.empty()) continue;
+
+    // Gather k distinct shards from every up holder — strays included,
+    // since a bumped member can hold the only copy of a shard index.
+    std::vector<std::optional<Buffer>> shards(static_cast<size_t>(k + m));
+    uint64_t orig_len = 0;
+    ObjectState donor;
+    bool have_donor = false;
+    for (const OsdId h : who) {
+      const int idx = shard_label(key, h, k + m);
+      if (idx < 0) continue;
+      const ObjectStore* st = osd(h)->store_if_exists(key.pool);
+      auto data = st->read(key, 0, 0);
+      if (!data.is_ok()) continue;
+      if (!have_donor) {
+        if (auto snap = st->snapshot(key); snap.is_ok()) {
+          donor = std::move(snap).value();
+          have_donor = true;
+        }
+      }
+      if (auto len_attr = st->getxattr(key, "ec.orig_len");
+          len_attr.is_ok()) {
+        Decoder ld(len_attr.value());
+        uint64_t v = 0;
+        if (ld.get_u64(&v).is_ok()) orig_len = v;
+      }
+      if (!shards[static_cast<size_t>(idx)]) {
+        shards[static_cast<size_t>(idx)] = std::move(data).value();
+      }
+    }
+    ReedSolomon rs(k, m);
+    auto decoded = rs.decode(shards, orig_len);
+    if (!decoded.is_ok()) continue;  // < k distinct shards; retry next pass
+    auto out = rs.encode(decoded.value());
+    for (const size_t i : need) {
+      Osd* t = osd(acting[i]);
+      tally->outstanding++;
+      tally->objects++;
+      ObjectState st;
+      st.data.write(0, out[i]);
+      st.logical_size = out[i].size();
+      st.xattrs = donor.xattrs;
+      st.omap = donor.omap;
+      Encoder se;
+      se.put_u32(static_cast<uint32_t>(i));
+      st.xattrs["ec.shard"] = se.finish();
+      Encoder ol;
+      ol.put_u64(orig_len);
+      st.xattrs["ec.orig_len"] = ol.finish();
+      const uint64_t bytes = object_state_bytes(st);
+      tally->bytes += bytes;
+      auto stp = std::make_shared<ObjectState>(std::move(st));
+      t->disk().write(bytes, [t, key, stp, tally] {
+        t->store(key.pool).install(key, *stp);
+        tally->outstanding--;
+      });
     }
   }
   tally->launched_all = true;
 
-  // Drive the simulation until every transfer lands.
-  while (tally->outstanding > 0) {
+  // Drive the simulation until every transfer lands.  The deadline is a
+  // backstop for fault campaigns: if a source dies mid-pull its ack never
+  // comes, and the next recover() pass will pick the object up again.
+  const SimTime deadline = sched_.now() + sec(600);
+  while (tally->outstanding > 0 && sched_.now() < deadline) {
     if (!sched_.step()) break;
   }
+
+  // Trim stray copies.  An OSD bumped out of an object's acting set by a
+  // revive holds a copy that will never see another update: map-update
+  // fanout and removes address the acting set only.  Left alone, a stray
+  // can wedge an engine on a dirty flag no flush will ever clear, shadow
+  // a reclaimed chunk, or resurrect a removed object through a later
+  // recovery pull.  A copy is only trimmed once every acting member holds
+  // the object, so a stray that is still the sole survivor stays put for
+  // the next pass to pull from.
+  std::map<ObjectKey, std::vector<OsdId>> post;
+  for (auto& o : osds_) {
+    if (!o->is_up()) continue;
+    for (PoolId p : osdmap_.pool_ids()) {
+      const ObjectStore* st = o->store_if_exists(p);
+      if (st == nullptr) continue;
+      for (const auto& key : st->list(p)) post[key].push_back(o->id());
+    }
+  }
+  for (const auto& [key, who] : post) {
+    const PoolConfig& pcfg = osdmap_.pool(key.pool);
+    const auto acting = osdmap_.acting(key.pool, key.oid);
+    if (acting.empty()) continue;
+    // For replicated pools, presence is not enough either: an acting
+    // member may hold a partial husk (fanout auto-created it), and a
+    // stray may be the most-complete copy until the version-directed
+    // refresh above lands.  Only trim once every acting copy has caught
+    // up to the best version any holder has.
+    uint64_t max_v = 0;
+    for (const OsdId h : who) {
+      const ObjectStore* st = osd(h)->store_if_exists(key.pool);
+      const ObjectState* os = st != nullptr ? st->find(key) : nullptr;
+      if (os != nullptr) max_v = std::max(max_v, os->version);
+    }
+    bool covered = true;
+    for (size_t i = 0; i < acting.size(); i++) {
+      const OsdId a = acting[i];
+      Osd* ao = osd(a);
+      if (ao == nullptr || !ao->is_up() ||
+          std::find(who.begin(), who.end(), a) == who.end()) {
+        covered = false;
+        break;
+      }
+      if (pcfg.scheme == RedundancyScheme::kReplicated) {
+        const ObjectStore* st = ao->store_if_exists(key.pool);
+        const ObjectState* os = st != nullptr ? st->find(key) : nullptr;
+        if (os == nullptr || os->version < max_v) {
+          covered = false;
+          break;
+        }
+      }
+      // For EC, a stray may hold the only copy of a shard index until
+      // realignment lands, so require every acting position to hold its
+      // own correctly-labeled shard first.
+      if (pcfg.scheme != RedundancyScheme::kReplicated &&
+          shard_label(key, a, pcfg.ec_k + pcfg.ec_m) !=
+              static_cast<int>(i)) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    for (OsdId id : who) {
+      if (std::find(acting.begin(), acting.end(), id) != acting.end()) {
+        continue;
+      }
+      Osd* so = osd(id);
+      (void)so->store(key.pool).remove_object(key);
+      if (TierService* t = so->tier(key.pool)) t->forget_object(key.oid);
+    }
+  }
+
   if (objects_recovered != nullptr) *objects_recovered = tally->objects;
   if (bytes_recovered != nullptr) *bytes_recovered = tally->bytes;
   return sched_.now() - start;

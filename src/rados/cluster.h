@@ -26,6 +26,11 @@ struct ClusterConfig {
   NetworkConfig net;
   SsdConfig ssd;
   CpuConfig cpu;
+  // When > 0, client-side OSD ops time out with kUnavailable after this
+  // long without a reply, so crashed OSDs (which drop in-flight ops on the
+  // floor) cannot wedge the dedup engines.  0 keeps the legacy wait-forever
+  // behaviour for latency-exact benches.
+  SimTime op_timeout = 0;
 };
 
 class Cluster : public ClusterContext {
@@ -43,6 +48,7 @@ class Cluster : public ClusterContext {
   Osd* osd(OsdId id) override;
   NodeId node_of_osd(OsdId id) const override;
   CpuModel& node_cpu(NodeId node) override { return *node_cpus_[static_cast<size_t>(node)]; }
+  SimTime op_timeout() const override { return cfg_.op_timeout; }
 
   // --- topology ---
   const ClusterConfig& config() const { return cfg_; }

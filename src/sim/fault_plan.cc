@@ -1,0 +1,42 @@
+#include "sim/fault_plan.h"
+
+#include <cstdio>
+
+namespace gdedup {
+
+const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kCrashOsd: return "crash_osd";
+    case FaultAction::kReviveOsd: return "revive_osd";
+    case FaultAction::kRecover: return "recover";
+    case FaultAction::kGc: return "gc";
+    case FaultAction::kDeepScrub: return "deep_scrub";
+    case FaultAction::kArmEnginePoint: return "arm_engine_point";
+    case FaultAction::kArmOsdPoint: return "arm_osd_point";
+    case FaultAction::kNetDelay: return "net_delay";
+    case FaultAction::kNetDrop: return "net_drop";
+    case FaultAction::kNetHeal: return "net_heal";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "t=%+10lldus %-16s osd=%-3d arg=%-3d mode=%d dur=%lldus",
+                static_cast<long long>(at / kMicrosecond),
+                fault_action_name(action), osd, arg, mode,
+                static_cast<long long>(dur / kMicrosecond));
+  return buf;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "fault plan seed=" + std::to_string(seed) + " events=" +
+                    std::to_string(events.size()) + "\n";
+  for (const FaultEvent& ev : events) {
+    out += "  " + ev.describe() + "\n";
+  }
+  return out;
+}
+
+}  // namespace gdedup

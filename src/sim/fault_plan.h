@@ -1,0 +1,62 @@
+#pragma once
+
+// Seeded fault schedules.
+//
+// A FaultPlan is a deterministic list of fault events in virtual time:
+// OSD kills and restarts, network degradation, one-shot crash points armed
+// inside the dedup engine or the OSD replication/recovery paths, and
+// concurrent maintenance passes (GC, deep scrub) thrown in mid-storm.  The
+// sim layer defines only the vocabulary; topology-aware schedule generation
+// lives in cluster/fault_planner.h and the interpreter that applies events
+// to a live cluster lives in rados/fault_campaign.h.
+//
+// Everything here is plain data so that the same seed always renders the
+// same byte-identical schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace gdedup {
+
+enum class FaultAction : uint8_t {
+  kCrashOsd,        // kill -9: volatile state lost, in-flight ops vanish
+  kReviveOsd,       // disarm crash points, then restart the downed OSD
+                    // (osd == -1 means "whichever OSD an armed point
+                    // crashed"; arg bit 0 set means wipe the store first)
+  kRecover,         // run cluster backfill
+  kGc,              // run the garbage collector mid-storm
+  kDeepScrub,       // run a deep scrub pass mid-storm
+  kArmEnginePoint,  // arm a one-shot dedup-tier FailurePoint
+                    // (arg: point index; mode: 0 abort flush, 1 crash OSD)
+  kArmOsdPoint,     // arm a one-shot OsdFailurePoint (arg: point index);
+                    // firing always crashes the OSD that hit it
+  kNetDelay,        // add `dur` extra one-way latency to every message
+  kNetDrop,         // drop every `arg`-th message
+  kNetHeal,         // clear the extra latency and the drop rule
+};
+
+const char* fault_action_name(FaultAction a);
+
+struct FaultEvent {
+  SimTime at = 0;  // relative to the start of the fault phase
+  FaultAction action = FaultAction::kCrashOsd;
+  int osd = -1;    // victim OSD; -1 where the action picks its own target
+  int arg = 0;     // wipe flag / failure-point index / drop modulus
+  int mode = 0;    // kArmEnginePoint: 0 = abort the flush, 1 = crash the OSD
+  SimTime dur = 0; // kNetDelay: extra one-way latency
+
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultEvent> events;  // sorted by (at, emission order)
+
+  // Byte-stable rendering: same seed => identical string.
+  std::string describe() const;
+};
+
+}  // namespace gdedup

@@ -22,7 +22,14 @@ SimTime Network::send(NodeId from, NodeId to, uint64_t bytes,
   Nic& src = nics_[static_cast<size_t>(from)];
   Nic& dst = nics_[static_cast<size_t>(to)];
   const SimTime tx_done = src.tx.submit(now, service);
-  const SimTime arrival = tx_done + cfg_.hop_latency;
+  if (drop_every_ > 0 && ++drop_counter_ % drop_every_ == 0) {
+    // Lost in the fabric: the sender paid for the transmit, the receiver
+    // never hears about it.  Loopback is exempt (kernel round trips do not
+    // cross the switch).
+    dropped_++;
+    return tx_done + cfg_.hop_latency;
+  }
+  const SimTime arrival = tx_done + cfg_.hop_latency + extra_latency_;
   const SimTime rx_done = dst.rx.submit(arrival, service);
   if (deliver) sched_->at(rx_done, std::move(deliver));
   return rx_done;

@@ -43,6 +43,15 @@ class Network {
   SimTime send(NodeId from, NodeId to, uint64_t bytes,
                Scheduler::Callback deliver);
 
+  // --- fault injection (crash-schedule campaigns) ---
+  // Extra one-way latency added to every non-loopback message.
+  void set_extra_latency(SimTime d) { extra_latency_ = d; }
+  SimTime extra_latency() const { return extra_latency_; }
+  // Drop every nth non-loopback message (deterministic counter, so the
+  // same schedule loses the same messages).  0 disables.
+  void set_drop_every(uint32_t n) { drop_every_ = n; }
+  uint64_t dropped_messages() const { return dropped_; }
+
   // Total bytes ever offered to the fabric (including overhead).
   uint64_t total_bytes_sent() const { return total_bytes_; }
 
@@ -66,6 +75,10 @@ class Network {
   NetworkConfig cfg_;
   std::vector<Nic> nics_;
   uint64_t total_bytes_ = 0;
+  SimTime extra_latency_ = 0;
+  uint32_t drop_every_ = 0;
+  uint64_t drop_counter_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace gdedup

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dedup/scrub.h"
 #include "test_util.h"
 
 namespace gdedup {
@@ -99,7 +100,12 @@ TEST_P(FailurePointSweep, ReflushCrashNeverLosesNewData) {
   ASSERT_TRUE(r.is_ok());
   EXPECT_TRUE(r->content_equals(v2));
   EXPECT_TRUE(h.refcounts_consistent());
-  // v1's chunk must be gone (refcount reached zero at some redo).
+  // v1's chunk must be reclaimed.  The pipeline releases the old chunk
+  // only after the new one is committed, so a crash at or before the
+  // deref leaves v1's chunk holding a false-positive ref (Section 4.6) —
+  // one GC pass drops the stale ref and reclaims it.
+  Scrubber gc(h.cluster.get(), h.meta, h.chunks);
+  (void)gc.collect_garbage();
   const Fingerprint f1 =
       Fingerprint::compute(FingerprintAlgo::kSha256, v1.span());
   const OsdId cp = h.cluster->osdmap().primary(h.chunks, f1.hex());

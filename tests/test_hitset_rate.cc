@@ -135,6 +135,75 @@ TEST(RateController, DedupDominatedByForeground) {
   EXPECT_GT(granted_total, 0);
 }
 
+TEST(HitSet, LongIdleGapFastForwardsInConstantWork) {
+  // Regression: rotate() used to walk the sealing loop once per elapsed
+  // period, so a long-idle object paid O(gap/period) work (and sealed
+  // expired hotness into history) on its first access back.  The gap must
+  // be absorbed in one step: nothing sealed, history dropped, and the new
+  // window aligned to the period grid.
+  HitSet hs(kSecond, 4, 2);
+  hs.access("obj", msec(100));
+  hs.access("obj", msec(200));
+  ASSERT_TRUE(hs.is_hot("obj", msec(300)));
+  const uint64_t sealed_before = hs.periods_sealed();
+
+  const SimTime later = sec(1000000) + msec(337);
+  hs.access("obj", later);
+  EXPECT_EQ(hs.periods_sealed(), sealed_before);  // fast-forward seals none
+  EXPECT_EQ(hs.window_start(), later - later % kSecond);
+  EXPECT_EQ(hs.history_depth(), 0u);
+  // The pre-gap accesses are gone; only the single fresh access counts.
+  EXPECT_FALSE(hs.is_hot("obj", later + msec(1)));
+}
+
+TEST(HitSet, ShortGapsStillSealPeriodByPeriod) {
+  // The fast-forward must not swallow gaps within the retention horizon:
+  // those seal normally so recent periods stay queryable.
+  HitSet hs(kSecond, 4, 2);
+  hs.access("obj", msec(100));
+  hs.access("obj", sec(2) + msec(100));  // 2 periods later, within horizon
+  EXPECT_EQ(hs.periods_sealed(), 2u);
+  EXPECT_TRUE(hs.is_hot("obj", sec(2) + msec(200)));
+}
+
+TEST(RateController, DisabledControllerAccruesNoCredits) {
+  // Regression: a disabled controller kept accruing credits from
+  // foreground traffic; nothing should accumulate when rate control is
+  // off (take() grants unconditionally, so credits must stay at zero).
+  RateController rc(tier_cfg(false));
+  for (int i = 0; i < 500; i++) rc.on_foreground(msec(i));
+  EXPECT_EQ(rc.credits(), 0.0);
+  EXPECT_EQ(rc.take(msec(600), 64), 64);
+  EXPECT_EQ(rc.credits(), 0.0);
+}
+
+TEST(RateController, FractionalCreditsSumToWholeGrants) {
+  // Regression: per_mid accruals of 1/per_mid land a few ulps short of a
+  // whole credit in binary (3 * (1/3) = 0.999...), and take() truncated
+  // that to zero — the engine starved one extra foreground op per credit.
+  DedupTierConfig c = tier_cfg();
+  c.low_watermark_iops = 5;
+  c.high_watermark_iops = 1000000;
+  c.ios_per_dedup_mid = 3;
+  RateController rc(c);
+  // Ops 1..5 are at/below the low watermark (unthrottled, no accrual);
+  // ops 6..8 each accrue 1/3 of a credit.
+  for (int i = 0; i < 8; i++) rc.on_foreground(msec(10 * i));
+  EXPECT_EQ(rc.take(msec(100), 64), 1);
+}
+
+TEST(RateController, TakeCarriesFractionalRemainder) {
+  DedupTierConfig c = tier_cfg();
+  c.low_watermark_iops = 5;
+  c.high_watermark_iops = 1000000;
+  c.ios_per_dedup_mid = 3;
+  RateController rc(c);
+  // 4 mid-regime accruals = 1.33 credits; granting 1 must leave the third.
+  for (int i = 0; i < 9; i++) rc.on_foreground(msec(10 * i));
+  EXPECT_EQ(rc.take(msec(100), 64), 1);
+  EXPECT_NEAR(rc.credits(), 1.0 / 3.0, 1e-6);
+}
+
 TEST(RateController, IopsMeasurement) {
   RateController rc(tier_cfg());
   for (int i = 0; i < 250; i++) rc.on_foreground(msec(i * 2));

@@ -290,5 +290,126 @@ TEST(Scrub, AsyncDerefLostDecrementReclaimedByGc) {
   EXPECT_TRUE(h.refcounts_consistent());
 }
 
+TEST(Scrub, GcSparesChunkInOpenFlushWindow) {
+  // Regression (Figure 9 step 4): a flush has stored its chunk and recorded
+  // the ref, but crashed before the map update.  The ref looks dangling —
+  // no flushed map entry matches it — yet the GC must not drop it or
+  // reclaim the chunk while the source object still has volatile flush
+  // state, or the redo converges onto a chunk someone just deleted.
+  DedupHarness h(test_tier_config());
+  Buffer data = random_buffer(2 * kChunk, 70);
+  ASSERT_TRUE(h.write("obj", 0, data).is_ok());
+
+  // One-shot crash at kAfterChunkPut: chunk + ref persisted, map update
+  // abandoned, object stays dirty.
+  auto fired = std::make_shared<bool>(false);
+  for (Osd* o : h.cluster->osds()) {
+    h.cluster->tier_of(o->id(), h.meta)
+        ->set_failure_hook([fired](FailurePoint p, const std::string&) {
+          if (*fired || p != FailurePoint::kAfterChunkPut) return false;
+          *fired = true;
+          return true;
+        });
+  }
+  for (int i = 0; i < 200000 && !*fired; i++) {
+    ASSERT_TRUE(h.cluster->sched().step());
+  }
+  ASSERT_TRUE(*fired);
+  // Freeze the window: engines stopped, dirty state intact.
+  for (Osd* o : h.cluster->osds()) {
+    h.cluster->tier_of(o->id(), h.meta)->set_failure_hook(nullptr);
+    h.cluster->tier_of(o->id(), h.meta)->stop();
+  }
+  const uint64_t chunks_before = h.chunk_object_count();
+  ASSERT_GE(chunks_before, 1u);
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport gc = s.collect_garbage();
+  EXPECT_EQ(gc.dangling_refs_dropped, 0u);
+  EXPECT_EQ(gc.leaked_chunks_reclaimed, 0u);
+  EXPECT_GE(gc.busy_ref_skips, 1u);
+  EXPECT_EQ(h.chunk_object_count(), chunks_before);
+
+  // Resume: the redo completes against the spared chunk and converges.
+  for (Osd* o : h.cluster->osds()) {
+    h.cluster->tier_of(o->id(), h.meta)->start();
+  }
+  ASSERT_TRUE(h.drain());
+  EXPECT_TRUE(h.read("obj", 0, 0)->content_equals(data));
+  EXPECT_TRUE(h.refcounts_consistent());
+  EXPECT_TRUE(s.collect_garbage().clean());
+}
+
+TEST(Scrub, DeepScrubSurvivesCrashedHolderReplicated) {
+  // Regression: a holder that drops mid-campaign used to be scrubbed as if
+  // alive; the pass must route around it and stay clean.
+  DedupHarness h(test_tier_config());
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(h.write("r" + std::to_string(i), 0,
+                        random_buffer(2 * kChunk, 80 + static_cast<uint64_t>(i)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(h.drain());
+
+  // Crash an OSD that holds chunk copies (kill -9 semantics).
+  OsdId victim = -1;
+  for (Osd* o : h.cluster->osds()) {
+    const ObjectStore* st = o->store_if_exists(h.chunks);
+    if (st != nullptr && !st->list(h.chunks).empty()) {
+      victim = o->id();
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  h.cluster->crash_osd(victim);
+
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub(/*repair=*/true);
+  EXPECT_EQ(rep.fingerprint_mismatches, 0u);
+  EXPECT_EQ(rep.replica_mismatches, 0u);
+  (void)s.collect_garbage();  // must not touch the downed holder either
+
+  h.cluster->revive_osd(victim, /*wipe_store=*/false);
+  h.cluster->recover();
+  ASSERT_TRUE(h.drain());
+  EXPECT_TRUE(s.deep_scrub().clean());
+  EXPECT_TRUE(h.refcounts_consistent());
+}
+
+TEST(Scrub, DeepScrubSurvivesCrashedHolderEc) {
+  // Same survival property on the EC branch, which used to dereference a
+  // dropped holder's store without a null / liveness check.
+  DedupHarness h(test_tier_config(), testutil::small_cluster_config(),
+                 RedundancyScheme::kErasure);
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(h.write("e" + std::to_string(i), 0,
+                        random_buffer(2 * kChunk, 90 + static_cast<uint64_t>(i)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(h.drain());
+
+  OsdId victim = -1;
+  for (Osd* o : h.cluster->osds()) {
+    const ObjectStore* st = o->store_if_exists(h.chunks);
+    if (st != nullptr && !st->list(h.chunks).empty()) {
+      victim = o->id();
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  h.cluster->crash_osd(victim);
+
+  // k=2 of the 3 shards survive on up OSDs: every chunk still decodes.
+  Scrubber s(h.cluster.get(), h.meta, h.chunks);
+  const ScrubReport rep = s.deep_scrub();
+  EXPECT_EQ(rep.fingerprint_mismatches, 0u);
+  (void)s.collect_garbage();
+
+  h.cluster->revive_osd(victim, /*wipe_store=*/false);
+  h.cluster->recover();
+  ASSERT_TRUE(h.drain());
+  EXPECT_EQ(s.deep_scrub().fingerprint_mismatches, 0u);
+}
+
 }  // namespace
 }  // namespace gdedup
