@@ -87,6 +87,7 @@ Outcome run_config(Config cfg, size_t ops_count) {
   auto rissue = make_bdev_issuer(c, bd, rops);
   const LoadResult r = run_closed_loop(c, rops.size(), /*depth=*/16, rissue);
 
+  print_obs_summary(c);
   return {w.mean_latency_ms(), w.cpu_util * 100.0, r.mean_latency_ms(),
           r.cpu_util * 100.0};
 }

@@ -84,6 +84,7 @@ Measured run_config(bool dedup, uint32_t bs, size_t ops_count) {
   const LoadResult r =
       run_closed_loop(c, ops_count, /*depth=*/4 * kClients, rissue);
 
+  print_obs_summary(c);
   return {w.mbps(), w.mean_latency_ms(), r.mbps(), r.mean_latency_ms()};
 }
 

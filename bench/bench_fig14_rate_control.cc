@@ -53,6 +53,7 @@ std::vector<double> run_mode(Mode mode, SimTime duration) {
              [done = std::move(done), bs](Status) { done(bs); });
   };
   run_closed_loop_for(c, duration, /*depth=*/8, issue, &series);
+  print_obs_summary(c);
   return series.rates();
 }
 

@@ -90,6 +90,7 @@ std::vector<double> interference_series(bool dedup, bool rate_control,
              [done = std::move(done), bs](Status) { done(bs); });
   };
   run_closed_loop_for(c, duration, /*depth=*/8, issue, &series);
+  print_obs_summary(c);
   return series.rates();
 }
 

@@ -53,6 +53,7 @@ Measured run_case(bool dedup, int failed_osds, uint64_t volume) {
   }
   uint64_t bytes = 0;
   const SimTime dur = c.recover(nullptr, &bytes);
+  print_obs_summary(c);
   return {static_cast<double>(dur) / kSecond, bytes};
 }
 

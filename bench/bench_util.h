@@ -15,6 +15,7 @@
 
 #include "common/histogram.h"
 #include "common/options.h"
+#include "obs/dump.h"
 #include "rados/client.h"
 #include "rados/cluster.h"
 #include "rados/sync.h"
@@ -35,6 +36,13 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 
 inline void print_note(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
+}
+
+// One-line cluster observability digest (perf-counter registry + op
+// tracker), printed by the harnesses after their measured phases.  Same
+// seed => same line, so it doubles as a cheap cross-PR sanity diff.
+inline void print_obs_summary(Cluster& c) {
+  std::printf("%s\n", obs::summary_line(c).c_str());
 }
 
 // --------------------------------------------------- wall-clock self-timing

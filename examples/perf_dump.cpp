@@ -1,0 +1,134 @@
+// perf_dump: run a small seeded dedup workload and emit the cluster's
+// observability dump — every perf-counter entity (OSDs, tier engines,
+// clients, scrubber), per-pool store stats, and the op tracker's slow-op
+// flight recorder — as one deterministic JSON document.
+//
+//   $ ./perf_dump                      # dump to stdout
+//   $ ./perf_dump seed=7 out=obs.json  # dump to a file
+//   $ ./perf_dump check=1              # self-test: run the same seed twice,
+//                                      # require byte-identical dumps and
+//                                      # >= 25 osd/tier/client counters
+//
+// The check mode is wired as the `perf_dump_smoke` ctest entry: it is the
+// executable form of the determinism promise in DESIGN.md §7 (virtual
+// time + sorted registry + pinned formatting => reproducible dumps).
+
+#include <cstdio>
+#include <string>
+
+#include "common/options.h"
+#include "common/random.h"
+#include "dedup/scrub.h"
+#include "obs/dump.h"
+#include "rados/cluster.h"
+#include "rados/sync.h"
+#include "workload/content.h"
+
+using namespace gdedup;
+
+namespace {
+
+struct RunOutput {
+  std::string json;
+  size_t data_path_counters = 0;  // declared entries on osd./tier./client.
+};
+
+RunOutput run_and_dump(uint64_t seed) {
+  ClusterConfig ccfg;
+  ccfg.storage_nodes = 2;
+  ccfg.osds_per_node = 2;
+  ccfg.client_nodes = 1;
+  Cluster cluster(ccfg);
+  const PoolId meta = cluster.create_replicated_pool("meta", 2, 64);
+  const PoolId chunks = cluster.create_replicated_pool("chunks", 2, 64);
+
+  DedupTierConfig tier;
+  tier.mode = DedupMode::kPostProcess;
+  tier.chunk_size = 32 * 1024;
+  cluster.enable_dedup(meta, chunks, tier);
+
+  // Dup-heavy content from a small palette of seeds, so the engine takes
+  // both the create and the dedup-hit path; a few partial overwrites keep
+  // the flush-merge machinery in the picture.
+  RadosClient client(&cluster, cluster.client_node(0));
+  Rng rng(mix64(seed ^ 0x0b5e7ab111171e5ULL));
+  for (int i = 0; i < 24; i++) {
+    Buffer data = workload::BlockContent::make(1 + rng.below(6), 96 * 1024);
+    (void)sync_write(cluster, client, meta, "obj-" + std::to_string(i), 0,
+                     data);
+  }
+  cluster.drain_dedup();
+  for (int i = 0; i < 24; i++) {
+    Buffer patch = workload::BlockContent::make(100 + rng.below(4), 8 * 1024);
+    (void)sync_write(cluster, client, meta, "obj-" + std::to_string(i),
+                     16 * 1024, patch);
+  }
+  cluster.drain_dedup();
+  for (int i = 0; i < 24; i++) {
+    (void)sync_read(cluster, client, meta, "obj-" + std::to_string(i), 0, 0);
+  }
+
+  // One GC pass so the scrub entity shows up in the dump too.
+  Scrubber scrub(&cluster, meta, chunks);
+  (void)scrub.collect_garbage();
+
+  RunOutput out;
+  for (const auto& pc : cluster.perf_registry()->sorted()) {
+    const std::string& n = pc->name();
+    if (n.rfind("osd.", 0) == 0 || n.rfind("tier.", 0) == 0 ||
+        n.rfind("client.", 0) == 0) {
+      out.data_path_counters += pc->size();
+    }
+  }
+  out.json = obs::dump(cluster);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv,
+               "seed=<workload seed, default 1> out=<path, default stdout> "
+               "check=<0|1 self-test determinism + counter coverage>");
+  const uint64_t seed = static_cast<uint64_t>(opts.get_int("seed", 1));
+  const std::string out_path = opts.get("out", "-");
+  const bool check = opts.get_bool("check", false);
+  opts.check_unused();
+
+  RunOutput a = run_and_dump(seed);
+
+  if (check) {
+    const RunOutput b = run_and_dump(seed);
+    if (a.json != b.json) {
+      std::fprintf(stderr,
+                   "FAIL: same-seed dumps differ (%zu vs %zu bytes)\n",
+                   a.json.size(), b.json.size());
+      return 1;
+    }
+    if (a.data_path_counters < 25) {
+      std::fprintf(stderr,
+                   "FAIL: only %zu osd/tier/client counters declared "
+                   "(need >= 25)\n",
+                   a.data_path_counters);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "check ok: %zu-byte dump reproduced byte-identically; "
+                 "%zu osd/tier/client counters\n",
+                 a.json.size(), a.data_path_counters);
+  }
+
+  if (out_path == "-") {
+    std::fwrite(a.json.data(), 1, a.json.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(a.json.data(), 1, a.json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "dump written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Build the whole tree under ASan+UBSan and run the test suite.
+# Build the whole tree under ASan+UBSan and run the test suite, then run
+# the observability tests under TSan.
 #
 # Usage: scripts/check_sanitizers.sh [ctest-regex]
 #
-# Uses a separate build directory (build-asan) so the regular build stays
-# untouched.  -fno-sanitize-recover=all turns every sanitizer report into
-# a hard failure, so a green ctest run really means no UB and no memory
-# errors on the exercised paths.
+# Uses separate build directories (build-asan, build-tsan) so the regular
+# build stays untouched.  -fno-sanitize-recover=all turns every sanitizer
+# report into a hard failure, so a green ctest run really means no UB and
+# no memory errors on the exercised paths.
+#
+# TSan cannot be combined with ASan, hence the second build tree.  The
+# simulator is single-threaded by design, but the perf-counter registry
+# and op tracker are shared across every layer; the TSan phase pins down
+# that the observability paths (counter updates, trace span bookkeeping,
+# JSON dumps) stay race-free as exercised by test_observability and the
+# perf_dump determinism smoke.
 
 set -euo pipefail
 
@@ -28,3 +36,17 @@ if [[ -n "${filter}" ]]; then
 else
   ctest --output-on-failure
 fi
+
+# --- TSan phase: observability layer only --------------------------------
+
+tsan_dir="${repo_root}/build-tsan"
+tsan_flags="-fsanitize=thread -fno-sanitize-recover=all"
+
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${tsan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}"
+cmake --build "${tsan_dir}" -j "$(nproc)" --target test_observability perf_dump
+
+cd "${tsan_dir}"
+ctest --output-on-failure -R 'test_observability|perf_dump_smoke'

@@ -8,6 +8,12 @@
 # rate, and the suite's wall time).  The suite cross-checks fast-path
 # digests and chunk boundaries against the reference implementations and
 # fails loudly on any mismatch.
+#
+# Afterwards a perf_dump run distills the observability layer into an
+# "obs" section that is merged additively into BENCH_PIPELINE.json and
+# BENCH_SIM.json — existing keys are never modified, so the pipeline /
+# sim schemas stay intact while the trajectory gains counter coverage
+# (entity and counter totals, op trace completeness, tier latency p99s).
 
 set -euo pipefail
 
@@ -16,8 +22,51 @@ build_dir="${repo_root}/build-bench"
 out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_components
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_components perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
 echo "perf trajectory point recorded at ${out_json}"
+
+# --- observability section merge -----------------------------------------
+
+obs_seed=1
+obs_dump="${build_dir}/obs_dump.json"
+"${build_dir}/examples/perf_dump" seed="${obs_seed}" out="${obs_dump}"
+
+merge_obs() {
+  local target="$1"
+  [[ -f "${target}" ]] || return 0
+  python3 - "${obs_dump}" "${target}" "${obs_seed}" <<'EOF'
+import json, sys
+dump_path, target_path, seed = sys.argv[1], sys.argv[2], int(sys.argv[3])
+d = json.load(open(dump_path))
+tiers = {k: v for k, v in d["counters"].items() if k.startswith("tier.")}
+obs = {
+    "schema": "gdedup.obs.v1",
+    "seed": seed,
+    "entities": len(d["counters"]),
+    "declared_counters": sum(len(v) for v in d["counters"].values()),
+    "ops_started": d["ops"]["started"],
+    "ops_finished": d["ops"]["finished"],
+    "tier_writes": sum(v.get("writes", 0) for v in tiers.values()),
+    "tier_chunks_flushed": sum(v.get("chunks_flushed", 0)
+                               for v in tiers.values()),
+    "tier_write_lat_p99_ns": max(v["write_lat"]["p99"]
+                                 for v in tiers.values()),
+    "tier_flush_lat_p99_ns": max(v["flush_lat"]["p99"]
+                                 for v in tiers.values()),
+}
+bench = json.load(open(target_path))
+# Additive merge: the obs section is ours to refresh, every other key is
+# preserved untouched.
+bench["obs"] = obs
+with open(target_path, "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print(f"obs section merged into {target_path}")
+EOF
+}
+
+merge_obs "${out_json}"
+merge_obs "${repo_root}/BENCH_SIM.json"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build the perf_dump example, run its seeded workload, and validate the
+# observability JSON it emits.
+#
+# Usage: scripts/run_perf_dump.sh [seed] [output.json]
+#
+# Runs perf_dump in check mode first (same seed twice must produce
+# byte-identical dumps with >= 25 osd/tier/client counters — the
+# determinism contract of DESIGN.md §7), then validates the written
+# document: parses as JSON, has the expected top-level sections, and
+# carries per-stage latency histograms on every tier entity.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+seed="${1:-1}"
+out_json="${2:-${build_dir}/obs_dump.json}"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)" --target perf_dump
+
+"${build_dir}/examples/perf_dump" check=1 seed="${seed}" out="${out_json}"
+
+python3 - "${out_json}" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("sim_time_ns", "counters", "pools", "ops"):
+    assert key in d, f"missing top-level section {key!r}"
+tiers = {k: v for k, v in d["counters"].items() if k.startswith("tier.")}
+assert tiers, "no tier entities in dump"
+for name, c in tiers.items():
+    for h in ("write_lat", "read_lat", "fingerprint_lat", "chunk_put_lat",
+              "flush_lat"):
+        assert isinstance(c.get(h), dict), f"{name} missing histogram {h}"
+assert d["ops"]["started"] == d["ops"]["finished"], "ops left in flight"
+assert d["ops"]["slow"], "empty slow-op flight recorder"
+print(f"validated: {len(d['counters'])} entities, "
+      f"{sum(len(v) for v in d['counters'].values())} counters, "
+      f"{len(d['ops']['slow'])} slow ops recorded")
+EOF
+
+echo "observability dump written to ${out_json}"

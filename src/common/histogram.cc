@@ -65,6 +65,51 @@ uint64_t Histogram::percentile(double q) const {
   return max_;
 }
 
+std::vector<uint64_t> Histogram::percentiles(
+    std::initializer_list<double> qs) const {
+  std::vector<uint64_t> out(qs.size(), 0);
+  if (count_ == 0 || qs.size() == 0) return out;
+  // Sort query indices by target rank so a single forward bucket walk
+  // answers every quantile.
+  std::vector<std::pair<uint64_t, size_t>> targets;
+  targets.reserve(qs.size());
+  size_t qi = 0;
+  for (double q : qs) {
+    q = std::clamp(q, 0.0, 1.0);
+    targets.emplace_back(
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)), qi++);
+  }
+  std::sort(targets.begin(), targets.end());
+  uint64_t seen = 0;
+  size_t t = 0;
+  for (int i = 0; i < kBuckets && t < targets.size(); i++) {
+    seen += buckets_[i];
+    while (t < targets.size() && seen > targets[t].first) {
+      out[targets[t].second] = std::min(bucket_upper_bound(i), max_);
+      t++;
+    }
+  }
+  for (; t < targets.size(); t++) out[targets[t].second] = max_;
+  return out;
+}
+
+std::string Histogram::json() const {
+  const auto ps = percentiles({0.5, 0.9, 0.99, 0.999});
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.3f,"
+      "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"p999\":%llu}",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(max_), mean(),
+      static_cast<unsigned long long>(ps[0]),
+      static_cast<unsigned long long>(ps[1]),
+      static_cast<unsigned long long>(ps[2]),
+      static_cast<unsigned long long>(ps[3]));
+  return buf;
+}
+
 std::string Histogram::summary_ns() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s max=%s",

@@ -7,6 +7,7 @@
 // report the mean / p50 / p99 rows the paper's figures plot.
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,9 @@ class Histogram {
   void reset();
 
   uint64_t count() const { return count_; }
+  // Smallest recorded value.  An empty histogram has no minimum; by
+  // contract min() returns 0 then (callers must check count() if they
+  // need to distinguish "no samples" from "a sample of 0").
   uint64_t min() const { return count_ ? min_ : 0; }
   uint64_t max() const { return max_; }
   double mean() const {
@@ -32,6 +36,16 @@ class Histogram {
 
   // q in [0, 1]; returns a value with <= ~1.6% relative error.
   uint64_t percentile(double q) const;
+
+  // Batch percentile query: one bucket walk for any number of quantiles.
+  // Quantiles need not be sorted; results line up with the input order.
+  std::vector<uint64_t> percentiles(std::initializer_list<double> qs) const;
+
+  // Compact single-line JSON object, e.g.
+  //   {"count":12,"min":3,"max":917,"mean":101.250,"p50":88,"p90":401,
+  //    "p99":917,"p999":917}
+  // Key order and float formatting are fixed so dumps are byte-stable.
+  std::string json() const;
 
   // "mean=1.23ms p50=... p99=... max=..." with `value` printed as duration.
   std::string summary_ns() const;

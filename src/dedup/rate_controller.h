@@ -35,6 +35,8 @@ class RateController {
         per_high_(cfg.ios_per_dedup_high) {}
 
   void on_foreground(SimTime now, uint64_t bytes = 1) {
+    ops_.advance(now);
+    bytes_.advance(now);
     ops_.add(now, 1);
     bytes_.add(now, bytes);
     if (!enabled_) return;  // disabled controller must not accrue credits
@@ -46,6 +48,8 @@ class RateController {
 
   // Grant up to `want` dedup I/Os right now.
   int take(SimTime now, int want) {
+    ops_.advance(now);
+    bytes_.advance(now);
     if (!enabled_) return want;
     if (current_demand(now) <= low_) return want;
     // Floor with an epsilon: `per` accruals of 1/per must sum to a whole

@@ -14,6 +14,48 @@
 
 namespace gdedup {
 
+Scrubber::Scrubber(ClusterContext* ctx, PoolId metadata_pool,
+                   PoolId chunk_pool)
+    : ctx_(ctx), meta_(metadata_pool), chunks_(chunk_pool) {
+  obs::PerfRegistry* reg = ctx_->perf_registry();
+  if (reg == nullptr) return;
+  const std::string name = "scrub.pool" + std::to_string(meta_);
+  perf_ = reg->get(name);
+  if (perf_ != nullptr) return;  // transient Scrubbers share one entity
+  obs::PerfCountersBuilder b(name, l_scrub_first, l_scrub_last);
+  b.add_counter(l_scrub_deep_scrubs, "deep_scrubs");
+  b.add_counter(l_scrub_gc_passes, "gc_passes");
+  b.add_counter(l_scrub_chunks_checked, "chunks_checked");
+  b.add_counter(l_scrub_bytes_verified, "bytes_verified");
+  b.add_counter(l_scrub_fp_mismatches, "fp_mismatches");
+  b.add_counter(l_scrub_replica_mismatches, "replica_mismatches");
+  b.add_counter(l_scrub_replicas_repaired, "replicas_repaired");
+  b.add_counter(l_scrub_refs_checked, "refs_checked");
+  b.add_counter(l_scrub_dangling_refs_dropped, "dangling_refs_dropped");
+  b.add_counter(l_scrub_leaked_chunks_reclaimed, "leaked_chunks_reclaimed");
+  b.add_counter(l_scrub_refs_repaired, "refs_repaired");
+  b.add_counter(l_scrub_busy_ref_skips, "busy_ref_skips");
+  b.add_histogram(l_scrub_pass_lat, "pass_lat");
+  perf_ = b.create();
+  reg->add(perf_);
+}
+
+void Scrubber::record_pass(const ScrubReport& rep, bool gc) {
+  if (perf_ == nullptr) return;
+  perf_->inc(gc ? l_scrub_gc_passes : l_scrub_deep_scrubs);
+  perf_->inc(l_scrub_chunks_checked, rep.chunks_checked);
+  perf_->inc(l_scrub_bytes_verified, rep.bytes_verified);
+  perf_->inc(l_scrub_fp_mismatches, rep.fingerprint_mismatches);
+  perf_->inc(l_scrub_replica_mismatches, rep.replica_mismatches);
+  perf_->inc(l_scrub_replicas_repaired, rep.replicas_repaired);
+  perf_->inc(l_scrub_refs_checked, rep.refs_checked);
+  perf_->inc(l_scrub_dangling_refs_dropped, rep.dangling_refs_dropped);
+  perf_->inc(l_scrub_leaked_chunks_reclaimed, rep.leaked_chunks_reclaimed);
+  perf_->inc(l_scrub_refs_repaired, rep.refs_repaired);
+  perf_->inc(l_scrub_busy_ref_skips, rep.busy_ref_skips);
+  perf_->record(l_scrub_pass_lat, static_cast<uint64_t>(rep.duration));
+}
+
 std::vector<std::pair<ObjectKey, std::vector<OsdId>>> Scrubber::chunk_holders()
     const {
   auto m = dedup_walk::holders(ctx_, chunks_);
@@ -129,6 +171,7 @@ ScrubReport Scrubber::deep_scrub(bool repair) {
 
   ctx_->sched().run_until(latest);
   rep.duration = ctx_->sched().now() - start;
+  record_pass(rep, /*gc=*/false);
   return rep;
 }
 
@@ -261,6 +304,7 @@ ScrubReport Scrubber::collect_garbage() {
     if (!ctx_->sched().step()) break;
   }
   rep.duration = ctx_->sched().now() - start;
+  record_pass(rep, /*gc=*/true);
   return rep;
 }
 

@@ -27,10 +27,33 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "osd/cluster_context.h"
 #include "osd/osd.h"
 
 namespace gdedup {
+
+// Perf-counter indices for the control-plane scrub / GC passes (registry
+// entity "scrub.pool<metadata_pool>").  Scrubber instances are transient —
+// the fault campaign builds one per event — so the entity is looked up and
+// reused across passes; counts are cumulative per metadata pool.
+enum {
+  l_scrub_first = 4000,
+  l_scrub_deep_scrubs,
+  l_scrub_gc_passes,
+  l_scrub_chunks_checked,
+  l_scrub_bytes_verified,
+  l_scrub_fp_mismatches,
+  l_scrub_replica_mismatches,
+  l_scrub_replicas_repaired,
+  l_scrub_refs_checked,
+  l_scrub_dangling_refs_dropped,
+  l_scrub_leaked_chunks_reclaimed,
+  l_scrub_refs_repaired,
+  l_scrub_busy_ref_skips,
+  l_scrub_pass_lat,  // virtual duration of one pass (scrub or GC), ns
+  l_scrub_last,
+};
 
 struct ScrubReport {
   uint64_t chunks_checked = 0;
@@ -54,8 +77,7 @@ struct ScrubReport {
 
 class Scrubber {
  public:
-  Scrubber(ClusterContext* ctx, PoolId metadata_pool, PoolId chunk_pool)
-      : ctx_(ctx), meta_(metadata_pool), chunks_(chunk_pool) {}
+  Scrubber(ClusterContext* ctx, PoolId metadata_pool, PoolId chunk_pool);
 
   // Verify chunk content against OIDs and replicas against each other.
   // With `repair`, divergent replicas are overwritten from a copy whose
@@ -73,9 +95,13 @@ class Scrubber {
   // All chunk-object keys, with the OSDs that hold a copy/shard.
   std::vector<std::pair<ObjectKey, std::vector<OsdId>>> chunk_holders() const;
 
+  // Fold one pass's report into the shared per-pool counters.
+  void record_pass(const ScrubReport& rep, bool gc);
+
   ClusterContext* ctx_;
   PoolId meta_;
   PoolId chunks_;
+  obs::PerfCountersRef perf_;  // null when the context has no registry
 };
 
 }  // namespace gdedup

@@ -44,7 +44,67 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
       hitset_(osd->ctx().osdmap().pool(pool).dedup.hitset_period,
               osd->ctx().osdmap().pool(pool).dedup.hitset_count,
               osd->ctx().osdmap().pool(pool).dedup.hitcount_threshold),
-      rate_(osd->ctx().osdmap().pool(pool).dedup) {}
+      rate_(osd->ctx().osdmap().pool(pool).dedup) {
+  obs::PerfCountersBuilder b("tier.osd" + std::to_string(osd->id()) + ".pool" +
+                                 std::to_string(pool),
+                             l_tier_first, l_tier_last);
+  b.add_counter(l_tier_writes, "writes");
+  b.add_counter(l_tier_reads, "reads");
+  b.add_counter(l_tier_removes, "removes");
+  b.add_counter(l_tier_prereads, "prereads");
+  b.add_counter(l_tier_flush_merges, "flush_merges");
+  b.add_counter(l_tier_cached_read_chunks, "cached_read_chunks");
+  b.add_counter(l_tier_redirected_read_chunks, "redirected_read_chunks");
+  b.add_counter(l_tier_chunks_flushed, "chunks_flushed");
+  b.add_counter(l_tier_flush_bytes, "flush_bytes");
+  b.add_counter(l_tier_noop_flushes, "noop_flushes");
+  b.add_counter(l_tier_derefs, "derefs");
+  b.add_counter(l_tier_evictions, "evictions");
+  b.add_counter(l_tier_capacity_evictions, "capacity_evictions");
+  b.add_counter(l_tier_promotions, "promotions");
+  b.add_counter(l_tier_hot_skips, "hot_skips");
+  b.add_counter(l_tier_racy_flushes, "racy_flushes");
+  b.add_counter(l_tier_degraded_pulls, "degraded_pulls");
+  b.add_counter(l_tier_orphan_adoptions, "orphan_adoptions");
+  b.add_counter(l_tier_engine_ticks, "engine_ticks");
+  b.add_counter(l_tier_engine_aborts, "engine_aborts");
+  b.add_counter(l_tier_fingerprint_cache_hits, "fingerprint_cache_hits");
+  b.add_histogram(l_tier_write_lat, "write_lat");
+  b.add_histogram(l_tier_read_lat, "read_lat");
+  b.add_histogram(l_tier_fingerprint_lat, "fingerprint_lat");
+  b.add_histogram(l_tier_chunk_put_lat, "chunk_put_lat");
+  b.add_histogram(l_tier_chunk_deref_lat, "chunk_deref_lat");
+  b.add_histogram(l_tier_merge_read_lat, "merge_read_lat");
+  b.add_histogram(l_tier_flush_lat, "flush_lat");
+  perf_ = b.create();
+  if (auto* reg = osd_->ctx().perf_registry()) reg->add(perf_);
+}
+
+void DedupTier::refresh_stats_view() const {
+  stats_view_.writes = perf_->get(l_tier_writes);
+  stats_view_.reads = perf_->get(l_tier_reads);
+  stats_view_.removes = perf_->get(l_tier_removes);
+  stats_view_.prereads = perf_->get(l_tier_prereads);
+  stats_view_.flush_merges = perf_->get(l_tier_flush_merges);
+  stats_view_.cached_read_chunks = perf_->get(l_tier_cached_read_chunks);
+  stats_view_.redirected_read_chunks =
+      perf_->get(l_tier_redirected_read_chunks);
+  stats_view_.chunks_flushed = perf_->get(l_tier_chunks_flushed);
+  stats_view_.flush_bytes = perf_->get(l_tier_flush_bytes);
+  stats_view_.noop_flushes = perf_->get(l_tier_noop_flushes);
+  stats_view_.derefs = perf_->get(l_tier_derefs);
+  stats_view_.evictions = perf_->get(l_tier_evictions);
+  stats_view_.capacity_evictions = perf_->get(l_tier_capacity_evictions);
+  stats_view_.promotions = perf_->get(l_tier_promotions);
+  stats_view_.hot_skips = perf_->get(l_tier_hot_skips);
+  stats_view_.racy_flushes = perf_->get(l_tier_racy_flushes);
+  stats_view_.degraded_pulls = perf_->get(l_tier_degraded_pulls);
+  stats_view_.orphan_adoptions = perf_->get(l_tier_orphan_adoptions);
+  stats_view_.engine_ticks = perf_->get(l_tier_engine_ticks);
+  stats_view_.engine_aborts = perf_->get(l_tier_engine_aborts);
+  stats_view_.fingerprint_cache_hits =
+      perf_->get(l_tier_fingerprint_cache_hits);
+}
 
 // --------------------------------------------------------- object context
 
@@ -76,7 +136,7 @@ ChunkMap& DedupTier::cached_map(const std::string& oid) {
     }
     if (best != nullptr) {
       osd_->store(pool_).install(key, *best);
-      stats_.degraded_pulls++;
+      perf_->inc(l_tier_degraded_pulls);
       st = osd_->store_if_exists(pool_);
     }
   }
@@ -134,7 +194,7 @@ void DedupTier::mark_dirty(const std::string& oid) {
 
 bool DedupTier::fail_at(FailurePoint p, const std::string& oid) {
   if (failure_hook_ && failure_hook_(p, oid)) {
-    stats_.engine_aborts++;
+    perf_->inc(l_tier_engine_aborts);
     return true;
   }
   return false;
@@ -169,9 +229,12 @@ void DedupTier::rebuild_dirty_list() {
 void DedupTier::read_chunk_from_pool(const std::string& chunk_oid,
                                      uint64_t off, uint64_t len,
                                      bool foreground,
-                                     std::function<void(Result<Buffer>)> done) {
+                                     std::function<void(Result<Buffer>)> done,
+                                     obs::OpTraceRef trace) {
   const PoolId cp = cfg().chunk_pool;
   const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  const SimTime t0 = sched().now();
+  const size_t sp = trace ? trace->span_begin("chunk_pool_read", t0) : 0;
   OsdOp op;
   op.type = OsdOpType::kRead;
   op.pool = cp;
@@ -180,7 +243,12 @@ void DedupTier::read_chunk_from_pool(const std::string& chunk_oid,
   op.len = len;
   op.foreground = foreground;
   send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
-              [done = std::move(done)](OsdOpReply rep) {
+              [this, t0, trace = std::move(trace), sp,
+               done = std::move(done)](OsdOpReply rep) {
+                const SimTime now = sched().now();
+                perf_->record(l_tier_merge_read_lat,
+                              static_cast<uint64_t>(now - t0));
+                if (trace) trace->span_end(sp, now);
                 if (!rep.status.is_ok()) {
                   done(rep.status);
                 } else {
@@ -220,9 +288,12 @@ std::string DedupTier::find_chunk_recording_ref(
 
 void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
                                const ChunkRef& ref, bool foreground,
-                               std::function<void(Status)> done) {
+                               std::function<void(Status)> done,
+                               obs::OpTraceRef trace) {
   const PoolId cp = cfg().chunk_pool;
   const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  const SimTime t0 = sched().now();
+  const size_t sp = trace ? trace->span_begin("chunk_put", t0) : 0;
   OsdOp op;
   op.type = OsdOpType::kChunkPutRef;
   op.pool = cp;
@@ -231,15 +302,25 @@ void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
   op.ref = ref;
   op.foreground = foreground;
   send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
-              [done = std::move(done)](OsdOpReply rep) { done(rep.status); });
+              [this, t0, trace = std::move(trace), sp,
+               done = std::move(done)](OsdOpReply rep) {
+                const SimTime now = sched().now();
+                perf_->record(l_tier_chunk_put_lat,
+                              static_cast<uint64_t>(now - t0));
+                if (trace) trace->span_end(sp, now);
+                done(rep.status);
+              });
 }
 
 void DedupTier::send_chunk_deref(const std::string& chunk_oid,
                                  const ChunkRef& ref, bool foreground,
-                                 std::function<void(Status)> done) {
-  stats_.derefs++;
+                                 std::function<void(Status)> done,
+                                 obs::OpTraceRef trace) {
+  perf_->inc(l_tier_derefs);
   const PoolId cp = cfg().chunk_pool;
   const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
+  const SimTime t0 = sched().now();
+  const size_t sp = trace ? trace->span_begin("chunk_deref", t0) : 0;
   OsdOp op;
   op.type = OsdOpType::kChunkDeref;
   op.pool = cp;
@@ -247,13 +328,31 @@ void DedupTier::send_chunk_deref(const std::string& chunk_oid,
   op.ref = ref;
   op.foreground = foreground;
   send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
-              [done = std::move(done)](OsdOpReply rep) { done(rep.status); });
+              [this, t0, trace = std::move(trace), sp,
+               done = std::move(done)](OsdOpReply rep) {
+                const SimTime now = sched().now();
+                perf_->record(l_tier_chunk_deref_lat,
+                              static_cast<uint64_t>(now - t0));
+                if (trace) trace->span_end(sp, now);
+                done(rep.status);
+              });
 }
 
 // ------------------------------------------------------------ write path
 
 void DedupTier::handle_write(const OsdOp& op, ReplyFn reply) {
-  stats_.writes++;
+  perf_->inc(l_tier_writes);
+  {
+    const SimTime t0 = sched().now();
+    const size_t sp = op.trace ? op.trace->span_begin("tier_write", t0) : 0;
+    reply = [this, t0, sp, trace = op.trace,
+             inner = std::move(reply)](OsdOpReply rep) mutable {
+      const SimTime now = sched().now();
+      perf_->record(l_tier_write_lat, static_cast<uint64_t>(now - t0));
+      if (trace) trace->span_end(sp, now);
+      inner(std::move(rep));
+    };
+  }
   hitset_.access(op.oid, sched().now());
   touch_cache_lru(op.oid);
   rate_.on_foreground(sched().now(), op.data.size());
@@ -388,10 +487,11 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
   };
   g->done = std::move(proceed);
   for (size_t i = 0; i < prereads.size(); i++) {
-    stats_.prereads++;
+    perf_->inc(l_tier_prereads);
     read_chunk_from_pool(prereads[i].chunk_oid, 0, prereads[i].length,
                          /*foreground=*/true,
-                         [g, i](Result<Buffer> r) { g->arrive(i, std::move(r)); });
+                         [g, i](Result<Buffer> r) { g->arrive(i, std::move(r)); },
+                         op.trace);
   }
   g->arrive(SIZE_MAX, Buffer());  // sentinel
 }
@@ -444,7 +544,7 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
   // work is in flight.
   std::weak_ptr<std::function<void()>> step_weak = step;
   *step = [this, key, oid, off, data, wlen, new_size, cs, chunks, idx,
-           step_weak, finish]() mutable {
+           step_weak, finish, trace = op.trace]() mutable {
     auto step = step_weak.lock();
     if (!step) return;  // caller holds a strong ref for every invocation
     if (*idx >= chunks->size()) {
@@ -464,7 +564,7 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
     const bool fully_covered = cov_b <= c && cov_e >= c + clen;
 
     auto assemble = [this, c, clen, cov_b, cov_e, off, data, oid, step,
-                     finish](Result<Buffer> oldr) mutable {
+                     finish, trace](Result<Buffer> oldr) mutable {
       if (!oldr.is_ok()) {
         finish(oldr.status());
         return;
@@ -479,8 +579,8 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
       // cache already knows this exact content.
       fingerprint_async(
           content,
-          [this, c, clen, content, oid, step, finish](
-              const Fingerprint& fp) mutable {
+          [this, c, clen, content, oid, step, finish,
+           trace](const Fingerprint& fp) mutable {
             const std::string new_id = fp.hex();
             ChunkMapEntry& ent = cached_map(oid).obtain(c, clen);
             ent.length = clen;
@@ -497,19 +597,21 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
               commit(Status::ok());
               return;
             }
-            auto put = [this, new_id, content, ref, commit]() mutable {
-              stats_.chunks_flushed++;
-              stats_.flush_bytes += content.size();
+            auto put = [this, new_id, content, ref, commit,
+                        trace]() mutable {
+              perf_->inc(l_tier_chunks_flushed);
+              perf_->inc(l_tier_flush_bytes, content.size());
               send_chunk_put(new_id, std::move(content), ref,
-                             /*foreground=*/true, commit);
+                             /*foreground=*/true, commit, trace);
             };
             if (!old_id.empty()) {
               send_chunk_deref(old_id, ref, /*foreground=*/true,
-                               [put](Status) mutable { put(); });
+                               [put](Status) mutable { put(); }, trace);
             } else {
               put();
             }
-          });
+          },
+          trace);
     };
 
     if (fully_covered) {
@@ -520,9 +622,9 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
     } else if (e != nullptr && e->flushed()) {
       // The Figure 5(a) read-modify-write: fetch the 32KB chunk to apply a
       // 16KB write.
-      stats_.prereads++;
+      perf_->inc(l_tier_prereads);
       read_chunk_from_pool(e->chunk_id, 0, e->length, /*foreground=*/true,
-                           assemble);
+                           assemble, trace);
     } else {
       Buffer zeros(clen);
       assemble(zeros);
@@ -534,7 +636,18 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
 // ------------------------------------------------------------- read path
 
 void DedupTier::handle_read(const OsdOp& op, ReplyFn reply) {
-  stats_.reads++;
+  perf_->inc(l_tier_reads);
+  {
+    const SimTime t0 = sched().now();
+    const size_t sp = op.trace ? op.trace->span_begin("tier_read", t0) : 0;
+    reply = [this, t0, sp, trace = op.trace,
+             inner = std::move(reply)](OsdOpReply rep) mutable {
+      const SimTime now = sched().now();
+      perf_->record(l_tier_read_lat, static_cast<uint64_t>(now - t0));
+      if (trace) trace->span_end(sp, now);
+      inner(std::move(rep));
+    };
+  }
   hitset_.access(op.oid, sched().now());
   touch_cache_lru(op.oid);
   rate_.on_foreground(sched().now(), std::max<uint64_t>(op.len, 1));
@@ -577,12 +690,12 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
     const ChunkMapEntry* ent = cm.find(c);
     const bool remote = ent != nullptr && !ent->cached && ent->flushed();
     if (remote) {
-      stats_.redirected_read_chunks++;
+      perf_->inc(l_tier_redirected_read_chunks);
       // A dirty non-cached chunk holds its newest bytes in local extents
       // over older chunk-pool content: fetch remote, overlay local.
       segs.push_back({true, ent->dirty, b, e, ent->chunk_id, b - c});
     } else {
-      stats_.cached_read_chunks++;
+      perf_->inc(l_tier_cached_read_chunks);
       if (!segs.empty() && !segs.back().remote && segs.back().end == b) {
         segs.back().end = e;  // coalesce adjacent local spans
       } else {
@@ -649,7 +762,8 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
             part.resize(n);
             if (merge) overlay_local(oid, b, &part);
             g->arrive(i, std::move(part));
-          });
+          },
+          op.trace);
     } else {
       const uint64_t n = s.end - s.begin;
       osd_->submit_read(pool_, oid, s.begin, n,
@@ -676,7 +790,7 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
 }
 
 void DedupTier::handle_remove(const OsdOp& op, ReplyFn reply) {
-  stats_.removes++;
+  perf_->inc(l_tier_removes);
   const std::string oid = op.oid;
   if (!osd_->local_exists(pool_, oid)) {
     reply(OsdOpReply{Status::not_found(oid), {}, 0, {}, nullptr});
@@ -723,7 +837,7 @@ void DedupTier::kick() {
 void DedupTier::tick() {
   if (in_tick_) return;
   in_tick_ = true;
-  stats_.engine_ticks++;
+  perf_->inc(l_tier_engine_ticks);
   enforce_cache_capacity();
   auto st = std::make_shared<TickState>();
   st->budget = rate_.take(sched().now(), cfg().max_dedup_per_tick);
@@ -818,7 +932,7 @@ bool DedupTier::launch_one(const std::shared_ptr<TickState>& st) {
     }
     if (hitset_.is_hot(oid, sched().now())) {
       // Hot object: not deduplicated until it cools down (key idea 3).
-      stats_.hot_skips++;
+      perf_->inc(l_tier_hot_skips);
       dirty_list_.pop_front();
       dirty_list_.push_back(oid);
       scanned++;
@@ -917,9 +1031,28 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
   }
   const ChunkMapEntry entry = *e;  // snapshot (incl. dirty_gen)
 
-  auto with_content = [this, oid, entry](std::function<void()> done,
-                                         Buffer content) mutable {
-    run_flush_pipeline(oid, entry, std::move(content), std::move(done));
+  // Background trace, born per flush attempt and finished when the
+  // pipeline's continuation runs; an attempt abandoned by a crash drops it
+  // unfinished (the tracker holds no reference until finish).
+  obs::OpTraceRef trace;
+  if (obs::OpTracker* trk = osd_->ctx().op_tracker()) {
+    trace = trk->start("flush " + oid + "@" + std::to_string(offset),
+                       sched().now());
+  }
+  done = [this, t0 = sched().now(), trace,
+          inner = std::move(done)]() mutable {
+    const SimTime now = sched().now();
+    perf_->record(l_tier_flush_lat, static_cast<uint64_t>(now - t0));
+    if (obs::OpTracker* trk = osd_->ctx().op_tracker()) {
+      trk->finish(trace, now);
+    }
+    inner();
+  };
+
+  auto with_content = [this, oid, entry, trace](std::function<void()> done,
+                                                Buffer content) mutable {
+    run_flush_pipeline(oid, entry, std::move(content), std::move(done),
+                       trace);
   };
 
   if (!entry.cached && entry.flushed()) {
@@ -927,10 +1060,10 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
     // the newly written bytes.  The *background* flush performs the
     // read-modify-write the paper keeps off the foreground path: fetch the
     // superseded chunk, overlay the local extents, then continue.
-    stats_.flush_merges++;
+    perf_->inc(l_tier_flush_merges);
     read_chunk_from_pool(
         entry.chunk_id, 0, entry.length, /*foreground=*/false,
-        [this, oid, entry, with_content,
+        [this, oid, entry, with_content, trace,
          done = std::move(done)](Result<Buffer> r) mutable {
           if (!r.is_ok()) {
             // The superseded chunk can be gone for good: a crash between
@@ -949,12 +1082,12 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
               done();  // transient (e.g. chunk primary down); later pass
               return;
             }
-            stats_.orphan_adoptions++;
+            perf_->inc(l_tier_orphan_adoptions);
             ChunkMapEntry rebased = entry;
             rebased.chunk_id = adopt;
             read_chunk_from_pool(
                 adopt, 0, entry.length, /*foreground=*/false,
-                [this, oid, rebased,
+                [this, oid, rebased, trace,
                  done = std::move(done)](Result<Buffer> r2) mutable {
                   if (!r2.is_ok()) {
                     done();
@@ -964,15 +1097,17 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
                   content.resize(rebased.length);
                   overlay_local(oid, rebased.offset, &content);
                   run_flush_pipeline(oid, rebased, std::move(content),
-                                     std::move(done));
-                });
+                                     std::move(done), trace);
+                },
+                trace);
             return;
           }
           Buffer content = std::move(r).value();
           content.resize(entry.length);
           overlay_local(oid, entry.offset, &content);
           with_content(std::move(done), std::move(content));
-        });
+        },
+        trace);
     return;
   }
 
@@ -995,18 +1130,28 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
 }
 
 void DedupTier::fingerprint_async(const Buffer& content,
-                                  std::function<void(const Fingerprint&)> k) {
+                                  std::function<void(const Fingerprint&)> k,
+                                  obs::OpTraceRef trace) {
   const FingerprintAlgo algo = cfg().fp_algo;
   if (const Fingerprint* hit = fp_cache_.find(content, algo)) {
     // Known content: skip the hash and its simulated CPU cost entirely.
-    stats_.fingerprint_cache_hits++;
+    perf_->inc(l_tier_fingerprint_cache_hits);
+    perf_->record(l_tier_fingerprint_lat, 0);
+    if (trace) trace->event("fingerprint_cache_hit", sched().now());
     k(*hit);
     return;
   }
+  const SimTime t0 = sched().now();
+  const size_t sp = trace ? trace->span_begin("fingerprint", t0) : 0;
   CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
   cpu.execute(
       cpu.fingerprint_cost(content.size(), algo == FingerprintAlgo::kSha1),
-      [this, algo, content, k = std::move(k)]() mutable {
+      [this, algo, content, t0, trace = std::move(trace), sp,
+       k = std::move(k)]() mutable {
+        const SimTime now = sched().now();
+        perf_->record(l_tier_fingerprint_lat,
+                      static_cast<uint64_t>(now - t0));
+        if (trace) trace->span_end(sp, now);
         const Fingerprint fp = Fingerprint::compute(algo, content.span());
         fp_cache_.insert(content, algo, fp);
         k(fp);
@@ -1015,11 +1160,12 @@ void DedupTier::fingerprint_async(const Buffer& content,
 
 void DedupTier::run_flush_pipeline(const std::string& oid,
                                    const ChunkMapEntry& entry, Buffer content,
-                                   std::function<void()> done) {
+                                   std::function<void()> done,
+                                   obs::OpTraceRef trace) {
   {
         fingerprint_async(
             content,
-            [this, oid, entry, content, done = std::move(done)](
+            [this, oid, entry, content, trace, done = std::move(done)](
                 const Fingerprint& fp) mutable {
               const std::string new_id = fp.hex();
 
@@ -1050,7 +1196,7 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                   }
                 }
                 if (premise) {
-                  stats_.noop_flushes++;
+                  perf_->inc(l_tier_noop_flushes);
                   finish_flush(oid, entry.offset, new_id, entry.dirty_gen,
                                /*was_noop=*/true, std::move(done));
                   return;
@@ -1072,7 +1218,7 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
               // mapped and the old one holding a stale ref that GC's
               // dangling-ref sweep drops (the paper's false-positive
               // refcounting, Section 4.6).
-              auto deref_old = [this, oid, entry, new_id, ref,
+              auto deref_old = [this, oid, entry, new_id, ref, trace,
                                 done_sp]() mutable {
                 // Probed whether or not an old chunk exists, so the
                 // consistency sweep covers first flushes too.
@@ -1096,7 +1242,7 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                   // de-reference without waiting; the GC mops up if it is
                   // lost.
                   send_chunk_deref(entry.chunk_id, ref, /*foreground=*/false,
-                                   [](Status) {});
+                                   [](Status) {}, trace);
                   if (fail_at(FailurePoint::kAfterDeref, oid)) {
                     (*done_sp)();
                     return;
@@ -1111,7 +1257,8 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                                        return;
                                      }
                                      (*done_sp)();
-                                   });
+                                   },
+                                   trace);
                 }
               };
 
@@ -1134,11 +1281,13 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                              /*was_noop=*/false, std::move(deref_old));
               };
 
-              stats_.chunks_flushed++;
-              stats_.flush_bytes += content.size();
+              perf_->inc(l_tier_chunks_flushed);
+              perf_->inc(l_tier_flush_bytes, content.size());
               send_chunk_put(new_id, std::move(content), ref,
-                             /*foreground=*/false, std::move(after_put));
-            });
+                             /*foreground=*/false, std::move(after_put),
+                             trace);
+            },
+            trace);
   }
 }
 
@@ -1177,7 +1326,7 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
   if (racy) {
     // A client write landed mid-flush; the local data is newer than what
     // we pushed.  Keep the chunk dirty so the engine reprocesses it.
-    stats_.racy_flushes++;
+    perf_->inc(l_tier_racy_flushes);
     e->dirty = true;
   } else {
     e->dirty = false;
@@ -1187,7 +1336,7 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
       // Reclaim the local copy: cached chunks drop their whole extent,
       // partial-dirty chunks drop the overlay bytes that just merged into
       // the chunk pool.
-      if (e->cached) stats_.evictions++;
+      if (e->cached) perf_->inc(l_tier_evictions);
       e->cached = false;
       txn.punch_hole(key, e->offset, e->length);
       // Once no chunk is cached or dirty, the object "contains no data
@@ -1251,7 +1400,7 @@ void DedupTier::enforce_cache_capacity() {
         txn.omap_set(key, ChunkMap::omap_key(e.offset),
                      ChunkMap::encode_entry(e));
         reclaimed += e.length;
-        stats_.capacity_evictions++;
+        perf_->inc(l_tier_capacity_evictions);
       } else if (e.cached || e.dirty) {
         any_local = true;
       }
@@ -1285,7 +1434,7 @@ void DedupTier::promote_object(const std::string& oid,
     sched().after(0, std::move(done));
     return;
   }
-  stats_.promotions++;
+  perf_->inc(l_tier_promotions);
 
   auto g = std::make_shared<Gather>();
   g->parts.resize(targets->size());

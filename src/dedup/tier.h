@@ -50,6 +50,7 @@
 #include "dedup/fingerprint_cache.h"
 #include "dedup/hitset.h"
 #include "dedup/rate_controller.h"
+#include "obs/op_tracker.h"
 #include "osd/osd.h"
 
 namespace gdedup {
@@ -73,6 +74,42 @@ inline const char* failure_point_name(FailurePoint p) {
   }
   return "?";
 }
+
+// Perf-counter indices for one tier engine (registry entity
+// "tier.osd<id>.pool<pool>").  Counters are the source of truth;
+// DedupTierStats below is a compatibility view rebuilt on demand.
+enum {
+  l_tier_first = 2000,
+  l_tier_writes,
+  l_tier_reads,
+  l_tier_removes,
+  l_tier_prereads,
+  l_tier_flush_merges,
+  l_tier_cached_read_chunks,
+  l_tier_redirected_read_chunks,
+  l_tier_chunks_flushed,
+  l_tier_flush_bytes,
+  l_tier_noop_flushes,
+  l_tier_derefs,
+  l_tier_evictions,
+  l_tier_capacity_evictions,
+  l_tier_promotions,
+  l_tier_hot_skips,
+  l_tier_racy_flushes,
+  l_tier_degraded_pulls,
+  l_tier_orphan_adoptions,
+  l_tier_engine_ticks,
+  l_tier_engine_aborts,
+  l_tier_fingerprint_cache_hits,
+  l_tier_write_lat,        // tier write handling, entry -> client ack, ns
+  l_tier_read_lat,         // tier read handling, entry -> reply, ns
+  l_tier_fingerprint_lat,  // costed fingerprint compute (cache hits = 0ns)
+  l_tier_chunk_put_lat,    // chunk-pool put round trip
+  l_tier_chunk_deref_lat,  // chunk-pool deref round trip
+  l_tier_merge_read_lat,   // chunk-pool reads (RMW fills / redirects)
+  l_tier_flush_lat,        // one chunk flush attempt, launch -> completion
+  l_tier_last,
+};
 
 struct DedupTierStats {
   uint64_t writes = 0;
@@ -128,7 +165,14 @@ class DedupTier : public TierService {
   }
 
   // --- introspection / test hooks ---
-  const DedupTierStats& stats() const { return stats_; }
+  // Compatibility view rebuilt from the perf counters on every call.
+  const DedupTierStats& stats() const {
+    refresh_stats_view();
+    return stats_view_;
+  }
+
+  obs::PerfCounters& perf() { return *perf_; }
+  const obs::PerfCounters& perf() const { return *perf_; }
 
   // Return true from the hook to crash the engine at that point (the
   // in-flight flush is abandoned; redo must converge).
@@ -167,14 +211,19 @@ class DedupTier : public TierService {
   void post_process_write(const OsdOp& op, ReplyFn reply);
   void handle_read_attempt(const OsdOp& op, ReplyFn reply, int attempt);
   void inline_write(const OsdOp& op, ReplyFn reply);
+  // Chunk-pool RPC helpers.  Each records its round-trip latency histogram
+  // and, when a trace rides along, brackets itself in a named span.
   void read_chunk_from_pool(const std::string& chunk_oid, uint64_t off,
                             uint64_t len, bool foreground,
-                            std::function<void(Result<Buffer>)> done);
+                            std::function<void(Result<Buffer>)> done,
+                            obs::OpTraceRef trace = nullptr);
   void send_chunk_put(const std::string& chunk_oid, Buffer data,
                       const ChunkRef& ref, bool foreground,
-                      std::function<void(Status)> done);
+                      std::function<void(Status)> done,
+                      obs::OpTraceRef trace = nullptr);
   void send_chunk_deref(const std::string& chunk_oid, const ChunkRef& ref,
-                        bool foreground, std::function<void(Status)> done);
+                        bool foreground, std::function<void(Status)> done,
+                        obs::OpTraceRef trace = nullptr);
   // Find a chunk-pool object (other than `not_this`) whose refs xattr
   // records this entry; used to re-base a redo flush whose superseded
   // chunk was reclaimed (see flush_chunk_at).
@@ -199,7 +248,8 @@ class DedupTier : public TierService {
                       std::function<void()> done);
   // fingerprint -> deref old -> put new -> finish, for resolved content.
   void run_flush_pipeline(const std::string& oid, const ChunkMapEntry& entry,
-                          Buffer content, std::function<void()> done);
+                          Buffer content, std::function<void()> done,
+                          obs::OpTraceRef trace = nullptr);
   void finish_flush(const std::string& oid, uint64_t offset,
                     const std::string& new_id, uint64_t snapshot_gen,
                     bool was_noop, std::function<void()> done);
@@ -214,17 +264,21 @@ class DedupTier : public TierService {
 
   // Fingerprint a chunk's content and deliver the result.  Probes the
   // COW-aware memoization cache first: a hit skips both the real hash and
-  // the simulated CPU cost (and bumps stats_.fingerprint_cache_hits); a
-  // miss computes under the costed CPU model and populates the cache.
+  // the simulated CPU cost (and bumps the fingerprint_cache_hits counter);
+  // a miss computes under the costed CPU model and populates the cache.
   void fingerprint_async(const Buffer& content,
-                         std::function<void(const Fingerprint&)> k);
+                         std::function<void(const Fingerprint&)> k,
+                         obs::OpTraceRef trace = nullptr);
+
+  void refresh_stats_view() const;
 
   Osd* osd_;
   PoolId pool_;
   FixedChunker chunker_;
   HitSet hitset_;
   RateController rate_;
-  DedupTierStats stats_;
+  obs::PerfCountersRef perf_;
+  mutable DedupTierStats stats_view_;
   FingerprintCache fp_cache_;
 
   std::unordered_map<std::string, ChunkMap> map_cache_;

@@ -1,0 +1,63 @@
+#include "obs/dump.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/op_tracker.h"
+#include "obs/perf_counters.h"
+#include "rados/cluster.h"
+
+namespace gdedup::obs {
+
+std::string dump(Cluster& cluster, size_t slow_ops) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("sim_time_ns", static_cast<int64_t>(cluster.sched().now()));
+
+  w.key("counters");
+  cluster.perf_registry()->dump(w);
+
+  // Per-pool aggregate store stats (pool ids ascend; names disambiguate).
+  w.key("pools");
+  w.begin_object();
+  for (PoolId pid : cluster.osdmap().pool_ids()) {
+    const PoolConfig& pc = cluster.osdmap().pool(pid);
+    w.key("pool." + std::to_string(pid) + "." + pc.name);
+    const ObjectStore::Stats st = cluster.pool_stats(pid);
+    w.begin_object();
+    w.kv("objects", st.objects);
+    w.kv("logical_bytes", st.logical_bytes);
+    w.kv("stored_data_bytes", st.stored_data_bytes);
+    w.kv("xattr_bytes", st.xattr_bytes);
+    w.kv("omap_bytes", st.omap_bytes);
+    w.kv("physical_bytes", st.physical_bytes);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("ops");
+  cluster.op_tracker()->dump(w, slow_ops);
+
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string summary_line(Cluster& cluster) {
+  const PerfRegistry& reg = *cluster.perf_registry();
+  const OpTracker& trk = *cluster.op_tracker();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "obs: entities=%zu counters=%zu ops=%llu/%llu",
+                reg.num_entities(), reg.num_counters(),
+                static_cast<unsigned long long>(trk.started()),
+                static_cast<unsigned long long>(trk.finished()));
+  std::string out = buf;
+  auto slow = trk.dump_historic_slow_ops(1);
+  if (!slow.empty()) {
+    out += " slowest: ";
+    out += slow[0]->text();
+  }
+  return out;
+}
+
+}  // namespace gdedup::obs

@@ -1,0 +1,33 @@
+#pragma once
+
+// Whole-cluster introspection dump.
+//
+// obs::dump(cluster) walks the cluster's perf registry, pool stats and op
+// tracker and emits one deterministic JSON document: same seed, same
+// workload => byte-identical output (the scheduler is virtual-time, the
+// registry iterates sorted, and the JSON writer pins all formatting).
+// Consumed by the perf_dump example, the fault campaign's failure reports
+// and the bench harnesses.
+//
+// Declared here, implemented in dump.cc which is compiled into
+// gdedup_rados (it needs the full Cluster definition; the rest of obs
+// stays independent of the upper layers).
+
+#include <cstddef>
+#include <string>
+
+namespace gdedup {
+class Cluster;
+}
+
+namespace gdedup::obs {
+
+// Full document: sim time, per-entity counters, per-pool store stats, op
+// tracker summary with the `slow_ops` slowest traces.
+std::string dump(Cluster& cluster, size_t slow_ops = 16);
+
+// One-line digest for bench tables / logs:
+// "obs: entities=N counters=M ops=started/finished slowest=<dur> <desc>".
+std::string summary_line(Cluster& cluster);
+
+}  // namespace gdedup::obs

@@ -1,0 +1,142 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace gdedup::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_element() {
+  if (pending_key_) {
+    // Value follows "key": on the same line.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // top-level document value
+  Frame& f = stack_.back();
+  if (f.elems > 0) out_ += ',';
+  out_ += '\n';
+  indent();
+  f.elems++;
+}
+
+void JsonWriter::begin_object() {
+  before_element();
+  out_ += '{';
+  stack_.push_back({false, 0});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().is_array);
+  const bool empty = stack_.back().elems == 0;
+  stack_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_element();
+  out_ += '[';
+  stack_.push_back({true, 0});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().is_array);
+  const bool empty = stack_.back().elems == 0;
+  stack_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && !stack_.back().is_array && !pending_key_);
+  before_element();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& s) {
+  before_element();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(uint64_t v) {
+  before_element();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(int64_t v) {
+  before_element();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(double v) {
+  before_element();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  before_element();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::raw(const std::string& json_fragment) {
+  before_element();
+  out_ += json_fragment;
+}
+
+}  // namespace gdedup::obs

@@ -1,0 +1,74 @@
+#pragma once
+
+// Deterministic streaming JSON writer for introspection dumps.
+//
+// The whole observability layer promises byte-identical output for the
+// same seed, so the writer pins down everything the C++ standard leaves
+// loose: keys are emitted in the order the caller provides them (callers
+// iterate sorted containers), doubles always print as "%.3f", and the
+// pretty-printing (2-space indent, newline placement) is fixed.  No
+// locale-dependent formatting anywhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdedup::obs {
+
+// Escape for use inside a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Containers.  Call key() first when inside an object.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(const std::string& k);
+
+  // Scalars.
+  void value(const std::string& s);
+  void value(const char* s);
+  void value(uint64_t v);
+  void value(int64_t v);
+  void value(int v) { value(static_cast<int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+
+  // Splice a pre-serialized JSON fragment (e.g. Histogram::json()) as one
+  // value; the caller guarantees it is valid JSON.
+  void raw(const std::string& json_fragment);
+
+  // key + scalar in one call.
+  template <typename T>
+  void kv(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+  void kv_raw(const std::string& k, const std::string& fragment) {
+    key(k);
+    raw(fragment);
+  }
+
+  // Finished document.  Valid once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  struct Frame {
+    bool is_array;
+    int elems = 0;
+  };
+
+  void before_element();  // comma / newline / indent bookkeeping
+  void indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gdedup::obs

@@ -1,0 +1,133 @@
+#include "obs/op_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/histogram.h"
+
+namespace gdedup::obs {
+
+size_t OpTrace::span_begin(std::string stage, SimTime now) {
+  spans_.push_back({std::move(stage), now, -1});
+  return spans_.size() - 1;
+}
+
+void OpTrace::span_end(size_t idx, SimTime now) {
+  if (idx < spans_.size() && spans_[idx].end < 0) spans_[idx].end = now;
+}
+
+void OpTrace::event(std::string stage, SimTime now) {
+  spans_.push_back({std::move(stage), now, now});
+}
+
+std::string OpTrace::text() const {
+  char head[128];
+  std::snprintf(head, sizeof(head), "id=%llu dur=%s ",
+                static_cast<unsigned long long>(id_),
+                duration() < 0
+                    ? "?"
+                    : format_duration_ns(static_cast<double>(duration()))
+                          .c_str());
+  std::string out = head;
+  out += desc_;
+  if (!spans_.empty()) {
+    out += " [";
+    for (size_t i = 0; i < spans_.size(); i++) {
+      const TraceSpan& s = spans_[i];
+      if (i) out += "; ";
+      char buf[96];
+      const SimTime rel = s.begin - start_;
+      if (s.end < 0) {
+        std::snprintf(buf, sizeof(buf), "%s @+%s(open)", s.stage.c_str(),
+                      format_duration_ns(static_cast<double>(rel)).c_str());
+      } else {
+        std::snprintf(
+            buf, sizeof(buf), "%s @+%s+%s", s.stage.c_str(),
+            format_duration_ns(static_cast<double>(rel)).c_str(),
+            format_duration_ns(static_cast<double>(s.end - s.begin)).c_str());
+      }
+      out += buf;
+    }
+    out += "]";
+  }
+  return out;
+}
+
+void OpTrace::dump(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("id", id_);
+  w.kv("desc", desc_);
+  w.kv("start_ns", static_cast<int64_t>(start_));
+  w.kv("duration_ns", static_cast<int64_t>(duration()));
+  w.key("spans");
+  w.begin_array();
+  for (const TraceSpan& s : spans_) {
+    w.begin_object();
+    w.kv("stage", s.stage);
+    w.kv("begin_ns", static_cast<int64_t>(s.begin - start_));
+    w.kv("end_ns", static_cast<int64_t>(s.end < 0 ? -1 : s.end - start_));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+OpTraceRef OpTracker::start(std::string desc, SimTime now) {
+  started_++;
+  return std::make_shared<OpTrace>(next_id_++, std::move(desc), now);
+}
+
+void OpTracker::finish(const OpTraceRef& t, SimTime now) {
+  if (t == nullptr || t->finish_ >= 0) return;
+  t->finish_ = now;
+  finished_++;
+  historic_.push_back(t);
+  if (historic_.size() > historic_cap_) historic_.pop_front();
+
+  // Insert into the bounded slow board (duration desc, id asc).
+  const auto slower = [](const OpTraceRef& a, const OpTraceRef& b) {
+    if (a->duration() != b->duration()) return a->duration() > b->duration();
+    return a->id() < b->id();
+  };
+  if (slow_.size() < slow_cap_ || slower(t, slow_.back())) {
+    slow_.insert(std::upper_bound(slow_.begin(), slow_.end(), t, slower), t);
+    if (slow_.size() > slow_cap_) slow_.pop_back();
+  }
+}
+
+std::vector<OpTraceRef> OpTracker::dump_historic_slow_ops(size_t n) const {
+  std::vector<OpTraceRef> out(slow_.begin(),
+                              slow_.begin() + std::min(n, slow_.size()));
+  return out;
+}
+
+std::string OpTracker::slow_ops_text(size_t n) const {
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "slow ops (top %zu of %llu finished, %llu started):\n",
+                std::min(n, slow_.size()),
+                static_cast<unsigned long long>(finished_),
+                static_cast<unsigned long long>(started_));
+  out += head;
+  for (const OpTraceRef& t : dump_historic_slow_ops(n)) {
+    out += "  ";
+    out += t->text();
+    out += "\n";
+  }
+  return out;
+}
+
+void OpTracker::dump(JsonWriter& w, size_t slow_n) const {
+  w.begin_object();
+  w.kv("started", started_);
+  w.kv("finished", finished_);
+  w.kv("historic", static_cast<uint64_t>(historic_.size()));
+  w.key("slow");
+  w.begin_array();
+  for (const OpTraceRef& t : dump_historic_slow_ops(slow_n)) t->dump(w);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace gdedup::obs

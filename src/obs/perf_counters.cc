@@ -1,0 +1,155 @@
+#include "obs/perf_counters.h"
+
+#include <cassert>
+
+namespace gdedup::obs {
+
+PerfCounters::Entry& PerfCounters::at(int idx) {
+  const size_t i = static_cast<size_t>(idx - first_ - 1);
+  assert(i < entries_.size());
+  return entries_[i];
+}
+
+const PerfCounters::Entry& PerfCounters::at(int idx) const {
+  const size_t i = static_cast<size_t>(idx - first_ - 1);
+  assert(i < entries_.size());
+  return entries_[i];
+}
+
+void PerfCounters::inc(int idx, uint64_t by) {
+  Entry& e = at(idx);
+  assert(e.type != CounterType::kHistogram);
+  if (e.type == CounterType::kGauge) {
+    e.gauge += static_cast<int64_t>(by);
+  } else {
+    e.count += by;
+  }
+}
+
+void PerfCounters::dec(int idx, int64_t by) {
+  Entry& e = at(idx);
+  assert(e.type == CounterType::kGauge);
+  e.gauge -= by;
+}
+
+void PerfCounters::set_gauge(int idx, int64_t v) {
+  Entry& e = at(idx);
+  assert(e.type == CounterType::kGauge);
+  e.gauge = v;
+}
+
+void PerfCounters::record(int idx, uint64_t sample) {
+  Entry& e = at(idx);
+  assert(e.type == CounterType::kHistogram);
+  e.hist->record(sample);
+}
+
+uint64_t PerfCounters::get(int idx) const {
+  const Entry& e = at(idx);
+  if (e.type == CounterType::kGauge) return static_cast<uint64_t>(e.gauge);
+  if (e.type == CounterType::kHistogram) return e.hist->count();
+  return e.count;
+}
+
+int64_t PerfCounters::gauge(int idx) const { return at(idx).gauge; }
+
+const Histogram* PerfCounters::histogram(int idx) const {
+  return at(idx).hist.get();
+}
+
+void PerfCounters::dump(JsonWriter& w) const {
+  w.begin_object();
+  for (const Entry& e : entries_) {
+    switch (e.type) {
+      case CounterType::kCounter:
+        w.kv(e.name, e.count);
+        break;
+      case CounterType::kGauge:
+        w.kv(e.name, e.gauge);
+        break;
+      case CounterType::kHistogram:
+        w.kv_raw(e.name, e.hist->json());
+        break;
+    }
+  }
+  w.end_object();
+}
+
+PerfCountersBuilder::PerfCountersBuilder(std::string entity_name, int first,
+                                         int last)
+    : pc_(std::make_unique<PerfCounters>()), last_(last) {
+  assert(last > first + 1);
+  pc_->name_ = std::move(entity_name);
+  pc_->first_ = first;
+  pc_->entries_.resize(static_cast<size_t>(last - first - 1));
+}
+
+void PerfCountersBuilder::add_counter(int idx, std::string name) {
+  auto& e = pc_->at(idx);
+  e.name = std::move(name);
+  e.type = CounterType::kCounter;
+}
+
+void PerfCountersBuilder::add_gauge(int idx, std::string name) {
+  auto& e = pc_->at(idx);
+  e.name = std::move(name);
+  e.type = CounterType::kGauge;
+}
+
+void PerfCountersBuilder::add_histogram(int idx, std::string name) {
+  auto& e = pc_->at(idx);
+  e.name = std::move(name);
+  e.type = CounterType::kHistogram;
+  e.hist = std::make_unique<Histogram>();
+}
+
+PerfCountersRef PerfCountersBuilder::create() {
+  for ([[maybe_unused]] const auto& e : pc_->entries_) {
+    assert(!e.name.empty() && "every index in (first, last) must be declared");
+  }
+  return PerfCountersRef(pc_.release());
+}
+
+void PerfRegistry::add(PerfCountersRef pc) {
+  assert(pc != nullptr && !pc->name().empty());
+  by_name_[pc->name()] = std::move(pc);
+}
+
+void PerfRegistry::remove(const std::string& entity_name) {
+  by_name_.erase(entity_name);
+}
+
+PerfCountersRef PerfRegistry::get(const std::string& entity_name) const {
+  auto it = by_name_.find(entity_name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::string PerfRegistry::unique_name(const std::string& base) {
+  const int n = ++name_seq_[base];
+  if (n == 1 && by_name_.find(base) == by_name_.end()) return base;
+  return base + "." + std::to_string(n);
+}
+
+size_t PerfRegistry::num_counters() const {
+  size_t n = 0;
+  for (const auto& [name, pc] : by_name_) n += pc->size();
+  return n;
+}
+
+std::vector<PerfCountersRef> PerfRegistry::sorted() const {
+  std::vector<PerfCountersRef> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, pc] : by_name_) out.push_back(pc);
+  return out;
+}
+
+void PerfRegistry::dump(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [name, pc] : by_name_) {
+    w.key(name);
+    pc->dump(w);
+  }
+  w.end_object();
+}
+
+}  // namespace gdedup::obs

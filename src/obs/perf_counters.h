@@ -1,0 +1,122 @@
+#pragma once
+
+// Ceph-style perf counters.
+//
+// Every instrumented entity (OSD, dedup tier engine, client) declares a
+// contiguous enum range [l_foo_first .. l_foo_last], builds a PerfCounters
+// with one named entry per index via PerfCountersBuilder, and registers it
+// in the cluster's PerfRegistry under a unique entity name ("osd.3",
+// "tier.osd3.pool1", "client.node4.1").  Counter access is an O(1) array
+// index; names only matter at dump time.
+//
+// Naming scheme (see DESIGN.md §7): entity names are dot-separated
+// hierarchies, counter names are lower_snake_case nouns; histograms end in
+// "_lat" (nanosecond samples) or "_bytes".  Dumps iterate entities in
+// lexicographic order and counters in declaration order so the JSON output
+// is byte-stable.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/json.h"
+
+namespace gdedup::obs {
+
+enum class CounterType {
+  kCounter,    // monotonically increasing uint64
+  kGauge,      // instantaneous int64, set/inc/dec
+  kHistogram,  // log-bucketed value distribution (common/histogram.h)
+};
+
+class PerfCounters {
+ public:
+  const std::string& name() const { return name_; }
+
+  void inc(int idx, uint64_t by = 1);
+  void dec(int idx, int64_t by = 1);       // gauges only
+  void set_gauge(int idx, int64_t v);
+  void record(int idx, uint64_t sample);   // histograms only
+
+  uint64_t get(int idx) const;             // counter value / gauge as u64
+  int64_t gauge(int idx) const;
+  const Histogram* histogram(int idx) const;  // nullptr if not a histogram
+
+  // Number of declared entries.
+  size_t size() const { return entries_.size(); }
+
+  // Emit {"name": value, ..., "x_lat": {histogram json}} in declaration
+  // order.
+  void dump(JsonWriter& w) const;
+
+ private:
+  friend class PerfCountersBuilder;
+
+  struct Entry {
+    std::string name;
+    CounterType type = CounterType::kCounter;
+    uint64_t count = 0;
+    int64_t gauge = 0;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  Entry& at(int idx);
+  const Entry& at(int idx) const;
+
+  std::string name_;
+  int first_ = 0;  // enum value of the "first" sentinel; entries start at +1
+  std::vector<Entry> entries_;
+};
+
+using PerfCountersRef = std::shared_ptr<PerfCounters>;
+
+class PerfCountersBuilder {
+ public:
+  // `first` and `last` are the sentinel enum values bracketing the range;
+  // indices (first, last) exclusive must each be declared exactly once.
+  PerfCountersBuilder(std::string entity_name, int first, int last);
+
+  void add_counter(int idx, std::string name);
+  void add_gauge(int idx, std::string name);
+  void add_histogram(int idx, std::string name);
+
+  PerfCountersRef create();
+
+ private:
+  std::unique_ptr<PerfCounters> pc_;
+  int last_;
+};
+
+// Cluster-wide registry.  Entity names are unique; re-adding a name
+// replaces the previous instance (an OSD revived after a crash keeps its
+// counters because the DedupTier/Osd objects survive, but a rebuilt entity
+// simply takes over the slot).
+class PerfRegistry {
+ public:
+  void add(PerfCountersRef pc);
+  void remove(const std::string& entity_name);
+  PerfCountersRef get(const std::string& entity_name) const;
+
+  // "base", then "base.2", "base.3", ... — for entities without a natural
+  // unique id (e.g. several clients on one node).  Deterministic given a
+  // deterministic construction order.
+  std::string unique_name(const std::string& base);
+
+  size_t num_entities() const { return by_name_.size(); }
+  size_t num_counters() const;  // total declared entries across entities
+
+  // Entities sorted by name.
+  std::vector<PerfCountersRef> sorted() const;
+
+  // {"entity": {counters...}, ...} sorted by entity name.
+  void dump(JsonWriter& w) const;
+
+ private:
+  std::map<std::string, PerfCountersRef> by_name_;
+  std::map<std::string, int> name_seq_;
+};
+
+}  // namespace gdedup::obs

@@ -14,6 +14,11 @@ namespace gdedup {
 
 class Osd;
 
+namespace obs {
+class PerfRegistry;
+class OpTracker;
+}
+
 class ClusterContext {
  public:
   virtual ~ClusterContext() = default;
@@ -31,6 +36,12 @@ class ClusterContext {
   // OSDs can crash (silently dropping requests) or the fabric loses
   // messages.  0 (the default) preserves wait-forever semantics.
   virtual SimTime op_timeout() const { return 0; }
+
+  // Observability hooks (obs/).  Default nullptr: contexts without an
+  // observability layer (unit-test fixtures) cost nothing, and every
+  // instrumentation site null-checks.  rados::Cluster returns its own.
+  virtual obs::PerfRegistry* perf_registry() { return nullptr; }
+  virtual obs::OpTracker* op_tracker() { return nullptr; }
 };
 
 }  // namespace gdedup

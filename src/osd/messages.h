@@ -20,6 +20,10 @@
 
 namespace gdedup {
 
+namespace obs {
+class OpTrace;
+}
+
 enum class OsdOpType : uint8_t {
   kRead,
   kWrite,       // offset write (creates the object if absent)
@@ -73,6 +77,12 @@ struct OsdOp {
   std::shared_ptr<Transaction> txn;        // kSubWrite
   std::shared_ptr<ObjectState> state;      // kPush
   bool foreground = true;  // false for background dedup / recovery traffic
+
+  // Optional op-trace context (obs/op_tracker.h), threaded across message
+  // hops so each layer can annotate per-stage spans.  Not wire data: it
+  // contributes nothing to wire_bytes() and crosses the simulated network
+  // for free, like Ceph's in-process tracking state.
+  std::shared_ptr<obs::OpTrace> trace;
 
   uint64_t wire_bytes() const;
 };

@@ -6,6 +6,7 @@
 #include "common/encoding.h"
 #include "common/logging.h"
 #include "ec/reed_solomon.h"
+#include "obs/op_tracker.h"
 
 namespace gdedup {
 
@@ -59,7 +60,39 @@ const char* osd_failure_point_name(OsdFailurePoint p) {
 }
 
 Osd::Osd(ClusterContext* ctx, OsdId id, NodeId node, const SsdConfig& disk_cfg)
-    : ctx_(ctx), id_(id), node_(node), disk_(&ctx->sched(), disk_cfg) {}
+    : ctx_(ctx), id_(id), node_(node), disk_(&ctx->sched(), disk_cfg) {
+  obs::PerfCountersBuilder b("osd." + std::to_string(id), l_osd_first,
+                             l_osd_last);
+  b.add_counter(l_osd_client_ops, "client_ops");
+  b.add_counter(l_osd_reads, "reads");
+  b.add_counter(l_osd_writes, "writes");
+  b.add_counter(l_osd_sub_writes, "sub_writes");
+  b.add_counter(l_osd_chunk_puts, "chunk_puts");
+  b.add_counter(l_osd_chunk_created, "chunk_created");
+  b.add_counter(l_osd_chunk_dedup_hits, "chunk_dedup_hits");
+  b.add_counter(l_osd_chunk_derefs, "chunk_derefs");
+  b.add_counter(l_osd_chunks_reclaimed, "chunks_reclaimed");
+  b.add_counter(l_osd_pulls, "pulls");
+  b.add_counter(l_osd_pushes, "pushes");
+  b.add_histogram(l_osd_op_r_lat, "op_r_lat");
+  b.add_histogram(l_osd_op_w_lat, "op_w_lat");
+  perf_ = b.create();
+  if (auto* reg = ctx_->perf_registry()) reg->add(perf_);
+}
+
+void Osd::refresh_stats_view() const {
+  stats_view_.client_ops = perf_->get(l_osd_client_ops);
+  stats_view_.reads = perf_->get(l_osd_reads);
+  stats_view_.writes = perf_->get(l_osd_writes);
+  stats_view_.sub_writes = perf_->get(l_osd_sub_writes);
+  stats_view_.chunk_puts = perf_->get(l_osd_chunk_puts);
+  stats_view_.chunk_created = perf_->get(l_osd_chunk_created);
+  stats_view_.chunk_dedup_hits = perf_->get(l_osd_chunk_dedup_hits);
+  stats_view_.chunk_derefs = perf_->get(l_osd_chunk_derefs);
+  stats_view_.chunks_reclaimed = perf_->get(l_osd_chunks_reclaimed);
+  stats_view_.pulls = perf_->get(l_osd_pulls);
+  stats_view_.pushes = perf_->get(l_osd_pushes);
+}
 
 bool Osd::fail_at(OsdFailurePoint p, const ObjectKey& key) {
   if (!failure_hook_ || !failure_hook_(p, key)) return false;
@@ -148,8 +181,24 @@ void Osd::dispatch(OsdOp op, ReplyFn reply) {
       op.type == OsdOpType::kStat || op.type == OsdOpType::kGetXattr ||
       op.type == OsdOpType::kSetXattr;
   if (client_facing) {
-    stats_.client_ops++;
-    if (op.foreground) fg_window_.add(ctx_->sched().now());
+    perf_->inc(l_osd_client_ops);
+    if (op.foreground) {
+      fg_window_.advance(ctx_->sched().now());
+      fg_window_.add(ctx_->sched().now());
+    }
+    // End-to-end OSD-side data-op latency (covers the tier path too).
+    if (op.type == OsdOpType::kRead || op.type == OsdOpType::kWrite ||
+        op.type == OsdOpType::kWriteFull) {
+      const int idx =
+          op.type == OsdOpType::kRead ? l_osd_op_r_lat : l_osd_op_w_lat;
+      Scheduler* sched = &ctx_->sched();
+      const SimTime t0 = sched->now();
+      reply = [perf = perf_, idx, t0, sched,
+               inner = std::move(reply)](OsdOpReply rep) {
+        perf->record(idx, static_cast<uint64_t>(sched->now() - t0));
+        inner(std::move(rep));
+      };
+    }
   }
 
   // Dedup tier interposes on client data ops for its pool.
@@ -215,7 +264,7 @@ void Osd::dispatch(OsdOp op, ReplyFn reply) {
 // ------------------------------------------------------------- plain ops
 
 void Osd::handle_read(const OsdOp& op, ReplyFn reply) {
-  stats_.reads++;
+  perf_->inc(l_osd_reads);
   submit_read(op.pool, op.oid, op.off, op.len,
               [reply = std::move(reply)](Result<Buffer> r) {
                 if (!r.is_ok()) {
@@ -229,7 +278,7 @@ void Osd::handle_read(const OsdOp& op, ReplyFn reply) {
 }
 
 void Osd::handle_write(const OsdOp& op, ReplyFn reply) {
-  stats_.writes++;
+  perf_->inc(l_osd_writes);
   Transaction txn;
   const ObjectKey key{op.pool, op.oid};
   if (op.type == OsdOpType::kWriteFull) {
@@ -288,7 +337,7 @@ void Osd::handle_sub_write(const OsdOp& op, ReplyFn reply) {
   if (fail_at(OsdFailurePoint::kBeforeSubWriteApply, {op.pool, op.oid})) {
     return;  // crashed: the primary never hears back
   }
-  stats_.sub_writes++;
+  perf_->inc(l_osd_sub_writes);
   assert(op.txn);
   local_apply(op.pool, *op.txn, [reply = std::move(reply)](Status s) {
     reply(OsdOpReply{s, {}, 0, {}, nullptr});
@@ -321,7 +370,7 @@ void Osd::handle_pull(const OsdOp& op, ReplyFn reply) {
   if (fail_at(OsdFailurePoint::kBeforeRecoveryPull, {op.pool, op.oid})) {
     return;  // crashed: recovery must route around this holder
   }
-  stats_.pulls++;
+  perf_->inc(l_osd_pulls);
   auto snap = store(op.pool).snapshot({op.pool, op.oid});
   if (!snap.is_ok()) {
     reply(OsdOpReply{snap.status(), {}, 0, {}, nullptr});
@@ -329,7 +378,13 @@ void Osd::handle_pull(const OsdOp& op, ReplyFn reply) {
   }
   auto state = std::make_shared<ObjectState>(std::move(snap).value());
   const uint64_t bytes = object_state_bytes(*state);
-  disk_.read(bytes, [reply = std::move(reply), state]() mutable {
+  // The serve side of a recovery pull: snapshot + disk read of the full
+  // object state.
+  size_t sp = 0;
+  if (op.trace) sp = op.trace->span_begin("pull_serve", ctx_->sched().now());
+  disk_.read(bytes, [this, trace = op.trace, sp, reply = std::move(reply),
+                     state]() mutable {
+    if (trace) trace->span_end(sp, ctx_->sched().now());
     OsdOpReply rep;
     rep.state = state;
     reply(std::move(rep));
@@ -337,7 +392,7 @@ void Osd::handle_pull(const OsdOp& op, ReplyFn reply) {
 }
 
 void Osd::handle_push(const OsdOp& op, ReplyFn reply) {
-  stats_.pushes++;
+  perf_->inc(l_osd_pushes);
   assert(op.state);
   const uint64_t bytes = object_state_bytes(*op.state);
   auto state = op.state;
@@ -390,7 +445,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   if (fail_at(OsdFailurePoint::kBeforeChunkRefWrite, {op.pool, op.oid})) {
     return;  // crashed mid-refcount-update; queue already reset
   }
-  stats_.chunk_puts++;
+  perf_->inc(l_osd_chunk_puts);
   const ObjectKey key{op.pool, op.oid};
   auto finish = [this, key, reply = std::move(reply)](Status s) mutable {
     reply(OsdOpReply{s, {}, 0, {}, nullptr});
@@ -432,7 +487,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
       return;
     }
     if (!recorded) {
-      stats_.chunk_dedup_hits++;
+      perf_->inc(l_osd_chunk_dedup_hits);
       refs.push_back(op.ref);
     }
     Transaction txn;
@@ -443,7 +498,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
     return;
   }
 
-  stats_.chunk_created++;
+  perf_->inc(l_osd_chunk_created);
   // A rotated-in primary can be "creating" over a degraded placement:
   // other holders may still carry this content-addressed chunk with refs
   // this primary cannot see locally.  The content is identical by
@@ -476,7 +531,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
 }
 
 void Osd::chunk_deref_locked(const OsdOp& op, ReplyFn reply) {
-  stats_.chunk_derefs++;
+  perf_->inc(l_osd_chunk_derefs);
   const ObjectKey key{op.pool, op.oid};
   auto finish = [this, key, reply = std::move(reply)](Status s) mutable {
     reply(OsdOpReply{s, {}, 0, {}, nullptr});
@@ -504,7 +559,7 @@ void Osd::chunk_deref_locked(const OsdOp& op, ReplyFn reply) {
   }
   refs.erase(it);
   if (refs.empty()) {
-    stats_.chunks_reclaimed++;
+    perf_->inc(l_osd_chunks_reclaimed);
     submit_remove(op.pool, op.oid, std::move(finish), op.foreground);
     return;
   }

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/perf_counters.h"
 #include "osd/cluster_context.h"
 #include "osd/messages.h"
 #include "osd/object_store.h"
@@ -71,6 +72,30 @@ const char* osd_failure_point_name(OsdFailurePoint p);
 using OsdFailureHook =
     std::function<bool(OsdFailurePoint, const ObjectKey& key)>;
 
+// Perf-counter indices for one OSD (registry entity "osd.<id>").  The
+// counters are the source of truth; OsdStats below is a compatibility
+// view rebuilt from them on demand.
+enum {
+  l_osd_first = 1000,
+  l_osd_client_ops,
+  l_osd_reads,
+  l_osd_writes,
+  l_osd_sub_writes,
+  l_osd_chunk_puts,
+  l_osd_chunk_created,
+  l_osd_chunk_dedup_hits,
+  l_osd_chunk_derefs,
+  l_osd_chunks_reclaimed,
+  l_osd_pulls,
+  l_osd_pushes,
+  l_osd_op_r_lat,  // client-facing read latency (dispatch -> reply), ns
+  l_osd_op_w_lat,  // client-facing write latency, ns
+  l_osd_last,
+};
+
+// Legacy aggregate view of the OSD perf counters.  Kept because a pile of
+// tests and harnesses read these fields; Osd::stats() refreshes one from
+// the registry-backed counters.
 struct OsdStats {
   uint64_t client_ops = 0;
   uint64_t reads = 0;
@@ -117,8 +142,22 @@ class Osd {
   const ObjectStore* store_if_exists(PoolId pool) const;
 
   SsdModel& disk() { return disk_; }
-  OsdStats& stats() { return stats_; }
-  const OsdStats& stats() const { return stats_; }
+
+  // Compatibility accessors: rebuild the legacy struct from the perf
+  // counters.  Reads through the returned reference are always current;
+  // writes would be lost (no caller writes — they all go through the
+  // counters now).
+  OsdStats& stats() {
+    refresh_stats_view();
+    return stats_view_;
+  }
+  const OsdStats& stats() const {
+    refresh_stats_view();
+    return stats_view_;
+  }
+
+  obs::PerfCounters& perf() { return *perf_; }
+  const obs::PerfCounters& perf() const { return *perf_; }
 
   // Foreground client-op completions in the last second (rate control).
   SlidingWindowCounter& foreground_window() { return fg_window_; }
@@ -206,6 +245,8 @@ class Osd {
   void local_apply(PoolId pool, Transaction txn,
                    std::function<void(Status)> done);
 
+  void refresh_stats_view() const;
+
   ClusterContext* ctx_;
   OsdId id_;
   NodeId node_;
@@ -216,7 +257,8 @@ class Osd {
   std::map<PoolId, std::unique_ptr<TierService>> tiers_;
   OpQueue chunk_op_queue_;
   OpQueue ec_write_queue_;
-  OsdStats stats_;
+  obs::PerfCountersRef perf_;
+  mutable OsdStats stats_view_;
   OsdFailureHook failure_hook_;
   uint64_t injected_crashes_ = 0;
   SlidingWindowCounter fg_window_{kSecond};

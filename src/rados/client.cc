@@ -2,9 +2,75 @@
 
 #include <cassert>
 
+#include "obs/op_tracker.h"
+
 namespace gdedup {
 
+RadosClient::RadosClient(ClusterContext* ctx, NodeId node)
+    : ctx_(ctx), node_(node) {
+  auto* reg = ctx_->perf_registry();
+  const std::string base = "client.node" + std::to_string(node);
+  obs::PerfCountersBuilder b(reg != nullptr ? reg->unique_name(base) : base,
+                             l_client_first, l_client_last);
+  b.add_counter(l_client_ops, "ops");
+  b.add_counter(l_client_reads, "reads");
+  b.add_counter(l_client_writes, "writes");
+  b.add_counter(l_client_removes, "removes");
+  b.add_counter(l_client_bytes_read, "bytes_read");
+  b.add_counter(l_client_bytes_written, "bytes_written");
+  b.add_counter(l_client_errors, "errors");
+  b.add_histogram(l_client_read_lat, "read_lat");
+  b.add_histogram(l_client_write_lat, "write_lat");
+  perf_ = b.create();
+  if (reg != nullptr) reg->add(perf_);
+}
+
 void RadosClient::submit(OsdOp op, ReplyFn cb) {
+  Scheduler* sched = &ctx_->sched();
+  const SimTime t0 = sched->now();
+  perf_->inc(l_client_ops);
+  int lat_idx = -1;
+  bool count_read_bytes = false;
+  switch (op.type) {
+    case OsdOpType::kRead:
+      perf_->inc(l_client_reads);
+      lat_idx = l_client_read_lat;
+      count_read_bytes = true;
+      break;
+    case OsdOpType::kWrite:
+    case OsdOpType::kWriteFull:
+      perf_->inc(l_client_writes);
+      perf_->inc(l_client_bytes_written, op.data.size());
+      lat_idx = l_client_write_lat;
+      break;
+    case OsdOpType::kRemove:
+      perf_->inc(l_client_removes);
+      break;
+    default:
+      break;
+  }
+  obs::OpTracker* trk = ctx_->op_tracker();
+  if (trk != nullptr) {
+    op.trace = trk->start(std::string(osd_op_type_name(op.type)) + " " +
+                              std::to_string(op.pool) + "/" + op.oid,
+                          t0);
+  }
+  // The wrapper captures everything it needs by value / stable pointer
+  // (scheduler, tracker and counters all outlive in-flight ops) — never
+  // `this`, since clients may be shorter-lived than their last reply.
+  cb = [perf = perf_, trk, sched, t0, lat_idx, count_read_bytes,
+        trace = op.trace, inner = std::move(cb)](OsdOpReply rep) mutable {
+    const SimTime now = sched->now();
+    if (lat_idx >= 0) perf->record(lat_idx, static_cast<uint64_t>(now - t0));
+    if (!rep.status.is_ok()) {
+      perf->inc(l_client_errors);
+    } else if (count_read_bytes) {
+      perf->inc(l_client_bytes_read, rep.data.size());
+    }
+    if (trk != nullptr) trk->finish(trace, now);
+    inner(std::move(rep));
+  };
+
   const OsdId primary = ctx_->osdmap().primary(op.pool, op.oid);
   if (primary < 0) {
     ctx_->sched().after(usec(1), [cb = std::move(cb)] {

@@ -11,17 +11,37 @@
 #include <functional>
 #include <string>
 
+#include "obs/perf_counters.h"
 #include "osd/cluster_context.h"
 #include "osd/messages.h"
 #include "osd/osd.h"
 
 namespace gdedup {
 
+// Perf-counter indices for one client (registry entity
+// "client.node<N>[.k]"; the suffix disambiguates multiple clients on one
+// node in construction order).
+enum {
+  l_client_first = 3000,
+  l_client_ops,
+  l_client_reads,
+  l_client_writes,
+  l_client_removes,
+  l_client_bytes_read,
+  l_client_bytes_written,
+  l_client_errors,      // replies with a non-OK status
+  l_client_read_lat,    // submit -> reply, ns, client side
+  l_client_write_lat,
+  l_client_last,
+};
+
 class RadosClient {
  public:
-  RadosClient(ClusterContext* ctx, NodeId node) : ctx_(ctx), node_(node) {}
+  RadosClient(ClusterContext* ctx, NodeId node);
 
   NodeId node() const { return node_; }
+  obs::PerfCounters& perf() { return *perf_; }
+  const obs::PerfCounters& perf() const { return *perf_; }
 
   void write(PoolId pool, const std::string& oid, uint64_t off, Buffer data,
              std::function<void(Status)> cb);
@@ -43,6 +63,7 @@ class RadosClient {
 
   ClusterContext* ctx_;
   NodeId node_;
+  obs::PerfCountersRef perf_;
 };
 
 // Client-side striping over fixed-size RADOS objects — the role the KRBD

@@ -280,6 +280,9 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
         pull.pool = key.pool;
         pull.oid = key.oid;
         pull.foreground = false;
+        pull.trace = op_tracker_.start(
+            "recovery_pull " + std::to_string(key.pool) + "/" + key.oid,
+            sched_.now());
         Osd* tptr = t;
         // Install is compare-and-swap on the target's version: between the
         // pull launch and the snapshot landing, an in-flight client write
@@ -288,17 +291,21 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
         // raced install we skip; the caller's next pass re-evaluates with
         // fresh versions.
         const int64_t tv_launch = copy_version(target);
+        auto pull_trace = pull.trace;
         send_osd_op(*this, t->node(), src, std::move(pull),
-                    [this, tptr, key, tally, tv_launch](OsdOpReply rep) {
+                    [this, tptr, key, tally, tv_launch,
+                     pull_trace](OsdOpReply rep) {
                       if (!rep.status.is_ok() || !rep.state) {
                         tally->outstanding--;
+                        op_tracker_.finish(pull_trace, sched_.now());
                         return;
                       }
                       auto state = rep.state;
                       const uint64_t bytes = object_state_bytes(*state);
                       tally->bytes += bytes;
                       tptr->disk().write(
-                          bytes, [tptr, key, state, tally, tv_launch] {
+                          bytes, [this, tptr, key, state, tally, tv_launch,
+                                  pull_trace] {
                             const ObjectStore* st =
                                 tptr->store_if_exists(key.pool);
                             const ObjectState* cur =
@@ -311,6 +318,7 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
                               tptr->store(key.pool).install(key, *state);
                             }
                             tally->outstanding--;
+                            op_tracker_.finish(pull_trace, sched_.now());
                           });
                     });
       }

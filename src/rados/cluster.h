@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "dedup/tier.h"
+#include "obs/op_tracker.h"
+#include "obs/perf_counters.h"
 #include "osd/cluster_context.h"
 #include "osd/osd.h"
 #include "sim/disk.h"
@@ -49,6 +51,8 @@ class Cluster : public ClusterContext {
   NodeId node_of_osd(OsdId id) const override;
   CpuModel& node_cpu(NodeId node) override { return *node_cpus_[static_cast<size_t>(node)]; }
   SimTime op_timeout() const override { return cfg_.op_timeout; }
+  obs::PerfRegistry* perf_registry() override { return &perf_registry_; }
+  obs::OpTracker* op_tracker() override { return &op_tracker_; }
 
   // --- topology ---
   const ClusterConfig& config() const { return cfg_; }
@@ -112,6 +116,10 @@ class Cluster : public ClusterContext {
  private:
   ClusterConfig cfg_;
   Scheduler sched_;
+  // Observability: declared before the OSDs so entities can register at
+  // construction and the registry outlives them on teardown.
+  obs::PerfRegistry perf_registry_;
+  obs::OpTracker op_tracker_;
   Network net_;
   OsdMap osdmap_;
   std::vector<std::unique_ptr<CpuModel>> node_cpus_;

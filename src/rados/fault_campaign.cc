@@ -456,6 +456,11 @@ class ScheduleRunner {
     for (const std::string& v : res_.violations) {
       line("VIOLATION " + v);
     }
+    if (!res_.violations.empty()) {
+      // Flight recorder: attach the slowest completed ops of the schedule
+      // so a failure report carries latency context without a rerun.
+      report_ += cluster_->op_tracker()->slow_ops_text(8);
+    }
     line(res_.violations.empty() ? "verdict CLEAN" : "verdict FAILED");
     res_.report = report_;
   }

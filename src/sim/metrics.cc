@@ -40,7 +40,7 @@ void SlidingWindowCounter::add(SimTime t, uint64_t n) {
   live_ += n;
 }
 
-void SlidingWindowCounter::evict(SimTime now) const {
+void SlidingWindowCounter::advance(SimTime now) {
   const SimTime cutoff = now - window_;
   while (head_ < events_.size() && events_[head_].first < cutoff) {
     live_ -= events_[head_].second;
@@ -55,8 +55,13 @@ void SlidingWindowCounter::evict(SimTime now) const {
 }
 
 uint64_t SlidingWindowCounter::count(SimTime now) const {
-  evict(now);
-  return live_;
+  // Same FIFO-prefix rule as advance(), but as a pure read: walk the
+  // not-yet-retired prefix and subtract whatever advance() would evict.
+  const SimTime cutoff = now - window_;
+  uint64_t n = live_;
+  for (size_t i = head_; i < events_.size() && events_[i].first < cutoff; i++)
+    n -= events_[i].second;
+  return n;
 }
 
 }  // namespace gdedup

@@ -52,20 +52,32 @@ class GaugeSeries {
 
 // Windowed op counter used by the dedup rate controller: "how many
 // foreground I/Os completed in the last second?"
+//
+// Eviction contract: entries are retired in insertion (FIFO) order, not
+// timestamp order.  Timestamps normally arrive monotonically; an
+// out-of-order add() is kept alive until every entry inserted before it
+// has expired, so stale stragglers can only over-count, never
+// under-count.  Expiry happens in advance() — count() is a pure read
+// that skips not-yet-advanced expired entries without mutating anything,
+// so advance() and count() always agree for the same `now`.
 class SlidingWindowCounter {
  public:
   explicit SlidingWindowCounter(SimTime window = kSecond) : window_(window) {}
 
   void add(SimTime t, uint64_t n = 1);
+
+  // Retire entries older than `now - window` and occasionally compact
+  // the backing store.  Call from the write path; without it the event
+  // log grows without bound.
+  void advance(SimTime now);
+
   uint64_t count(SimTime now) const;
 
  private:
-  void evict(SimTime now) const;
-
   SimTime window_;
-  mutable std::vector<std::pair<SimTime, uint64_t>> events_;
-  mutable size_t head_ = 0;
-  mutable uint64_t live_ = 0;
+  std::vector<std::pair<SimTime, uint64_t>> events_;
+  size_t head_ = 0;
+  uint64_t live_ = 0;
 };
 
 }  // namespace gdedup
