@@ -1,0 +1,187 @@
+// End-to-end simulation-core wall-clock benchmark.
+//
+// Runs the canonical write -> flush -> read scenario of
+// sim_e2e_scenario.h on the paper's 4x4-OSD testbed shape and reports how
+// many *simulated* megabytes of client traffic the simulator pushes per
+// *wall-clock* second, plus scheduler events/sec and the determinism
+// digest.  The frozen kReference* constants are the serial
+// (--exec-threads=1) baseline of this same scenario on the bench host;
+// BENCH_SIM.json records current / reference / speedup so the bench
+// trajectory has end-to-end points, not just microbenchmarks.
+//
+// Modes:
+//   --json=PATH       write the BENCH_SIM.json trajectory point to PATH
+//   --smoke           tiny scenario; structural self-checks only (ctest)
+//   --exec-threads=N  exec-pool worker count (default: GDEDUP_EXEC_THREADS
+//                     or 1); the digest must not depend on N
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim_e2e_scenario.h"
+
+namespace gdedup::bench {
+namespace {
+
+// Frozen serial reference (Release build, --exec-threads=1, this exact
+// scenario): the digest is the virtual-time fingerprint of the serial
+// run, and every thread count must reproduce it exactly — that equality
+// is the whole point of the exec-pool design (test_exec_pool enforces it
+// at smoke scale; this check enforces it at full scale).  The throughput
+// numbers are the serial baseline on the bench host; speedup > 1 needs
+// more than one physical core, which this host does not have.
+constexpr double kReferenceSimMbPerWallSec = 215.0;
+constexpr double kReferenceEventsPerWallSec = 0.195e6;
+constexpr const char* kReferenceDigest = "8e482df6";
+
+SimE2eConfig smoke_config() {
+  SimE2eConfig cfg;
+  cfg.image_bytes = 4ull << 20;
+  cfg.preload_block = 64 * 1024;
+  cfg.random_writes = 128;
+  cfg.random_reads = 128;
+  return cfg;
+}
+
+int run_smoke(int exec_threads) {
+  SimE2eConfig cfg = smoke_config();
+  cfg.exec_threads = exec_threads;
+  WallTimer wt;
+  SimE2eResult r = run_sim_e2e(cfg);
+  const double wall = wt.elapsed_sec();
+
+  // Structural self-checks: the scenario must complete, drain its dedup
+  // backlog, and digest every completed op plus the fixed counter block.
+  const uint64_t expect_ops =
+      cfg.image_bytes / cfg.preload_block + cfg.random_writes + cfg.random_reads;
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "bench_sim_e2e smoke FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  check(r.ops == expect_ops, "completed-op count mismatch");
+  check(r.drained, "dedup backlog did not drain");
+  check(r.sim_bytes > 0, "no simulated bytes moved");
+  check(r.events > r.ops, "implausibly few scheduler events");
+  check(r.digest_samples > r.ops, "digest missed the counter block");
+  std::printf("smoke ok=%d ops=%llu events=%llu digest=%s wall=%.2fs\n",
+              ok ? 1 : 0, static_cast<unsigned long long>(r.ops),
+              static_cast<unsigned long long>(r.events), r.digest.c_str(),
+              wall);
+  return ok ? 0 : 1;
+}
+
+int run_full(const std::string& json_path, int exec_threads) {
+  print_header("Simulation-core end-to-end wall-clock benchmark",
+               "bench trajectory (BENCH_SIM.json); scenario of every "
+               "figure/table bench");
+
+  SimE2eConfig cfg;  // full-size defaults: 4x4 OSDs, 256 MB image
+  cfg.exec_threads = exec_threads;
+  WallTimer wt;
+  SimE2eResult r = run_sim_e2e(cfg);
+  const double wall = wt.elapsed_sec();
+
+  const double sim_mb = static_cast<double>(r.sim_bytes) / 1e6;
+  const double mb_per_wall_sec = sim_mb / wall;
+  const double events_per_sec = static_cast<double>(r.events) / wall;
+  const double speedup = mb_per_wall_sec / kReferenceSimMbPerWallSec;
+
+  std::printf("\nscenario: %d nodes x %d OSDs, %.0f MB image, %zu+%zu random ops\n",
+              cfg.storage_nodes, cfg.osds_per_node,
+              static_cast<double>(cfg.image_bytes) / 1e6, cfg.random_writes,
+              cfg.random_reads);
+  std::printf("  wall time            : %8.2f s\n", wall);
+  std::printf("  simulated traffic    : %8.1f MB (%llu client ops)\n", sim_mb,
+              static_cast<unsigned long long>(r.ops));
+  std::printf("  sim MB / wall second : %8.1f  (reference %.1f, speedup %.2fx)\n",
+              mb_per_wall_sec, kReferenceSimMbPerWallSec, speedup);
+  std::printf("  events / wall second : %8.3gM (reference %.3gM)\n",
+              events_per_sec / 1e6, kReferenceEventsPerWallSec / 1e6);
+  std::printf("  virtual duration     : %8.2f s (%llu events)\n",
+              static_cast<double>(r.sim_duration) / kSecond,
+              static_cast<unsigned long long>(r.events));
+  const bool digest_ok = r.digest == kReferenceDigest;
+  std::printf("  determinism digest   : %s (%llu samples, reference %s%s)\n",
+              r.digest.c_str(),
+              static_cast<unsigned long long>(r.digest_samples),
+              kReferenceDigest, digest_ok ? ", match" : ", MISMATCH");
+  std::printf("  drained              : %s\n", r.drained ? "yes" : "NO");
+  std::printf("  exec threads         : %8d (%llu kernel jobs offloaded)\n",
+              r.exec_threads_used,
+              static_cast<unsigned long long>(r.kernel_jobs_offloaded));
+  for (const auto& k : r.kernels) {
+    std::printf("    %-12s %8llu jobs  %8.1f ms worker-busy\n", k.name,
+                static_cast<unsigned long long>(k.jobs),
+                static_cast<double>(k.busy_ns) / 1e6);
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter jw;
+    jw.add("bench", std::string("sim_e2e"));
+    jw.add("scenario", std::string("4x4osd_write_flush_read"));
+    jw.add("sim_mb_per_wall_sec", mb_per_wall_sec);
+    jw.add("reference_sim_mb_per_wall_sec", kReferenceSimMbPerWallSec);
+    jw.add("speedup_vs_reference", speedup);
+    jw.add("events_per_wall_sec", events_per_sec);
+    jw.add("reference_events_per_wall_sec", kReferenceEventsPerWallSec);
+    jw.add("wall_seconds", wall);
+    jw.add("simulated_mb", sim_mb);
+    jw.add("client_ops", static_cast<double>(r.ops));
+    jw.add("scheduler_events", static_cast<double>(r.events));
+    jw.add("virtual_seconds", static_cast<double>(r.sim_duration) / kSecond);
+    jw.add("determinism_digest", r.digest);
+    jw.add("reference_digest", std::string(kReferenceDigest));
+    jw.add("digest_samples", static_cast<double>(r.digest_samples));
+    jw.add("exec_threads", static_cast<double>(r.exec_threads_used));
+    jw.add("kernel_jobs_offloaded",
+           static_cast<double>(r.kernel_jobs_offloaded));
+    for (const auto& k : r.kernels) {
+      jw.add(std::string("offload_") + k.name + "_jobs",
+             static_cast<double>(k.jobs));
+      jw.add(std::string("offload_") + k.name + "_busy_ms",
+             static_cast<double>(k.busy_ns) / 1e6);
+    }
+    if (!jw.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\ntrajectory point written to %s\n", json_path.c_str());
+  }
+  if (!digest_ok) {
+    std::fprintf(stderr,
+                 "FATAL: determinism digest drifted from the frozen "
+                 "reference — the speedup is not bit-identical\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdedup::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  int exec_threads = 0;  // 0: GDEDUP_EXEC_THREADS (default 1)
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--exec-threads=", 15) == 0) {
+      exec_threads = std::atoi(argv[i] + 15);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json=PATH] [--exec-threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return smoke ? gdedup::bench::run_smoke(exec_threads)
+               : gdedup::bench::run_full(json_path, exec_threads);
+}

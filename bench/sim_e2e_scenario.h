@@ -1,0 +1,268 @@
+#pragma once
+
+// End-to-end simulation-core scenario shared by bench_sim_e2e and the
+// determinism ctest.
+//
+// Drives a dedup-enabled cluster through the three phases every experiment
+// in bench/ is built from — sequential preload, random small-block
+// overwrites, background dedup drain, random reads — and folds every
+// virtual-time observable into a determinism digest: the per-op latency
+// stream in completion order, then the final stats counters (OSD, tier,
+// pool, network, clock).  Two builds that produce the same digest took
+// bit-identical virtual-time trajectories, so the digest is the contract
+// the simulation-core fast path must preserve while making the wall clock
+// faster.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/crc32.h"
+#include "rados/sync.h"
+#include "workload/fio_gen.h"
+
+namespace gdedup::bench {
+
+// Rolling CRC32C over a stream of 64-bit observables.  CRC is enough: the
+// goal is drift *detection* across builds of the same code base, not
+// adversarial collision resistance.
+class DeterminismDigest {
+ public:
+  void u64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; i++) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    crc_ = crc32c({b, sizeof(b)}, crc_);
+    count_++;
+  }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+  uint64_t samples() const { return count_; }
+
+  std::string hex() const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", crc_);
+    return buf;
+  }
+
+ private:
+  uint32_t crc_ = 0;
+  uint64_t count_ = 0;
+};
+
+struct SimE2eConfig {
+  int storage_nodes = 4;
+  int osds_per_node = 4;
+  int client_nodes = 3;
+  uint64_t seed = 1;
+
+  uint64_t image_bytes = 256ull << 20;  // sequentially preloaded span
+  uint32_t object_size = 4u << 20;      // RADOS object striping
+  uint32_t preload_block = 32 * 1024;   // sequential write size
+  uint32_t small_block = 8 * 1024;      // random overwrite size
+  size_t random_writes = 16384;
+  size_t random_reads = 16384;
+  int depth = 16;              // closed-loop outstanding ops
+  double dedupe = 0.5;         // duplicate fraction of generated content
+  uint32_t chunk_size = 32 * 1024;
+
+  // Exec-pool worker threads for the real-byte kernels.  0 = inherit
+  // GDEDUP_EXEC_THREADS (default 1 = serial).  The digest is the same for
+  // every value — that is the point of the determinism tests.
+  int exec_threads = 0;
+  // EC(2,1) base + chunk pools instead of 2x replicated: exercises the
+  // ReedSolomon encode/decode kernels on the client and flush paths.
+  bool ec = false;
+};
+
+struct SimE2eResult {
+  uint64_t sim_bytes = 0;   // client payload bytes moved across all phases
+  uint64_t ops = 0;         // client ops completed
+  SimTime sim_duration = 0; // virtual time consumed end to end
+  uint64_t events = 0;      // scheduler events executed
+  bool drained = true;      // dedup backlog fully flushed
+  std::string digest;       // determinism digest (latencies + counters)
+  uint64_t digest_samples = 0;
+
+  double phase_write_mbps = 0;  // virtual-time MB/s, sanity only
+  double phase_read_mbps = 0;
+
+  // Host-side exec-pool accounting (never digested: wall-clock only).
+  int exec_threads_used = 1;
+  uint64_t kernel_jobs_offloaded = 0;  // ran on a worker thread
+  struct KernelBreakdown {
+    const char* name;
+    uint64_t jobs;
+    uint64_t busy_ns;
+  };
+  std::vector<KernelBreakdown> kernels;  // per-kernel host wall time
+};
+
+// Wrap an issuer so each completion folds its latency into the digest.
+inline IssueFn digesting_issuer(Cluster& c, IssueFn inner,
+                                DeterminismDigest* dig) {
+  return [&c, inner = std::move(inner), dig](
+             size_t idx, std::function<void(uint64_t)> done) {
+    const SimTime issued = c.sched().now();
+    inner(idx, [&c, dig, issued, done = std::move(done)](uint64_t bytes) {
+      dig->i64(c.sched().now() - issued);
+      done(bytes);
+    });
+  };
+}
+
+inline void digest_final_state(Cluster& c, PoolId base_pool, PoolId chunk_pool,
+                               DeterminismDigest* dig) {
+  OsdStats osd_agg;
+  for (Osd* o : c.osds()) {
+    const OsdStats& s = o->stats();
+    osd_agg.client_ops += s.client_ops;
+    osd_agg.reads += s.reads;
+    osd_agg.writes += s.writes;
+    osd_agg.sub_writes += s.sub_writes;
+    osd_agg.chunk_puts += s.chunk_puts;
+    osd_agg.chunk_created += s.chunk_created;
+    osd_agg.chunk_dedup_hits += s.chunk_dedup_hits;
+    osd_agg.chunk_derefs += s.chunk_derefs;
+    osd_agg.chunks_reclaimed += s.chunks_reclaimed;
+    osd_agg.pulls += s.pulls;
+    osd_agg.pushes += s.pushes;
+  }
+  dig->u64(osd_agg.client_ops);
+  dig->u64(osd_agg.reads);
+  dig->u64(osd_agg.writes);
+  dig->u64(osd_agg.sub_writes);
+  dig->u64(osd_agg.chunk_puts);
+  dig->u64(osd_agg.chunk_created);
+  dig->u64(osd_agg.chunk_dedup_hits);
+  dig->u64(osd_agg.chunk_derefs);
+  dig->u64(osd_agg.chunks_reclaimed);
+  dig->u64(osd_agg.pulls);
+  dig->u64(osd_agg.pushes);
+
+  const DedupTierStats t = c.tier_stats(base_pool);
+  dig->u64(t.writes);
+  dig->u64(t.reads);
+  dig->u64(t.removes);
+  dig->u64(t.prereads);
+  dig->u64(t.flush_merges);
+  dig->u64(t.cached_read_chunks);
+  dig->u64(t.redirected_read_chunks);
+  dig->u64(t.chunks_flushed);
+  dig->u64(t.flush_bytes);
+  dig->u64(t.noop_flushes);
+  dig->u64(t.derefs);
+  dig->u64(t.evictions);
+  dig->u64(t.capacity_evictions);
+  dig->u64(t.promotions);
+  dig->u64(t.hot_skips);
+  dig->u64(t.racy_flushes);
+  dig->u64(t.fingerprint_cache_hits);
+
+  for (PoolId p : {base_pool, chunk_pool}) {
+    const ObjectStore::Stats s = c.pool_stats(p);
+    dig->u64(s.objects);
+    dig->u64(s.logical_bytes);
+    dig->u64(s.stored_data_bytes);
+    dig->u64(s.xattr_bytes);
+    dig->u64(s.omap_bytes);
+    dig->u64(s.physical_bytes);
+  }
+
+  dig->u64(c.net().total_bytes_sent());
+  dig->i64(c.sched().now());
+}
+
+// Run the canonical write -> flush -> read scenario for `cfg`.
+inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
+  ClusterConfig cc;
+  cc.storage_nodes = cfg.storage_nodes;
+  cc.osds_per_node = cfg.osds_per_node;
+  cc.client_nodes = cfg.client_nodes;
+  cc.exec_threads = cfg.exec_threads;
+  Cluster c(cc);
+
+  const PoolId base = cfg.ec ? c.create_ec_pool("base", 2, 1)
+                             : c.create_replicated_pool("base", 2);
+  const PoolId chunks = cfg.ec ? c.create_ec_pool("chunks", 2, 1)
+                               : c.create_replicated_pool("chunks", 2);
+  c.enable_dedup(base, chunks, bench_tier_config(cfg.chunk_size));
+
+  RadosClient client(&c, c.client_node(0));
+  BlockDevice bdev(&client, base, "e2e-image", cfg.image_bytes,
+                   cfg.object_size);
+
+  DeterminismDigest dig;
+  SimE2eResult res;
+  const SimTime t0 = c.sched().now();
+
+  // Phase 1: sequential preload (dedupe-laden content, fio semantics).
+  workload::FioConfig fio;
+  fio.total_bytes = cfg.image_bytes;
+  fio.block_size = cfg.preload_block;
+  fio.dedupe_ratio = cfg.dedupe;
+  fio.seed = cfg.seed;
+  workload::FioGenerator gen(fio);
+  {
+    const uint32_t bs = gen.block_size();
+    LoadResult r = run_closed_loop(
+        c, gen.num_blocks(), cfg.depth,
+        digesting_issuer(
+            c,
+            [&](size_t idx, std::function<void(uint64_t)> done) {
+              bdev.write(static_cast<uint64_t>(idx) * bs, gen.block(idx),
+                         [done = std::move(done), bs](Status) { done(bs); });
+            },
+            &dig));
+    res.sim_bytes += r.bytes;
+    res.ops += r.ops;
+    res.phase_write_mbps = r.mbps();
+  }
+
+  // Phase 2: random small-block overwrites.
+  {
+    auto ops = workload::make_random_ops(cfg.image_bytes, cfg.small_block,
+                                         cfg.random_writes, /*writes=*/true,
+                                         cfg.dedupe, cfg.seed ^ 0x5EED);
+    LoadResult r = run_closed_loop(
+        c, ops.size(), cfg.depth,
+        digesting_issuer(c, make_bdev_issuer(c, bdev, ops), &dig));
+    res.sim_bytes += r.bytes;
+    res.ops += r.ops;
+  }
+
+  // Phase 3: drain the dedup backlog (flush + chunk-pool traffic).
+  res.drained = c.drain_dedup();
+
+  // Phase 4: random reads over the deduplicated image.
+  {
+    auto ops = workload::make_random_ops(cfg.image_bytes, cfg.small_block,
+                                         cfg.random_reads, /*writes=*/false,
+                                         0.0, cfg.seed ^ 0xBEEF);
+    LoadResult r = run_closed_loop(
+        c, ops.size(), cfg.depth,
+        digesting_issuer(c, make_bdev_issuer(c, bdev, ops), &dig));
+    res.sim_bytes += r.bytes;
+    res.ops += r.ops;
+    res.phase_read_mbps = r.mbps();
+  }
+
+  digest_final_state(c, base, chunks, &dig);
+  res.sim_duration = c.sched().now() - t0;
+  res.events = c.sched().events_executed();
+  res.digest = dig.hex();
+  res.digest_samples = dig.samples();
+
+  ExecPool* xp = c.exec_pool();
+  res.exec_threads_used = xp->threads();
+  res.kernel_jobs_offloaded = xp->jobs_offloaded();
+  for (int k = 0; k < static_cast<int>(Kernel::kCount); k++) {
+    const auto s = xp->kernel_stats(static_cast<Kernel>(k));
+    if (s.jobs == 0) continue;
+    res.kernels.push_back({kernel_name(static_cast<Kernel>(k)), s.jobs,
+                           s.busy_ns});
+  }
+  return res;
+}
+
+}  // namespace gdedup::bench

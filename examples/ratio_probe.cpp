@@ -30,7 +30,7 @@ OsdMap make_map(int osds) {
   return m;
 }
 
-void report(const RatioAnalyzer& a, uint64_t chunk) {
+void report(RatioAnalyzer& a, uint64_t chunk) {
   const auto g = a.global();
   const auto l = a.local();
   std::printf("\nlogical data:        %s (%u KB chunks)\n",
@@ -62,7 +62,11 @@ int main(int argc, char** argv) {
   const uint64_t chunk = static_cast<uint64_t>(opts.get_int("chunk_kb", 32)) << 10;
 
   OsdMap map = make_map(osds);
-  RatioAnalyzer a(&map, 0, static_cast<uint32_t>(chunk));
+  // Chunk scans run on the exec pool (GDEDUP_EXEC_THREADS workers); the
+  // reported ratios are identical at any thread count.
+  ExecPool pool(ExecPool::env_threads());
+  RatioAnalyzer a(&map, 0, static_cast<uint32_t>(chunk),
+                  FingerprintAlgo::kSha256, &pool);
 
   if (workload == "fio") {
     workload::FioConfig cfg;

@@ -10,11 +10,12 @@
 # no memory errors on the exercised paths.
 #
 # TSan cannot be combined with ASan, hence the second build tree.  The
-# simulator is single-threaded by design, but the perf-counter registry
-# and op tracker are shared across every layer; the TSan phase pins down
-# that the observability paths (counter updates, trace span bookkeeping,
-# JSON dumps) stay race-free as exercised by test_observability and the
-# perf_dump determinism smoke.
+# event loop is single-threaded, but the exec pool offloads the real-byte
+# kernels (fingerprint, CRC, EC, compression scans, chunk scans) to worker
+# threads; the TSan phase runs the exec-pool tests, the fault-campaign
+# smoke and the bench smoke with GDEDUP_EXEC_THREADS=4 so every offloaded
+# kernel and the shared observability paths (counter updates, trace span
+# bookkeeping, JSON dumps) are exercised with real worker concurrency.
 
 set -euo pipefail
 
@@ -46,7 +47,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="${tsan_flags}" \
     -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target test_observability perf_dump
+cmake --build "${tsan_dir}" -j "$(nproc)" \
+    --target test_observability perf_dump test_exec_pool \
+    test_fault_campaign bench_micro_components bench_sim_e2e
 
 cd "${tsan_dir}"
-ctest --output-on-failure -R 'test_observability|perf_dump_smoke'
+# Four exec-pool workers everywhere: the fault-campaign smoke re-runs its
+# schedules multi-threaded, and the bench smoke asserts the MT determinism
+# digest equals the frozen serial reference.
+GDEDUP_EXEC_THREADS=4 ctest --output-on-failure -R \
+    'test_observability|perf_dump_smoke|test_exec_pool|fault_smoke|bench_smoke|sim_e2e_smoke'

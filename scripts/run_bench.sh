@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# Build Release and record the content-pipeline perf trajectory point.
+# Build Release and record the perf trajectory points: the content-pipeline
+# microbenchmark suite (BENCH_PIPELINE.json) and the end-to-end simulation
+# bench (BENCH_SIM.json), then append one timestamped line per point to
+# BENCH_HISTORY.jsonl so the trajectory is a log, not just a latest-wins
+# snapshot.
 #
 # Usage: scripts/run_bench.sh [output.json]
+#
+# GDEDUP_EXEC_THREADS selects the exec-pool worker count for the sim bench;
+# the determinism digest is asserted against the frozen serial reference
+# either way.
 #
 # Writes BENCH_PIPELINE.json (MB/s for sha1/sha256/crc32c/fixed/cdc, each
 # with its frozen-seed reference and speedup, the fingerprint-cache hit
@@ -22,11 +30,17 @@ build_dir="${repo_root}/build-bench"
 out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_components perf_dump
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_micro_components bench_sim_e2e perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
 echo "perf trajectory point recorded at ${out_json}"
+
+sim_json="${repo_root}/BENCH_SIM.json"
+"${build_dir}/bench/bench_sim_e2e" --json="${sim_json}"
+
+echo "sim trajectory point recorded at ${sim_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -58,6 +72,11 @@ obs = {
                                  for v in tiers.values()),
 }
 bench = json.load(open(target_path))
+# The sim bench records its exec-pool usage at top level; mirror it into
+# the obs section so one blob carries the full observability picture.
+for key in [k for k in bench if k == "exec_threads"
+            or k == "kernel_jobs_offloaded" or k.startswith("offload_")]:
+    obs[key] = bench[key]
 # Additive merge: the obs section is ours to refresh, every other key is
 # preserved untouched.
 bench["obs"] = obs
@@ -70,3 +89,23 @@ EOF
 
 merge_obs "${out_json}"
 merge_obs "${repo_root}/BENCH_SIM.json"
+
+# --- bench history --------------------------------------------------------
+# One JSONL line per trajectory point per run: {ts, file, point}.  Append-
+# only, so regressions stay visible after the latest-wins JSONs move on.
+
+history="${repo_root}/BENCH_HISTORY.jsonl"
+python3 - "${history}" "${out_json}" "${sim_json}" <<'HIST'
+import datetime, json, sys
+history, paths = sys.argv[1], sys.argv[2:]
+ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+with open(history, "a") as out:
+    for path in paths:
+        try:
+            point = json.load(open(path))
+        except FileNotFoundError:
+            continue
+        out.write(json.dumps({"ts": ts, "file": path.rsplit("/", 1)[-1],
+                              "point": point}, sort_keys=True) + "\n")
+print(f"bench history appended to {history}")
+HIST

@@ -1,14 +1,18 @@
 #include "common/buffer.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace gdedup {
 
 uint64_t Buffer::next_generation() {
-  // Global monotonic counter; the simulation is single-threaded, so a plain
-  // static suffices.  Starts at 1 so gen 0 means "no storage yet".
-  static uint64_t counter = 0;
-  return ++counter;
+  // Global monotonic counter.  Exec-pool workers construct Buffers (EC
+  // shards, decode outputs), so this must be thread-safe; relaxed order
+  // suffices because only *uniqueness* matters — generations are compared
+  // for equality in cache keys, never ordered or digested.  Starts at 1 so
+  // gen 0 means "no storage yet".
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 void Buffer::detach() {

@@ -82,6 +82,11 @@ class Buffer {
     return store_ && store_ == o.store_;
   }
 
+  // True if any other Buffer currently references the same storage —
+  // i.e. passing this by value was a refcount bump, not a byte copy.
+  // Feeds the osd.bytes_zero_copied accounting.
+  bool storage_shared() const { return store_ && store_.use_count() > 1; }
+
   // Content-identity for memoization (e.g. the fingerprint cache).
   //
   // generation() is bumped from a global monotonic counter on every event

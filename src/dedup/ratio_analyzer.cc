@@ -2,19 +2,60 @@
 
 namespace gdedup {
 
+namespace {
+
+RatioAnalyzer::ChunkScan scan_object(const FixedChunker& chunker,
+                                     FingerprintAlgo algo,
+                                     const Buffer& data) {
+  RatioAnalyzer::ChunkScan out;
+  for (const Chunk& c : chunker.split(data)) {
+    out.emplace_back(Fingerprint::compute(algo, c.data.span()),
+                     c.data.size());
+  }
+  return out;
+}
+
+}  // namespace
+
 RatioAnalyzer::RatioAnalyzer(const OsdMap* map, PoolId pool,
-                             uint32_t chunk_size, FingerprintAlgo algo)
-    : map_(map), pool_(pool), chunker_(chunk_size), algo_(algo) {}
+                             uint32_t chunk_size, FingerprintAlgo algo,
+                             ExecPool* exec_pool)
+    : map_(map),
+      pool_(pool),
+      chunker_(chunk_size),
+      algo_(algo),
+      exec_pool_(exec_pool) {}
 
 void RatioAnalyzer::add_object(const std::string& oid, const Buffer& data) {
   const OsdId primary = map_->primary(pool_, oid);
+  if (exec_pool_ != nullptr && exec_pool_->parallel()) {
+    // Pure job over the immutable COW payload: split + per-chunk hash.
+    // Accounting stays on the caller, applied in submission order.
+    Pending p;
+    p.primary = primary;
+    p.fut = kernel_async<ChunkScan>(
+        exec_pool_, Kernel::kCdcChunk,
+        [chunker = chunker_, algo = algo_, data] {
+          return scan_object(chunker, algo, data);
+        });
+    pending_.push_back(std::move(p));
+    return;
+  }
+  account(primary, scan_object(chunker_, algo_, data));
+}
+
+void RatioAnalyzer::drain() {
+  while (!pending_.empty()) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    account(p.primary, p.fut.take());
+  }
+}
+
+void RatioAnalyzer::account(OsdId primary, const ChunkScan& scan) {
   auto& local_report = per_osd_[primary];
   auto& local_set = local_seen_[primary];
-
-  for (const Chunk& c : chunker_.split(data)) {
-    const Fingerprint fp = Fingerprint::compute(algo_, c.data.span());
-    const uint64_t n = c.data.size();
-
+  for (const auto& [fp, n] : scan) {
     global_.logical_bytes += n;
     if (global_seen_.insert(fp).second) global_.unique_bytes += n;
 
@@ -23,7 +64,8 @@ void RatioAnalyzer::add_object(const std::string& oid, const Buffer& data) {
   }
 }
 
-DedupRatioReport RatioAnalyzer::local() const {
+DedupRatioReport RatioAnalyzer::local() {
+  drain();
   DedupRatioReport r;
   for (const auto& [osd, rep] : per_osd_) {
     r.logical_bytes += rep.logical_bytes;

@@ -1144,15 +1144,21 @@ void DedupTier::fingerprint_async(const Buffer& content,
   const SimTime t0 = sched().now();
   const size_t sp = trace ? trace->span_begin("fingerprint", t0) : 0;
   CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+  // Submit the real hash at issue time; a worker overlaps it with the
+  // simulated cost below, and take() inside the completion callback is
+  // where the result becomes observable (inline there in serial mode).
+  auto fp_fut = kernel_async<Fingerprint>(
+      osd_->ctx().exec_pool(), Kernel::kFingerprint,
+      [algo, content] { return Fingerprint::compute(algo, content.span()); });
   cpu.execute(
       cpu.fingerprint_cost(content.size(), algo == FingerprintAlgo::kSha1),
       [this, algo, content, t0, trace = std::move(trace), sp,
-       k = std::move(k)]() mutable {
+       fp_fut = std::move(fp_fut), k = std::move(k)]() mutable {
         const SimTime now = sched().now();
         perf_->record(l_tier_fingerprint_lat,
                       static_cast<uint64_t>(now - t0));
         if (trace) trace->span_end(sp, now);
-        const Fingerprint fp = Fingerprint::compute(algo, content.span());
+        const Fingerprint fp = fp_fut.take();
         fp_cache_.insert(content, algo, fp);
         k(fp);
       });

@@ -7,6 +7,7 @@
 
 #include "cluster/osd_map.h"
 #include "sim/cpu.h"
+#include "sim/exec_pool.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 
@@ -42,6 +43,11 @@ class ClusterContext {
   // instrumentation site null-checks.  rados::Cluster returns its own.
   virtual obs::PerfRegistry* perf_registry() { return nullptr; }
   virtual obs::OpTracker* op_tracker() { return nullptr; }
+
+  // Worker pool for the real-byte kernels (sim/exec_pool.h).  Default
+  // nullptr: kernel_async() then runs the job inline at take(), which is
+  // exactly the serial path — fixtures without a cluster need no pool.
+  virtual ExecPool* exec_pool() { return nullptr; }
 };
 
 }  // namespace gdedup

@@ -23,6 +23,8 @@
 
 namespace gdedup {
 
+class ExecPool;  // sim/exec_pool.h — optional worker pool for stats scans
+
 using PoolId = int;
 
 // Matches the paper's note that a Ceph object carries >= 512 bytes of its
@@ -142,6 +144,12 @@ class ObjectStore {
   explicit ObjectStore(bool compress_at_rest = false)
       : compress_at_rest_(compress_at_rest) {}
 
+  // Optional worker pool for the compression-at-rest stats scan (the
+  // kCompress kernel).  The scan walks every stored byte, so it dominates
+  // stats() on compressed pools; the total is an in-order sum of pure
+  // per-batch sums, identical at any thread count.
+  void set_exec_pool(ExecPool* pool) { exec_pool_ = pool; }
+
   // Apply atomically: validates first, then mutates; a failed validation
   // leaves the store untouched.
   Status apply(const Transaction& txn);
@@ -184,8 +192,10 @@ class ObjectStore {
  private:
   uint64_t stored_bytes_of(const ObjectState& st) const;
   static uint64_t kv_bytes(const std::map<std::string, Buffer>& kv);
+  Stats stats_impl(const PoolId* pool) const;
 
   bool compress_at_rest_;
+  ExecPool* exec_pool_ = nullptr;
   std::map<ObjectKey, ObjectState> objects_;
 };
 

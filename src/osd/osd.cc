@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/crc32.h"
 #include "common/encoding.h"
 #include "common/logging.h"
 #include "ec/reed_solomon.h"
@@ -76,6 +77,9 @@ Osd::Osd(ClusterContext* ctx, OsdId id, NodeId node, const SsdConfig& disk_cfg)
   b.add_counter(l_osd_pushes, "pushes");
   b.add_histogram(l_osd_op_r_lat, "op_r_lat");
   b.add_histogram(l_osd_op_w_lat, "op_w_lat");
+  b.add_counter(l_osd_bytes_zero_copied, "bytes_zero_copied");
+  b.add_counter(l_osd_crc_verifies, "crc_verifies");
+  b.add_counter(l_osd_crc_verify_failures, "crc_verify_failures");
   perf_ = b.create();
   if (auto* reg = ctx_->perf_registry()) reg->add(perf_);
 }
@@ -126,6 +130,7 @@ ObjectStore& Osd::store(PoolId pool) {
   if (it == stores_.end()) {
     const bool compress = ctx_->osdmap().pool(pool).compress_at_rest;
     it = stores_.emplace(pool, std::make_unique<ObjectStore>(compress)).first;
+    it->second->set_exec_pool(ctx_->exec_pool());
   }
   return *it->second;
 }
@@ -167,9 +172,29 @@ void Osd::handle_op(OsdOp op, ReplyFn reply) {
   }
 
   // Request-processing CPU: fixed dispatch cost + checksumming of payload.
+  // The virtual CRC cost has always been charged here; with a parallel
+  // exec pool the checksum is now really computed — a worker overlaps it
+  // with the virtual delay, and the result rides on the op so downstream
+  // dedup hits can cross-check payload-vs-stored-chunk integrity.  Gated
+  // on parallel(): serial runs keep the checksum virtual-only, exactly
+  // the pre-offload event-loop work.
+  KernelFuture<uint32_t> crc;
+  ExecPool* xp = ctx_->exec_pool();
+  if (xp != nullptr && xp->parallel() && !op.data.empty()) {
+    Buffer payload = op.data;
+    crc = kernel_async<uint32_t>(xp, Kernel::kCrc, [payload = std::move(
+                                                        payload)] {
+      return crc32c(payload.span());
+    });
+  }
   const SimTime cost =
       cpu().op_fixed_cost() + cpu().crc_cost(op.data.size());
-  cpu().execute(cost, [this, op = std::move(op), reply = std::move(reply)]() mutable {
+  cpu().execute(cost, [this, op = std::move(op), crc = std::move(crc),
+                       reply = std::move(reply)]() mutable {
+    if (crc.valid()) {
+      op.payload_crc = crc.take();
+      op.has_payload_crc = true;
+    }
     dispatch(std::move(op), std::move(reply));
   });
 }
@@ -447,7 +472,31 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   }
   perf_->inc(l_osd_chunk_puts);
   const ObjectKey key{op.pool, op.oid};
-  auto finish = [this, key, reply = std::move(reply)](Status s) mutable {
+
+  // Double-hashing integrity tripwire, free when workers exist: on a
+  // dedup hit the OID promises the incoming payload equals the stored
+  // chunk.  Cross-check the receive-time payload CRC against the stored
+  // bytes on a worker; the verdict is consumed (joined) when the op
+  // finishes.  Counters only — never part of the determinism digest.
+  KernelFuture<bool> crc_ok;
+  ExecPool* xp = ctx_->exec_pool();
+  if (xp != nullptr && xp->parallel() && op.has_payload_crc &&
+      !op.data.empty() && local_exists(op.pool, op.oid)) {
+    if (auto stored = store(op.pool).read(key, 0, 0); stored.is_ok()) {
+      perf_->inc(l_osd_crc_verifies);
+      crc_ok = kernel_async<bool>(
+          xp, Kernel::kCrc,
+          [sb = std::move(stored).value(), want = op.payload_crc] {
+            return crc32c(sb.span()) == want;
+          });
+    }
+  }
+
+  auto finish = [this, key, crc_ok = std::move(crc_ok),
+                 reply = std::move(reply)](Status s) mutable {
+    if (crc_ok.valid() && !crc_ok.take()) {
+      perf_->inc(l_osd_crc_verify_failures);
+    }
     reply(OsdOpReply{s, {}, 0, {}, nullptr});
     finish_chunk_op(key);
   };
@@ -626,6 +675,16 @@ void Osd::submit_remove(PoolId pool, const std::string& oid,
 void Osd::local_apply(PoolId pool, Transaction txn,
                       std::function<void(Status)> done) {
   const uint64_t bytes = txn.byte_size();
+  // Zero-copy accounting: payload Buffers still sharing their source
+  // storage (client message, tier cache, peer shard) land in the store as
+  // refcount bumps, not byte copies.
+  uint64_t shared_bytes = 0;
+  for (const auto& op : txn.ops()) {
+    if (!op.data.empty() && op.data.storage_shared()) {
+      shared_bytes += op.data.size();
+    }
+  }
+  if (shared_bytes > 0) perf_->inc(l_osd_bytes_zero_copied, shared_bytes);
   disk_.write(bytes, [this, pool, txn = std::move(txn),
                       done = std::move(done)]() mutable {
     done(store(pool).apply(txn));
@@ -782,13 +841,21 @@ void Osd::ec_write_locked(PoolId pool, const std::string& oid, Transaction txn,
     }
     Buffer full = base.data.read(0, base.logical_size);
     const uint64_t parity_cost_bytes = full.size();
+    // Parity math runs on the exec pool while the virtual cost elapses;
+    // the shards are joined exactly when the cost model says the encode
+    // completes (inline there in serial mode).
+    auto shards_fut = kernel_async<std::vector<Buffer>>(
+        ctx_->exec_pool(), Kernel::kEcEncode,
+        [ec_k = cfg.ec_k, ec_m = cfg.ec_m, full = std::move(full)] {
+          ReedSolomon rs(ec_k, ec_m);
+          return rs.encode(full);
+        });
     cpu().execute(
         cpu().ec_parity_cost(parity_cost_bytes),
         [this, cfg, key, acting, base = std::move(base),
-         full = std::move(full), broadcast = std::move(broadcast),
+         shards_fut = std::move(shards_fut), broadcast = std::move(broadcast),
          done = std::move(done)]() mutable {
-          ReedSolomon rs(cfg.ec_k, cfg.ec_m);
-          auto shards = rs.encode(full);
+          auto shards = shards_fut.take();
           std::vector<Transaction> shard_txns(acting.size());
           for (size_t i = 0; i < acting.size(); i++) {
             Transaction& st = shard_txns[i];
@@ -891,8 +958,7 @@ void Osd::ec_read(PoolId pool, const std::string& oid, uint64_t off,
       if (gs->shards[static_cast<size_t>(i)].has_value()) data_present++;
     }
     ReedSolomon rs(k, m);
-    auto do_decode = [gs, rs, off, len]() {
-      auto decoded = rs.decode(gs->shards, gs->orig_len);
+    auto deliver = [gs, off, len](Result<Buffer> decoded) {
       if (!decoded.is_ok()) {
         gs->done(decoded.status());
         return;
@@ -911,9 +977,21 @@ void Osd::ec_read(PoolId pool, const std::string& oid, uint64_t off,
       for (const auto& s : gs->shards) {
         if (s.has_value()) bytes += s->size();
       }
-      cpu().execute(cpu().ec_parity_cost(bytes), do_decode);
+      // Degraded read: reconstruct on the exec pool under the virtual
+      // decode cost.  All replies are in (outstanding == 0), so
+      // gs->shards is immutable from here on — safe to share with the
+      // worker.
+      auto fut = kernel_async<Result<Buffer>>(
+          ctx_->exec_pool(), Kernel::kEcDecode,
+          [gs, rs] { return rs.decode(gs->shards, gs->orig_len); });
+      cpu().execute(cpu().ec_parity_cost(bytes),
+                    [fut = std::move(fut), deliver]() mutable {
+                      deliver(fut.take());
+                    });
     } else {
-      do_decode();
+      // All k data shards local-fast-path: no virtual gap to hide the
+      // decode in, so it stays synchronous (it is a cheap concatenation).
+      deliver(rs.decode(gs->shards, gs->orig_len));
     }
   };
 

@@ -90,6 +90,9 @@ enum {
   l_osd_pushes,
   l_osd_op_r_lat,  // client-facing read latency (dispatch -> reply), ns
   l_osd_op_w_lat,  // client-facing write latency, ns
+  l_osd_bytes_zero_copied,    // payload bytes applied as shared COW slices
+  l_osd_crc_verifies,         // exec-pool payload CRC cross-checks run
+  l_osd_crc_verify_failures,  // dedup-hit payload mismatched stored chunk
   l_osd_last,
 };
 

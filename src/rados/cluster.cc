@@ -10,6 +10,8 @@ namespace gdedup {
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
+      exec_pool_(cfg.exec_threads > 0 ? cfg.exec_threads
+                                      : ExecPool::env_threads()),
       net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net) {
   for (int n = 0; n < num_nodes(); n++) {
     node_cpus_.push_back(std::make_unique<CpuModel>(&sched_, cfg_.cpu));
@@ -237,6 +239,74 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
     return static_cast<int>(v);
   };
 
+  // Pre-pass for EC realignment: the decode + re-encode below is pure CPU
+  // over store state that nothing mutates until the drive loop runs, so
+  // gather the shards and submit every rebuild to the exec pool up front,
+  // then join each one at its original position in the launch loop.  Same
+  // results in the same order; workers overlap the parity math with the
+  // rest of the scan.
+  struct EcPrep {
+    uint64_t orig_len = 0;
+    ObjectState donor;
+    KernelFuture<std::vector<Buffer>> shards_out;  // empty = < k shards
+  };
+  std::map<ObjectKey, EcPrep> ec_prep;
+  for (const auto& [key, who] : holders) {
+    const PoolConfig& pcfg = osdmap_.pool(key.pool);
+    if (pcfg.scheme == RedundancyScheme::kReplicated) continue;
+    auto acting = osdmap_.acting(key.pool, key.oid);
+    const int k = pcfg.ec_k;
+    const int m = pcfg.ec_m;
+    bool need_any = false;
+    for (size_t i = 0; i < acting.size(); i++) {
+      Osd* t = osd(acting[i]);
+      if (t == nullptr || !t->is_up()) continue;
+      if (shard_label(key, acting[i], k + m) != static_cast<int>(i)) {
+        need_any = true;
+        break;
+      }
+    }
+    if (!need_any) continue;
+
+    // Gather k distinct shards from every up holder — strays included,
+    // since a bumped member can hold the only copy of a shard index.
+    EcPrep prep;
+    bool have_donor = false;
+    std::vector<std::optional<Buffer>> shards(static_cast<size_t>(k + m));
+    for (const OsdId h : who) {
+      const int idx = shard_label(key, h, k + m);
+      if (idx < 0) continue;
+      const ObjectStore* st = osd(h)->store_if_exists(key.pool);
+      auto data = st->read(key, 0, 0);
+      if (!data.is_ok()) continue;
+      if (!have_donor) {
+        if (auto snap = st->snapshot(key); snap.is_ok()) {
+          prep.donor = std::move(snap).value();
+          have_donor = true;
+        }
+      }
+      if (auto len_attr = st->getxattr(key, "ec.orig_len");
+          len_attr.is_ok()) {
+        Decoder ld(len_attr.value());
+        uint64_t v = 0;
+        if (ld.get_u64(&v).is_ok()) prep.orig_len = v;
+      }
+      if (!shards[static_cast<size_t>(idx)]) {
+        shards[static_cast<size_t>(idx)] = std::move(data).value();
+      }
+    }
+    const uint64_t orig_len = prep.orig_len;
+    prep.shards_out = kernel_async<std::vector<Buffer>>(
+        &exec_pool_, Kernel::kEcDecode,
+        [k, m, orig_len, shards = std::move(shards)] {
+          ReedSolomon rs(k, m);
+          auto decoded = rs.decode(shards, orig_len);
+          if (!decoded.is_ok()) return std::vector<Buffer>{};
+          return rs.encode(decoded.value());
+        });
+    ec_prep.emplace(key, std::move(prep));
+  }
+
   for (const auto& [key, who] : holders) {
     const PoolConfig& pcfg = osdmap_.pool(key.pool);
     auto acting = osdmap_.acting(key.pool, key.oid);
@@ -338,38 +408,13 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
     }
     if (need.empty()) continue;
 
-    // Gather k distinct shards from every up holder — strays included,
-    // since a bumped member can hold the only copy of a shard index.
-    std::vector<std::optional<Buffer>> shards(static_cast<size_t>(k + m));
-    uint64_t orig_len = 0;
-    ObjectState donor;
-    bool have_donor = false;
-    for (const OsdId h : who) {
-      const int idx = shard_label(key, h, k + m);
-      if (idx < 0) continue;
-      const ObjectStore* st = osd(h)->store_if_exists(key.pool);
-      auto data = st->read(key, 0, 0);
-      if (!data.is_ok()) continue;
-      if (!have_donor) {
-        if (auto snap = st->snapshot(key); snap.is_ok()) {
-          donor = std::move(snap).value();
-          have_donor = true;
-        }
-      }
-      if (auto len_attr = st->getxattr(key, "ec.orig_len");
-          len_attr.is_ok()) {
-        Decoder ld(len_attr.value());
-        uint64_t v = 0;
-        if (ld.get_u64(&v).is_ok()) orig_len = v;
-      }
-      if (!shards[static_cast<size_t>(idx)]) {
-        shards[static_cast<size_t>(idx)] = std::move(data).value();
-      }
-    }
-    ReedSolomon rs(k, m);
-    auto decoded = rs.decode(shards, orig_len);
-    if (!decoded.is_ok()) continue;  // < k distinct shards; retry next pass
-    auto out = rs.encode(decoded.value());
+    auto prep_it = ec_prep.find(key);
+    if (prep_it == ec_prep.end()) continue;  // raced away; next pass
+    EcPrep& prep = prep_it->second;
+    auto out = prep.shards_out.take();
+    if (out.empty()) continue;  // < k distinct shards; retry next pass
+    const uint64_t orig_len = prep.orig_len;
+    const ObjectState& donor = prep.donor;
     for (const size_t i : need) {
       Osd* t = osd(acting[i]);
       tally->outstanding++;

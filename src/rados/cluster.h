@@ -33,6 +33,12 @@ struct ClusterConfig {
   // floor) cannot wedge the dedup engines.  0 keeps the legacy wait-forever
   // behaviour for latency-exact benches.
   SimTime op_timeout = 0;
+  // Worker threads for the real-byte kernels (fingerprint, CDC, CRC, EC,
+  // compression).  0 = take GDEDUP_EXEC_THREADS from the environment
+  // (default 1).  1 = serial: no workers, kernels run inline at the
+  // virtual completion exactly as before.  Any value produces the same
+  // determinism digest; only wall-clock changes.
+  int exec_threads = 0;
 };
 
 class Cluster : public ClusterContext {
@@ -53,6 +59,7 @@ class Cluster : public ClusterContext {
   SimTime op_timeout() const override { return cfg_.op_timeout; }
   obs::PerfRegistry* perf_registry() override { return &perf_registry_; }
   obs::OpTracker* op_tracker() override { return &op_tracker_; }
+  ExecPool* exec_pool() override { return &exec_pool_; }
 
   // --- topology ---
   const ClusterConfig& config() const { return cfg_; }
@@ -116,6 +123,9 @@ class Cluster : public ClusterContext {
  private:
   ClusterConfig cfg_;
   Scheduler sched_;
+  // Declared before the OSDs: teardown may still hold kernel tokens in
+  // queued op closures, and the pool must outlive every future.
+  ExecPool exec_pool_;
   // Observability: declared before the OSDs so entities can register at
   // construction and the registry outlives them on teardown.
   obs::PerfRegistry perf_registry_;

@@ -24,6 +24,7 @@ bool Scheduler::step() {
     if (cancelled_.erase(ev.id) > 0) continue;
     assert(ev.t >= now_);
     now_ = ev.t;
+    executed_++;
     ev.cb();
     return true;
   }
@@ -47,6 +48,7 @@ void Scheduler::run_until(SimTime until) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.t;
+    executed_++;
     ev.cb();
   }
   if (now_ < until) now_ = until;

@@ -59,6 +59,10 @@ class Scheduler {
 
   void run_for(SimTime duration) { run_until(now_ + duration); }
 
+  // Callbacks dispatched so far (cancelled events don't count).  Part of
+  // the determinism contract: two runs of the same seed must match.
+  uint64_t events_executed() const { return executed_; }
+
  private:
   struct Event {
     SimTime t;
@@ -74,6 +78,7 @@ class Scheduler {
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
 };

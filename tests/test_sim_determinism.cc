@@ -1,0 +1,69 @@
+// Determinism digest of the end-to-end simulation scenario.
+//
+// The golden digests below were captured at the commit *before* the
+// simulation-core fast path (slab scheduler, zero-copy plumbing, workload
+// synthesis).  The fast path must keep every virtual-time observable —
+// per-op latencies in completion order, stats counters, clock, wire bytes
+// — bit-identical, so these constants must never change as a side effect
+// of a performance PR.  If a future PR intentionally changes simulation
+// *behaviour* (new cost model, different event ordering), it must say so
+// and re-freeze the goldens.
+
+#include <gtest/gtest.h>
+
+#include "sim_e2e_scenario.h"
+
+namespace gdedup::bench {
+namespace {
+
+SimE2eConfig small_config(int nodes, int osds_per_node, uint64_t seed) {
+  SimE2eConfig cfg;
+  cfg.storage_nodes = nodes;
+  cfg.osds_per_node = osds_per_node;
+  cfg.client_nodes = nodes == 2 ? 1 : 3;
+  cfg.seed = seed;
+  cfg.image_bytes = 4ull << 20;
+  cfg.preload_block = 64 * 1024;  // pinned: goldens depend on the op mix
+  cfg.random_writes = 128;
+  cfg.random_reads = 128;
+  return cfg;
+}
+
+struct Golden {
+  int nodes;
+  int osds_per_node;
+  uint64_t seed;
+  const char* digest;
+};
+
+// Frozen from the pre-fast-path build (commit 66474ed).
+constexpr Golden kGoldens[] = {
+    {2, 2, 1, "f50257b6"},
+    {2, 2, 7, "07cb831d"},
+    {4, 4, 1, "7ffd93e1"},
+    {4, 4, 7, "2a3ae74d"},
+};
+
+TEST(SimDeterminism, DigestMatchesPreFastPathGoldens) {
+  for (const Golden& g : kGoldens) {
+    SimE2eResult r = run_sim_e2e(small_config(g.nodes, g.osds_per_node, g.seed));
+    EXPECT_TRUE(r.drained) << g.nodes << "x" << g.osds_per_node
+                           << " seed=" << g.seed;
+    EXPECT_EQ(r.digest, g.digest)
+        << "virtual-time drift at " << g.nodes << "x" << g.osds_per_node
+        << " seed=" << g.seed << " (" << r.digest_samples << " samples)";
+  }
+}
+
+TEST(SimDeterminism, RepeatRunsAreBitIdentical) {
+  // Two fresh clusters in one process: global state (buffer generation
+  // counters, caches) must not leak into virtual-time results.
+  SimE2eResult a = run_sim_e2e(small_config(2, 2, 3));
+  SimE2eResult b = run_sim_e2e(small_config(2, 2, 3));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace gdedup::bench
