@@ -1,0 +1,219 @@
+// Raw event-engine throughput microbenchmark (hold model).
+//
+// Measures the scheduler's hot loop in isolation from the storage stack,
+// at three layers:
+//
+//   heap_reference  — the pre-sharded engine's core structure, a
+//                     std::priority_queue over (t, seq), driven through
+//                     the same hold-model workload.  This is the "before"
+//                     point: it is measured fresh every run so the
+//                     comparison is same-host, same-load.
+//   calendar        — CalendarQueue + EventArena, the sharded engine's
+//                     per-shard structure.  The "after" point; speedup =
+//                     calendar / heap is the data-structure win.
+//   scheduler       — the full Scheduler dispatch loop (std::function
+//                     callbacks, cancel filtering, window pump) with
+//                     self-rescheduling events, i.e. what the simulation
+//                     actually pays per event.
+//
+// Hold model: a fixed population of pending events; each pop schedules one
+// replacement at t + delay, with delays drawn from the mix the cluster
+// produces (dense device-service times, occasional long timer gaps, and
+// same-timestamp bursts).  Deterministic seeds; throughput is events/sec
+// of wall time.
+//
+//   --json=PATH   write the BENCH_EVENTS.json trajectory point
+//   --smoke       tiny population/op count + structural checks (ctest)
+
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "sim/calendar_queue.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace gdedup::bench {
+namespace {
+
+struct HoldParams {
+  size_t population = 32768;   // pending events held in the queue
+  uint64_t ops = 4'000'000;    // pop+reinsert pairs measured
+  uint64_t seed = 1;
+};
+
+// Delay distribution shared by every variant: mostly tight near-time gaps
+// (device completions, network hops), a slice of exact ties (batch
+// dispatch), and a sparse far tail (engine ticks, client timeouts).
+inline SimTime next_delay(Rng& rng) {
+  const double shape = rng.uniform01();
+  if (shape < 0.10) return 0;  // same-timestamp burst member
+  if (shape < 0.90) return static_cast<SimTime>(rng.between(200, 50'000));
+  if (shape < 0.99) return static_cast<SimTime>(rng.below(2 * kMillisecond));
+  return static_cast<SimTime>(rng.below(100 * kMillisecond));
+}
+
+// "Before": binary heap over (t, seq) — the exact core of the pre-sharded
+// scheduler's pending set.
+double run_heap(const HoldParams& p, uint64_t* checksum) {
+  Rng rng(p.seed);
+  using Ev = std::pair<SimTime, uint64_t>;
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second > b.second;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> q;
+  uint64_t seq = 1;
+  for (size_t i = 0; i < p.population; i++) {
+    q.push({next_delay(rng), seq++});
+  }
+  uint64_t sum = 0;
+  WallTimer t;
+  for (uint64_t i = 0; i < p.ops; i++) {
+    const Ev e = q.top();
+    q.pop();
+    sum += static_cast<uint64_t>(e.first);
+    q.push({e.first + next_delay(rng), seq++});
+  }
+  const double sec = t.elapsed_sec();
+  *checksum = sum;
+  return static_cast<double>(p.ops) / sec;
+}
+
+// "After": the calendar queue + slab arena, same workload.
+double run_calendar(const HoldParams& p, uint64_t* checksum) {
+  Rng rng(p.seed);
+  EventArena arena;
+  CalendarQueue q(&arena);
+  uint64_t seq = 1;
+  for (size_t i = 0; i < p.population; i++) {
+    q.insert(arena.make(next_delay(rng), seq++));
+  }
+  uint64_t sum = 0;
+  WallTimer t;
+  for (uint64_t i = 0; i < p.ops; i++) {
+    EventNode* n = q.pop_min();
+    const SimTime at = n->t;
+    sum += static_cast<uint64_t>(at);
+    arena.destroy(n);
+    q.insert(arena.make(at + next_delay(rng), seq++));
+  }
+  const double sec = t.elapsed_sec();
+  *checksum = sum;
+  return static_cast<double>(p.ops) / sec;
+}
+
+// Full dispatch loop: self-rescheduling std::function events through
+// Scheduler::run_until, including the window pump and stats accounting.
+double run_scheduler(const HoldParams& p, uint64_t* executed) {
+  Scheduler sched(1);
+  sched.set_lookahead(50 * kMicrosecond);
+  Rng rng(p.seed);
+  uint64_t budget = p.ops;
+  std::function<void()> tick = [&] {
+    if (budget == 0) return;
+    budget--;
+    sched.after(next_delay(rng), tick);
+  };
+  // Seed the population; each execution with budget left reschedules one
+  // replacement, so executed == population + ops when the queue drains.
+  for (size_t i = 0; i < p.population; i++) {
+    sched.after(next_delay(rng), tick);
+  }
+  WallTimer t;
+  sched.run();
+  const double sec = t.elapsed_sec();
+  *executed = sched.events_executed();
+  return static_cast<double>(*executed) / sec;
+}
+
+int run(const HoldParams& p, const std::string& json_path, bool smoke) {
+  if (!smoke) {
+    print_header("Event-engine hold-model microbenchmark",
+                 "raw scheduler throughput behind every simulated second");
+  }
+
+  uint64_t heap_sum = 0, cal_sum = 0, executed = 0;
+  const double heap_eps = run_heap(p, &heap_sum);
+  const double cal_eps = run_calendar(p, &cal_sum);
+  const double sched_eps = run_scheduler(p, &executed);
+
+  // The two structures ran the identical workload: same seed, same delay
+  // stream, so the popped-time checksums must agree exactly.  This is the
+  // in-bench ordering cross-check (test_calendar_queue is the exhaustive
+  // one).
+  if (heap_sum != cal_sum) {
+    std::fprintf(stderr,
+                 "FATAL: calendar/heap popped-time checksum mismatch "
+                 "(%llu vs %llu) — pop order diverged\n",
+                 static_cast<unsigned long long>(cal_sum),
+                 static_cast<unsigned long long>(heap_sum));
+    return 1;
+  }
+  if (executed != p.ops + p.population) {
+    std::fprintf(stderr, "FATAL: scheduler executed %llu of %llu events\n",
+                 static_cast<unsigned long long>(executed),
+                 static_cast<unsigned long long>(p.ops + p.population));
+    return 1;
+  }
+
+  const double speedup = cal_eps / heap_eps;
+  std::printf("hold model: %zu pending, %llu ops, seed %llu\n", p.population,
+              static_cast<unsigned long long>(p.ops),
+              static_cast<unsigned long long>(p.seed));
+  std::printf("  heap reference  : %8.2fM events/s  (pre-sharded engine core)\n",
+              heap_eps / 1e6);
+  std::printf("  calendar+arena  : %8.2fM events/s  (%.2fx vs heap)\n",
+              cal_eps / 1e6, speedup);
+  std::printf("  full scheduler  : %8.2fM events/s  (dispatch + window pump)\n",
+              sched_eps / 1e6);
+
+  if (!json_path.empty()) {
+    JsonWriter jw;
+    jw.add("bench", std::string("events"));
+    jw.add("scenario", std::string("hold_model"));
+    jw.add("population", static_cast<double>(p.population));
+    jw.add("ops", static_cast<double>(p.ops));
+    jw.add("heap_events_per_sec", heap_eps);
+    jw.add("calendar_events_per_sec", cal_eps);
+    jw.add("calendar_speedup_vs_heap", speedup);
+    jw.add("scheduler_events_per_sec", sched_eps);
+    if (!jw.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("trajectory point written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdedup::bench
+
+int main(int argc, char** argv) {
+  gdedup::bench::HoldParams p;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    p.population = 1024;
+    p.ops = 50'000;
+  }
+  return gdedup::bench::run(p, json_path, smoke);
+}

@@ -391,7 +391,9 @@ int run_pipeline_suite(const std::string& json_path, bool smoke) {
     cfg.exec_threads = 0;  // ambient GDEDUP_EXEC_THREADS (default 1)
     const bench::SimE2eResult r = bench::run_sim_e2e(cfg);
     // Frozen from the serial (1-worker) run of this exact smoke scenario.
-    constexpr const char* kSerialSmokeDigest = "7ffd93e1";
+    // Re-frozen for the sharded event engine (receiver-sequenced rx +
+    // global control lane; see tests/test_sim_determinism.cc).
+    constexpr const char* kSerialSmokeDigest = "8a3248c7";
     if (r.digest != kSerialSmokeDigest) {
       std::fprintf(stderr,
                    "FATAL: sim-e2e smoke digest %s != frozen serial "

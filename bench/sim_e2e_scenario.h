@@ -70,6 +70,9 @@ struct SimE2eConfig {
   // GDEDUP_EXEC_THREADS (default 1 = serial).  The digest is the same for
   // every value — that is the point of the determinism tests.
   int exec_threads = 0;
+  // Event-engine shards.  0 = inherit GDEDUP_SIM_SHARDS (default 1).  The
+  // digest is the same for every value — enforced by test_sim_shards.
+  int sim_shards = 0;
   // EC(2,1) base + chunk pools instead of 2x replicated: exercises the
   // ReedSolomon encode/decode kernels on the client and flush paths.
   bool ec = false;
@@ -86,6 +89,10 @@ struct SimE2eResult {
 
   double phase_write_mbps = 0;  // virtual-time MB/s, sanity only
   double phase_read_mbps = 0;
+
+  // Event-engine internals (Scheduler::stats(); reported, never digested).
+  int sim_shards_used = 1;
+  Scheduler::Stats sim;
 
   // Host-side exec-pool accounting (never digested: wall-clock only).
   int exec_threads_used = 1;
@@ -180,6 +187,7 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
   cc.osds_per_node = cfg.osds_per_node;
   cc.client_nodes = cfg.client_nodes;
   cc.exec_threads = cfg.exec_threads;
+  cc.sim_shards = cfg.sim_shards;
   Cluster c(cc);
 
   const PoolId base = cfg.ec ? c.create_ec_pool("base", 2, 1)
@@ -252,6 +260,8 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
   res.events = c.sched().events_executed();
   res.digest = dig.hex();
   res.digest_samples = dig.samples();
+  res.sim_shards_used = c.sched().shards();
+  res.sim = c.sched().stats();
 
   ExecPool* xp = c.exec_pool();
   res.exec_threads_used = xp->threads();

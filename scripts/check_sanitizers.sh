@@ -9,13 +9,17 @@
 # report into a hard failure, so a green ctest run really means no UB and
 # no memory errors on the exercised paths.
 #
-# TSan cannot be combined with ASan, hence the second build tree.  The
-# event loop is single-threaded, but the exec pool offloads the real-byte
-# kernels (fingerprint, CRC, EC, compression scans, chunk scans) to worker
-# threads; the TSan phase runs the exec-pool tests, the fault-campaign
-# smoke and the bench smoke with GDEDUP_EXEC_THREADS=4 so every offloaded
-# kernel and the shared observability paths (counter updates, trace span
-# bookkeeping, JSON dumps) are exercised with real worker concurrency.
+# TSan cannot be combined with ASan, hence the second build tree.  Two
+# sources of real host concurrency get exercised: the exec pool offloads
+# the real-byte kernels (fingerprint, CRC, EC, compression scans, chunk
+# scans) to worker threads, and the sharded event engine runs shard
+# windows on parallel workers.  The TSan phase runs the exec-pool tests,
+# the fault-campaign smoke, the bench smokes and the sim determinism/
+# shard-invariance tests with GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4
+# GDEDUP_SIM_PARALLEL=1 so every offloaded kernel, every cross-shard
+# peek behind the gated locks (object store, OSD store maps, op tracker)
+# and the shared observability paths (counter updates, trace span
+# bookkeeping, JSON dumps) see real worker concurrency.
 
 set -euo pipefail
 
@@ -49,11 +53,23 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}"
 cmake --build "${tsan_dir}" -j "$(nproc)" \
     --target test_observability perf_dump test_exec_pool \
-    test_fault_campaign bench_micro_components bench_sim_e2e
+    test_fault_campaign bench_micro_components bench_sim_e2e \
+    test_sim_determinism test_sim_shards
 
 cd "${tsan_dir}"
-# Four exec-pool workers everywhere: the fault-campaign smoke re-runs its
-# schedules multi-threaded, and the bench smoke asserts the MT determinism
-# digest equals the frozen serial reference.
-GDEDUP_EXEC_THREADS=4 ctest --output-on-failure -R \
+# Four exec-pool workers and four engine shards (serial windows): the
+# fault-campaign smoke re-runs its schedules multi-threaded, the bench
+# smoke asserts the MT determinism digest equals the frozen serial
+# reference, and the obs byte-identity tests see the multi-shard event
+# order.  Parallel windows stay off here: op-trace ids are assigned in
+# wall-clock order across shard workers (DESIGN.md §9), so obs-dump
+# byte-identity is a serial-execution guarantee.
+GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 ctest --output-on-failure -R \
     'test_observability|perf_dump_smoke|test_exec_pool|fault_smoke|bench_smoke|sim_e2e_smoke'
+
+# Parallel shard windows on top for the digest tests: cross-shard inbox
+# handoff, gated object-store/OSD locks and barrier synchronization get
+# race-checked while the virtual-time digest must not move a byte.
+GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 GDEDUP_SIM_PARALLEL=1 \
+    ctest --output-on-failure -R \
+    'test_sim_determinism|test_sim_shards|sim_e2e_smoke'

@@ -31,7 +31,7 @@ out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_micro_components bench_sim_e2e perf_dump
+  --target bench_micro_components bench_sim_e2e bench_events perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
@@ -41,6 +41,14 @@ sim_json="${repo_root}/BENCH_SIM.json"
 "${build_dir}/bench/bench_sim_e2e" --json="${sim_json}"
 
 echo "sim trajectory point recorded at ${sim_json}"
+
+# Raw event-engine throughput: the heap_events_per_sec key is the pre-
+# sharded engine's core structure measured fresh on this host (the
+# "before" point), calendar_events_per_sec is the current engine's.
+events_json="${repo_root}/BENCH_EVENTS.json"
+"${build_dir}/bench/bench_events" --json="${events_json}"
+
+echo "event-engine trajectory point recorded at ${events_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -70,6 +78,9 @@ obs = {
                                  for v in tiers.values()),
     "tier_flush_lat_p99_ns": max(v["flush_lat"]["p99"]
                                  for v in tiers.values()),
+    # Event-engine gauges (entity "sim"): dispatch/batch/ingress totals,
+    # barrier count and arena footprint of the perf_dump run.
+    "sim": d["counters"].get("sim", {}),
 }
 bench = json.load(open(target_path))
 # The sim bench records its exec-pool usage at top level; mirror it into
@@ -95,7 +106,7 @@ merge_obs "${repo_root}/BENCH_SIM.json"
 # only, so regressions stay visible after the latest-wins JSONs move on.
 
 history="${repo_root}/BENCH_HISTORY.jsonl"
-python3 - "${history}" "${out_json}" "${sim_json}" <<'HIST'
+python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" <<'HIST'
 import datetime, json, sys
 history, paths = sys.argv[1], sys.argv[2:]
 ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

@@ -827,7 +827,10 @@ void DedupTier::stop() {
 
 void DedupTier::schedule_tick() {
   if (!running_) return;
-  tick_event_ = sched().after(cfg().engine_tick, [this] { tick(); });
+  // start() runs from control-plane code; pin the tick chain to the
+  // owning OSD's shard (re-arms from within a tick stay there anyway).
+  tick_event_ = sched().after_node(osd_->node(), cfg().engine_tick,
+                                   [this] { tick(); });
 }
 
 void DedupTier::kick() {

@@ -10,6 +10,8 @@
 namespace gdedup::obs {
 
 std::string dump(Cluster& cluster, size_t slow_ops) {
+  cluster.sync_sim_counters();  // event-engine gauges are mirrored on demand
+
   JsonWriter w;
   w.begin_object();
   w.kv("sim_time_ns", static_cast<int64_t>(cluster.sched().now()));

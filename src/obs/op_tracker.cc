@@ -73,12 +73,14 @@ void OpTrace::dump(JsonWriter& w) const {
 }
 
 OpTraceRef OpTracker::start(std::string desc, SimTime now) {
+  std::lock_guard<std::mutex> g(mu_);
   started_++;
   return std::make_shared<OpTrace>(next_id_++, std::move(desc), now);
 }
 
 void OpTracker::finish(const OpTraceRef& t, SimTime now) {
   if (t == nullptr || t->finish_ >= 0) return;
+  std::lock_guard<std::mutex> g(mu_);
   t->finish_ = now;
   finished_++;
   historic_.push_back(t);

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,11 @@ class OpTracker {
   void dump(JsonWriter& w, size_t slow_n = 16) const;
 
  private:
+  // start()/finish() run on whichever shard hosts the op; the lock keeps
+  // the rings exact during parallel windows (uncontended in serial runs).
+  // Trace ids may interleave differently across thread schedules — they
+  // are debugging handles, never digested.
+  mutable std::mutex mu_;
   size_t historic_cap_;
   size_t slow_cap_;
   uint64_t next_id_ = 1;

@@ -225,13 +225,15 @@ Status ObjectStore::apply_to_state(const Transaction& txn, const ObjectKey& key,
 }
 
 Status ObjectStore::apply(const Transaction& txn) {
+  MaybeUniqueLock g(mu_);
   // Validation pass: the only failable ops reference missing objects.
   // Track objects the transaction itself creates so create-then-write in
   // one transaction validates.
   std::map<ObjectKey, bool> will_exist;
   for (const auto& op : txn.ops()) {
     auto it = will_exist.find(op.key);
-    bool ex = it != will_exist.end() ? it->second : exists(op.key);
+    bool ex =
+        it != will_exist.end() ? it->second : objects_.count(op.key) > 0;
     switch (op.type) {
       case Transaction::OpType::kCreate:
       case Transaction::OpType::kWrite:
@@ -312,12 +314,14 @@ Status ObjectStore::apply(const Transaction& txn) {
 }
 
 Result<uint64_t> ObjectStore::size(const ObjectKey& k) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   return it->second.logical_size;
 }
 
 Result<uint64_t> ObjectStore::version(const ObjectKey& k) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   return it->second.version;
@@ -325,6 +329,7 @@ Result<uint64_t> ObjectStore::version(const ObjectKey& k) const {
 
 Result<Buffer> ObjectStore::read(const ObjectKey& k, uint64_t off,
                                  uint64_t len) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   const ObjectState& st = it->second;
@@ -336,6 +341,7 @@ Result<Buffer> ObjectStore::read(const ObjectKey& k, uint64_t off,
 
 Result<Buffer> ObjectStore::getxattr(const ObjectKey& k,
                                      const std::string& name) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   auto xit = it->second.xattrs.find(name);
@@ -347,6 +353,7 @@ Result<Buffer> ObjectStore::getxattr(const ObjectKey& k,
 
 Result<Buffer> ObjectStore::omap_get(const ObjectKey& k,
                                      const std::string& key) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   auto oit = it->second.omap.find(key);
@@ -358,6 +365,7 @@ Result<Buffer> ObjectStore::omap_get(const ObjectKey& k,
 
 std::vector<std::pair<std::string, Buffer>> ObjectStore::omap_list(
     const ObjectKey& k, const std::string& prefix) const {
+  MaybeSharedLock g(mu_);
   std::vector<std::pair<std::string, Buffer>> out;
   auto it = objects_.find(k);
   if (it == objects_.end()) return out;
@@ -370,25 +378,30 @@ std::vector<std::pair<std::string, Buffer>> ObjectStore::omap_list(
 }
 
 const ObjectState* ObjectStore::find(const ObjectKey& k) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 Result<ObjectState> ObjectStore::snapshot(const ObjectKey& k) const {
+  MaybeSharedLock g(mu_);
   auto it = objects_.find(k);
   if (it == objects_.end()) return Status::not_found(k.oid);
   return it->second;
 }
 
 void ObjectStore::install(const ObjectKey& k, ObjectState state) {
+  MaybeUniqueLock g(mu_);
   objects_[k] = std::move(state);
 }
 
 Status ObjectStore::remove_object(const ObjectKey& k) {
+  MaybeUniqueLock g(mu_);
   return objects_.erase(k) > 0 ? Status::ok() : Status::not_found(k.oid);
 }
 
 std::vector<ObjectKey> ObjectStore::list(PoolId pool) const {
+  MaybeSharedLock g(mu_);
   std::vector<ObjectKey> out;
   for (const auto& [key, st] : objects_) {
     if (key.pool == pool) out.push_back(key);
@@ -397,6 +410,7 @@ std::vector<ObjectKey> ObjectStore::list(PoolId pool) const {
 }
 
 std::vector<ObjectKey> ObjectStore::list_all() const {
+  MaybeSharedLock g(mu_);
   std::vector<ObjectKey> out;
   out.reserve(objects_.size());
   for (const auto& [key, st] : objects_) out.push_back(key);
@@ -425,6 +439,7 @@ ObjectStore::Stats ObjectStore::stats(PoolId pool) const {
 }
 
 ObjectStore::Stats ObjectStore::stats_impl(const PoolId* pool) const {
+  MaybeSharedLock g(mu_);
   Stats s;
   // Compression-at-rest scans walk every stored byte, which dominates
   // stats() on compressed pools.  With workers available, batch objects

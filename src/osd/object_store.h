@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/status.h"
+#include "sim/scheduler.h"  // MaybeSharedLock / MaybeUniqueLock
 
 namespace gdedup {
 
@@ -154,7 +156,10 @@ class ObjectStore {
   // leaves the store untouched.
   Status apply(const Transaction& txn);
 
-  bool exists(const ObjectKey& k) const { return objects_.count(k) > 0; }
+  bool exists(const ObjectKey& k) const {
+    MaybeSharedLock g(mu_);
+    return objects_.count(k) > 0;
+  }
   Result<uint64_t> size(const ObjectKey& k) const;
   Result<uint64_t> version(const ObjectKey& k) const;
 
@@ -196,6 +201,12 @@ class ObjectStore {
 
   bool compress_at_rest_;
   ExecPool* exec_pool_ = nullptr;
+  // Guards the map *structure* against cross-shard lookups racing a local
+  // insert/erase during parallel windows (the gated locks are no-ops in
+  // serial execution).  Field-level read/write races on one object are
+  // excluded by protocol order: all cross-node access to an object's
+  // contents flows through its primary OSD (DESIGN.md §9).
+  mutable std::shared_mutex mu_;
   std::map<ObjectKey, ObjectState> objects_;
 };
 

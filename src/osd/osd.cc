@@ -126,6 +126,9 @@ void Osd::reset_volatile() {
 }
 
 ObjectStore& Osd::store(PoolId pool) {
+  // First touch creates the store; a cross-shard store_if_exists during a
+  // parallel window must not race the map insert.
+  MaybeUniqueLock g(stores_mu_);
   auto it = stores_.find(pool);
   if (it == stores_.end()) {
     const bool compress = ctx_->osdmap().pool(pool).compress_at_rest;
@@ -136,6 +139,7 @@ ObjectStore& Osd::store(PoolId pool) {
 }
 
 const ObjectStore* Osd::store_if_exists(PoolId pool) const {
+  MaybeSharedLock g(stores_mu_);
   auto it = stores_.find(pool);
   return it == stores_.end() ? nullptr : it->second.get();
 }
@@ -1040,7 +1044,10 @@ void send_osd_op(ClusterContext& ctx, NodeId from_node, OsdId target, OsdOp op,
                  ReplyFn cb) {
   Osd* osd = ctx.osd(target);
   if (osd == nullptr) {
-    ctx.sched().after(usec(1), [cb = std::move(cb)] {
+    // Client-side state lives on the caller's node; pin the synthetic
+    // reply (and the timeout timer below) to that shard so the reply path
+    // never crosses shards outside the network.
+    ctx.sched().after_node(from_node, usec(1), [cb = std::move(cb)] {
       cb(OsdOpReply{Status::unavailable("unknown osd"), {}, 0, {}, nullptr});
     });
     return;
@@ -1059,7 +1066,7 @@ void send_osd_op(ClusterContext& ctx, NodeId from_node, OsdId target, OsdOp op,
       *fired = true;
       inner(std::move(rep));
     };
-    ctx.sched().after(timeout, [cb] {
+    ctx.sched().after_node(from_node, timeout, [cb] {
       cb(OsdOpReply{Status::unavailable("osd op timed out"), {}, 0, {},
                     nullptr});
     });

@@ -17,9 +17,11 @@
 // EC, recovery, chunk verbs) is unchanged — the self-contained-object
 // property the paper's design hinges on.
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "obs/perf_counters.h"
@@ -254,8 +256,14 @@ class Osd {
   OsdId id_;
   NodeId node_;
   SsdModel disk_;
-  bool up_ = true;
+  // Read cross-shard by recovery scans and liveness checks; flipped only
+  // from control / global-lane code, but atomic keeps parallel windows
+  // race-free without a lock.
+  std::atomic<bool> up_{true};
   bool drop_when_down_ = false;
+  // Guards the per-pool store map structure during parallel windows (the
+  // stores themselves carry their own gated lock).
+  mutable std::shared_mutex stores_mu_;
   std::map<PoolId, std::unique_ptr<ObjectStore>> stores_;
   std::map<PoolId, std::unique_ptr<TierService>> tiers_;
   OpQueue chunk_op_queue_;

@@ -1,5 +1,6 @@
 #include "rados/cluster.h"
 
+#include <atomic>
 #include <cassert>
 
 #include "common/encoding.h"
@@ -10,9 +11,34 @@ namespace gdedup {
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
+      sched_(cfg.sim_shards > 0 ? cfg.sim_shards : Scheduler::env_shards()),
       exec_pool_(cfg.exec_threads > 0 ? cfg.exec_threads
                                       : ExecPool::env_threads()),
       net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net) {
+  // Storage nodes spread round-robin over shards; client nodes pin to
+  // shard 0 so the bench harnesses' shared completion counters stay
+  // single-shard.  The map is part of the determinism contract only in
+  // that it is a pure function of the topology, never of timing.
+  {
+    std::vector<int> node_shard(static_cast<size_t>(num_nodes()), 0);
+    for (int n = 0; n < cfg_.storage_nodes; n++) {
+      node_shard[static_cast<size_t>(n)] = n % sched_.shards();
+    }
+    sched_.set_node_shard_map(std::move(node_shard));
+  }
+  {
+    obs::PerfCountersBuilder b("sim", l_sim_first, l_sim_last);
+    b.add_gauge(l_sim_shards, "shards");
+    b.add_gauge(l_sim_events_dispatched, "events_dispatched");
+    b.add_gauge(l_sim_events_batched, "events_batched");
+    b.add_gauge(l_sim_ingress_messages, "ingress_messages");
+    b.add_gauge(l_sim_shard_sync_barriers, "shard_sync_barriers");
+    b.add_gauge(l_sim_windows, "windows");
+    b.add_gauge(l_sim_arena_bytes, "arena_bytes");
+    sim_pc_ = b.create();
+    perf_registry_.add(sim_pc_);
+    sync_sim_counters();
+  }
   for (int n = 0; n < num_nodes(); n++) {
     node_cpus_.push_back(std::make_unique<CpuModel>(&sched_, cfg_.cpu));
   }
@@ -214,11 +240,14 @@ SimTime Cluster::recover(uint64_t* objects_recovered,
     }
   }
 
+  // Decrements land in per-shard completion callbacks, which may run on
+  // worker threads during parallel windows; the totals are commutative
+  // sums, so relaxed atomics keep them exact at any shard count.
   struct Tally {
-    int outstanding = 0;
+    std::atomic<int> outstanding{0};
     bool launched_all = false;
-    uint64_t objects = 0;
-    uint64_t bytes = 0;
+    std::atomic<uint64_t> objects{0};
+    std::atomic<uint64_t> bytes{0};
   };
   auto tally = std::make_shared<Tally>();
 
@@ -561,6 +590,21 @@ uint64_t Cluster::total_physical_bytes() const {
   uint64_t n = 0;
   for (PoolId p : osdmap_.pool_ids()) n += pool_stats(p).physical_bytes;
   return n;
+}
+
+void Cluster::sync_sim_counters() {
+  const Scheduler::Stats st = sched_.stats();
+  sim_pc_->set_gauge(l_sim_shards, sched_.shards());
+  sim_pc_->set_gauge(l_sim_events_dispatched,
+                     static_cast<int64_t>(st.events_dispatched));
+  sim_pc_->set_gauge(l_sim_events_batched,
+                     static_cast<int64_t>(st.events_batched));
+  sim_pc_->set_gauge(l_sim_ingress_messages,
+                     static_cast<int64_t>(st.ingress_messages));
+  sim_pc_->set_gauge(l_sim_shard_sync_barriers,
+                     static_cast<int64_t>(st.shard_sync_barriers));
+  sim_pc_->set_gauge(l_sim_windows, static_cast<int64_t>(st.windows));
+  sim_pc_->set_gauge(l_sim_arena_bytes, static_cast<int64_t>(st.arena_bytes));
 }
 
 uint64_t Cluster::storage_cpu_busy_ns() const {

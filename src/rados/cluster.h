@@ -39,6 +39,31 @@ struct ClusterConfig {
   // virtual completion exactly as before.  Any value produces the same
   // determinism digest; only wall-clock changes.
   int exec_threads = 0;
+  // Event-engine shards (conservative parallel DES partitions).  0 = take
+  // GDEDUP_SIM_SHARDS from the environment (default 1).  Any value
+  // produces the same determinism digest — storage nodes spread round-
+  // robin over shards, client nodes pin to shard 0; whether shard windows
+  // actually run on worker threads is a separate switch
+  // (GDEDUP_SIM_PARALLEL / Scheduler::set_parallel).
+  int sim_shards = 0;
+};
+
+// Perf-counter indices for the event engine (registry entity "sim").
+// Gauges, not counters: the Scheduler keeps its own tallies and the
+// cluster mirrors them into the registry on demand (sync_sim_counters),
+// so obs::dump sees engine totals without the hot dispatch loop paying a
+// registry write per event.  Wall-clock-only values (they depend on shard
+// count and window geometry) — reported, never digested.
+enum {
+  l_sim_first = 5000,
+  l_sim_shards,
+  l_sim_events_dispatched,
+  l_sim_events_batched,
+  l_sim_ingress_messages,
+  l_sim_shard_sync_barriers,
+  l_sim_windows,
+  l_sim_arena_bytes,
+  l_sim_last,
 };
 
 class Cluster : public ClusterContext {
@@ -115,6 +140,10 @@ class Cluster : public ClusterContext {
   ObjectStore::Stats pool_stats(PoolId pool) const;
   uint64_t total_physical_bytes() const;
 
+  // Mirror the scheduler's event-engine tallies into the "sim" registry
+  // entity (obs::dump calls this before walking the registry).
+  void sync_sim_counters();
+
   // Sum of cumulative CPU busy-ns across storage nodes (for CPU% windows).
   uint64_t storage_cpu_busy_ns() const;
   double storage_cpu_utilization(uint64_t busy_before, SimTime t0,
@@ -130,6 +159,7 @@ class Cluster : public ClusterContext {
   // construction and the registry outlives them on teardown.
   obs::PerfRegistry perf_registry_;
   obs::OpTracker op_tracker_;
+  obs::PerfCountersRef sim_pc_;  // "sim" entity; see sync_sim_counters()
   Network net_;
   OsdMap osdmap_;
   std::vector<std::unique_ptr<CpuModel>> node_cpus_;

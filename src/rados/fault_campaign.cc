@@ -65,6 +65,12 @@ class ScheduleRunner {
     ccfg.client_nodes = 1;
     ccfg.op_timeout = cfg.op_timeout;
     cluster_ = std::make_unique<Cluster>(ccfg);
+    // Fault events mutate state that other nodes' events peek at event
+    // granularity (crash hooks flip OSDMap entries mid-window, dropped
+    // messages change rx queueing), so the windowed-lookahead execution
+    // is not safe here: run the whole schedule in lockstep windows.
+    cluster_->sched().set_lockstep(true);
+    cluster_->sched().set_parallel(false);
 
     meta_ = cluster_->create_replicated_pool("meta", 2, 64);
     chunks_ = cfg.ec_chunks ? cluster_->create_ec_pool("chunks", 2, 1, 64)

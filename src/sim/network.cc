@@ -4,12 +4,30 @@
 
 namespace gdedup {
 
+Network::Network(Scheduler* sched, int num_nodes, NetworkConfig cfg)
+    : sched_(sched), cfg_(cfg), nics_(static_cast<size_t>(num_nodes)) {
+  // The hop latency is the conservative lookahead: no message can affect
+  // another node sooner than one hop after its send.
+  sched_->set_lookahead(cfg_.hop_latency);
+  sched_->set_ingress_sink([this](NodeId to, SimTime arrival,
+                                  uint64_t service_ns,
+                                  Scheduler::Callback deliver) {
+    // Runs on the destination shard, in (arrival, sender, seq) order among
+    // all of this node's ingress: rx queueing resolves here.
+    Nic& dst = nics_[static_cast<size_t>(to)];
+    const SimTime rx_done =
+        dst.rx.submit(arrival, static_cast<SimTime>(service_ns));
+    if (deliver) sched_->at(rx_done, std::move(deliver));
+  });
+}
+
 SimTime Network::send(NodeId from, NodeId to, uint64_t bytes,
                       Scheduler::Callback deliver) {
   assert(from >= 0 && from < num_nodes());
   assert(to >= 0 && to < num_nodes());
   const uint64_t wire_bytes = bytes + cfg_.per_message_overhead_bytes;
-  total_bytes_ += wire_bytes;
+  Nic& src = nics_[static_cast<size_t>(from)];
+  src.bytes += wire_bytes;
 
   const SimTime now = sched_->now();
   if (from == to) {
@@ -19,20 +37,30 @@ SimTime Network::send(NodeId from, NodeId to, uint64_t bytes,
   }
 
   const SimTime service = xfer_ns(wire_bytes);
-  Nic& src = nics_[static_cast<size_t>(from)];
-  Nic& dst = nics_[static_cast<size_t>(to)];
   const SimTime tx_done = src.tx.submit(now, service);
-  if (drop_every_ > 0 && ++drop_counter_ % drop_every_ == 0) {
+  if (drop_every_ > 0 && ++src.drop_counter % drop_every_ == 0) {
     // Lost in the fabric: the sender paid for the transmit, the receiver
     // never hears about it.  Loopback is exempt (kernel round trips do not
     // cross the switch).
-    dropped_++;
+    src.dropped++;
     return tx_done + cfg_.hop_latency;
   }
   const SimTime arrival = tx_done + cfg_.hop_latency + extra_latency_;
-  const SimTime rx_done = dst.rx.submit(arrival, service);
-  if (deliver) sched_->at(rx_done, std::move(deliver));
-  return rx_done;
+  sched_->post_message(from, to, arrival, static_cast<uint64_t>(service),
+                       ++src.sends, std::move(deliver));
+  return arrival;
+}
+
+uint64_t Network::dropped_messages() const {
+  uint64_t total = 0;
+  for (const Nic& n : nics_) total += n.dropped;
+  return total;
+}
+
+uint64_t Network::total_bytes_sent() const {
+  uint64_t total = 0;
+  for (const Nic& n : nics_) total += n.bytes;
+  return total;
 }
 
 }  // namespace gdedup

@@ -9,10 +9,14 @@
 // callback runs at rx completion.  Loopback (same node) costs only a small
 // kernel round trip.
 //
-// Approximation note: rx bandwidth is reserved eagerly at send time (the
-// scheduler learns the delivery time immediately).  With FIFO resources
-// and latencies that are identical across pairs this matches a per-packet
-// simulation for our traffic patterns, at a fraction of the event count.
+// Sharding note: send() does only sender-side work (tx reservation,
+// per-node byte/drop accounting) and hands the message to the scheduler's
+// receiver-sequenced ingress (Scheduler::post_message).  The rx bandwidth
+// reservation happens on the *destination* shard when the ingress record
+// is popped, so receiver-side contention resolves in (arrival, sender,
+// sequence) order — a pure function of virtual time, independent of shard
+// count.  The network also registers its hop latency as the scheduler's
+// conservative lookahead.  DESIGN.md §9 covers the determinism argument.
 
 #include <cstdint>
 #include <vector>
@@ -21,8 +25,6 @@
 #include "sim/scheduler.h"
 
 namespace gdedup {
-
-using NodeId = int;
 
 struct NetworkConfig {
   double nic_bw_bytes_per_sec = 10.0 * 1000 * 1000 * 1000 / 8;  // 10GbE
@@ -33,27 +35,29 @@ struct NetworkConfig {
 
 class Network {
  public:
-  Network(Scheduler* sched, int num_nodes, NetworkConfig cfg)
-      : sched_(sched), cfg_(cfg), nics_(static_cast<size_t>(num_nodes)) {}
+  Network(Scheduler* sched, int num_nodes, NetworkConfig cfg);
 
   int num_nodes() const { return static_cast<int>(nics_.size()); }
 
   // Deliver `deliver` on `to` after transferring `bytes` from `from`.
-  // Returns the delivery time.
+  // Returns the estimated fabric arrival time (rx queueing resolves later
+  // on the destination shard; no caller depends on the exact value).
   SimTime send(NodeId from, NodeId to, uint64_t bytes,
                Scheduler::Callback deliver);
 
   // --- fault injection (crash-schedule campaigns) ---
-  // Extra one-way latency added to every non-loopback message.
+  // Extra one-way latency added to every non-loopback message.  Only set
+  // from control-plane code while shards are synced.
   void set_extra_latency(SimTime d) { extra_latency_ = d; }
   SimTime extra_latency() const { return extra_latency_; }
-  // Drop every nth non-loopback message (deterministic counter, so the
-  // same schedule loses the same messages).  0 disables.
+  // Drop every nth non-loopback message *per sender* (deterministic
+  // per-node counters, so the same schedule loses the same messages at
+  // any shard count).  0 disables.
   void set_drop_every(uint32_t n) { drop_every_ = n; }
-  uint64_t dropped_messages() const { return dropped_; }
+  uint64_t dropped_messages() const;
 
   // Total bytes ever offered to the fabric (including overhead).
-  uint64_t total_bytes_sent() const { return total_bytes_; }
+  uint64_t total_bytes_sent() const;
 
   // Cumulative tx busy time of one node's NIC (utilization sampling).
   uint64_t tx_busy_ns(NodeId n) const {
@@ -61,9 +65,16 @@ class Network {
   }
 
  private:
+  // Per-node state only ever touched from that node's shard (send touches
+  // the sender's, the ingress sink touches the receiver's), so parallel
+  // windows need no locks here.
   struct Nic {
     FifoResource tx;
     FifoResource rx;
+    uint64_t bytes = 0;         // wire bytes offered by this sender
+    uint64_t sends = 0;         // per-sender message sequence (ingress key)
+    uint64_t drop_counter = 0;  // per-sender deterministic drop phase
+    uint64_t dropped = 0;
   };
 
   SimTime xfer_ns(uint64_t bytes) const {
@@ -74,11 +85,8 @@ class Network {
   Scheduler* sched_;
   NetworkConfig cfg_;
   std::vector<Nic> nics_;
-  uint64_t total_bytes_ = 0;
   SimTime extra_latency_ = 0;
   uint32_t drop_every_ = 0;
-  uint64_t drop_counter_ = 0;
-  uint64_t dropped_ = 0;
 };
 
 }  // namespace gdedup

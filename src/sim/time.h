@@ -1,0 +1,20 @@
+#pragma once
+
+// Virtual-time base types shared by the event engine headers.
+
+#include <cstdint>
+
+namespace gdedup {
+
+using SimTime = int64_t;  // nanoseconds since simulation start
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000LL * 1000 * 1000;
+
+inline SimTime usec(double u) { return static_cast<SimTime>(u * kMicrosecond); }
+inline SimTime msec(double m) { return static_cast<SimTime>(m * kMillisecond); }
+inline SimTime sec(double s) { return static_cast<SimTime>(s * kSecond); }
+
+}  // namespace gdedup
