@@ -364,7 +364,7 @@ int run_pipeline_suite(const std::string& json_path, bool smoke) {
     // must hit — the noop re-flush pattern.
     for (int pass = 0; pass < 2; pass++) {
       for (const Buffer& b : bufs) {
-        const Fingerprint* hit = cache.find(b, FingerprintAlgo::kSha1);
+        const auto* hit = cache.find(b, FingerprintAlgo::kSha1);
         if (hit == nullptr) {
           cache.insert(b, FingerprintAlgo::kSha1,
                        Fingerprint::compute(FingerprintAlgo::kSha1, b.span()));

@@ -50,6 +50,44 @@ SimE2eConfig smoke_config() {
   return cfg;
 }
 
+// Dedup-heavy variant for the two-tier fast-path comparison: nearly every
+// generated block duplicates an earlier one (long content clusters), and
+// overwrites are chunk-aligned so phase-2 flushes hash whole generated
+// blocks instead of unique overlay merges.  This is the workload the
+// fingerprint index exists for; the default 0.5-dedupe scenario keeps the
+// frozen digest and measures that the fast path costs nothing there.
+SimE2eConfig dedup_heavy_config() {
+  SimE2eConfig cfg;
+  cfg.image_bytes = 128ull << 20;
+  cfg.dedupe = 0.95;
+  cfg.small_block = 32 * 1024;  // == chunk_size: aligned overwrites
+  cfg.random_writes = 8192;
+  cfg.random_reads = 4096;
+  return cfg;
+}
+
+void print_fastpath(const SimE2eResult& r) {
+  std::printf("  fp fast path         : %8s (%llu SHA run, %llu avoided, "
+              "%llu memo hits)\n",
+              r.fp_fastpath_used ? "on" : "off",
+              static_cast<unsigned long long>(r.sha_computed),
+              static_cast<unsigned long long>(r.sha_avoided),
+              static_cast<unsigned long long>(r.fingerprint_cache_hits));
+  std::printf("    sha avoided ratio  : %8.3f (%llu weak hits, %llu "
+              "collisions, %llu bloom negatives)\n",
+              r.sha_avoided_ratio(),
+              static_cast<unsigned long long>(r.weak_hash_hits),
+              static_cast<unsigned long long>(r.weak_collisions),
+              static_cast<unsigned long long>(r.bloom_negative_hits));
+  std::printf("    meta read amp      : %8.4f (%llu KB refs read, %llu KB "
+              "written, %llu decodes, %llu cache hits)\n",
+              r.meta_read_amp(),
+              static_cast<unsigned long long>(r.meta_bytes_read / 1024),
+              static_cast<unsigned long long>(r.meta_bytes_written / 1024),
+              static_cast<unsigned long long>(r.refs_decodes),
+              static_cast<unsigned long long>(r.refs_cache_hits));
+}
+
 int run_smoke(int exec_threads) {
   SimE2eConfig cfg = smoke_config();
   cfg.exec_threads = exec_threads;
@@ -73,6 +111,23 @@ int run_smoke(int exec_threads) {
   check(r.sim_bytes > 0, "no simulated bytes moved");
   check(r.events > r.ops, "implausibly few scheduler events");
   check(r.digest_samples > r.ops, "digest missed the counter block");
+
+  // Fast-path invariance at smoke scale: forcing the two-tier path off
+  // must reproduce the same digest (it changes host-side work only), and
+  // turning it on can only reduce the number of full SHA runs.
+  SimE2eConfig off = cfg;
+  off.fp_fastpath = 0;
+  SimE2eResult roff = run_sim_e2e(off);
+  SimE2eConfig on = cfg;
+  on.fp_fastpath = 1;
+  SimE2eResult ron = run_sim_e2e(on);
+  check(roff.digest == r.digest, "digest depends on GDEDUP_FP_FASTPATH=0");
+  check(ron.digest == r.digest, "digest depends on GDEDUP_FP_FASTPATH=1");
+  check(ron.sha_computed <= roff.sha_computed,
+        "fast path increased full-SHA invocations");
+  check(roff.sha_avoided == 0 && roff.weak_hash_hits == 0,
+        "fast-path counters moved while forced off");
+
   std::printf("smoke ok=%d ops=%llu events=%llu digest=%s wall=%.2fs\n",
               ok ? 1 : 0, static_cast<unsigned long long>(r.ops),
               static_cast<unsigned long long>(r.events), r.digest.c_str(),
@@ -133,6 +188,41 @@ int run_full(const std::string& json_path, int exec_threads) {
                 static_cast<unsigned long long>(k.jobs),
                 static_cast<double>(k.busy_ns) / 1e6);
   }
+  print_fastpath(r);
+
+  // Two-tier fast-path comparison on the dedup-heavy variant: run it once
+  // with the fast path forced on and once forced off.  Both digests must
+  // match (the fast path is host-side only) and the on-run must cut full
+  // SHA invocations by at least 2x — that pair of properties is the
+  // acceptance contract for the fingerprint index.
+  std::printf("\ndedup-heavy variant (dedupe=%.2f, chunk-aligned overwrites):\n",
+              dedup_heavy_config().dedupe);
+  SimE2eConfig hv = dedup_heavy_config();
+  hv.exec_threads = exec_threads;
+  hv.fp_fastpath = 1;
+  WallTimer hwt_on;
+  SimE2eResult hon = run_sim_e2e(hv);
+  const double heavy_wall_on = hwt_on.elapsed_sec();
+  hv.fp_fastpath = 0;
+  WallTimer hwt_off;
+  SimE2eResult hoff = run_sim_e2e(hv);
+  const double heavy_wall_off = hwt_off.elapsed_sec();
+
+  const double heavy_mb = static_cast<double>(hon.sim_bytes) / 1e6;
+  const double sha_reduction =
+      static_cast<double>(hoff.sha_computed) /
+      static_cast<double>(hon.sha_computed > 0 ? hon.sha_computed : 1);
+  const bool heavy_digest_ok = hon.digest == hoff.digest;
+  std::printf("  sim MB / wall second : %8.1f on, %8.1f off\n",
+              heavy_mb / heavy_wall_on, heavy_mb / heavy_wall_off);
+  std::printf("  full SHA invocations : %8llu -> %llu  (%.2fx reduction)\n",
+              static_cast<unsigned long long>(hoff.sha_computed),
+              static_cast<unsigned long long>(hon.sha_computed),
+              sha_reduction);
+  std::printf("  digest on == off     : %8s (%s vs %s)\n",
+              heavy_digest_ok ? "yes" : "NO", hon.digest.c_str(),
+              hoff.digest.c_str());
+  print_fastpath(hon);
 
   if (!json_path.empty()) {
     JsonWriter jw;
@@ -168,6 +258,25 @@ int run_full(const std::string& json_path, int exec_threads) {
       jw.add(std::string("offload_") + k.name + "_busy_ms",
              static_cast<double>(k.busy_ns) / 1e6);
     }
+    jw.add("fp_fastpath", r.fp_fastpath_used ? 1.0 : 0.0);
+    jw.add("fp_sha_computed", static_cast<double>(r.sha_computed));
+    jw.add("fp_sha_avoided", static_cast<double>(r.sha_avoided));
+    jw.add("fp_sha_avoided_ratio", r.sha_avoided_ratio());
+    jw.add("fp_weak_hash_hits", static_cast<double>(r.weak_hash_hits));
+    jw.add("fp_weak_collisions", static_cast<double>(r.weak_collisions));
+    jw.add("fp_bloom_negative_hits",
+           static_cast<double>(r.bloom_negative_hits));
+    jw.add("meta_bytes_read", static_cast<double>(r.meta_bytes_read));
+    jw.add("meta_bytes_written", static_cast<double>(r.meta_bytes_written));
+    jw.add("meta_read_amp", r.meta_read_amp());
+    jw.add("refs_decodes", static_cast<double>(r.refs_decodes));
+    jw.add("refs_cache_hits", static_cast<double>(r.refs_cache_hits));
+    jw.add("heavy_sha_reduction", sha_reduction);
+    jw.add("heavy_digest_match", heavy_digest_ok ? 1.0 : 0.0);
+    jw.add("heavy_sim_mb_per_wall_sec_on", heavy_mb / heavy_wall_on);
+    jw.add("heavy_sim_mb_per_wall_sec_off", heavy_mb / heavy_wall_off);
+    jw.add("heavy_sha_avoided_ratio", hon.sha_avoided_ratio());
+    jw.add("heavy_meta_read_amp", hon.meta_read_amp());
     if (!jw.write_file(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
@@ -178,6 +287,18 @@ int run_full(const std::string& json_path, int exec_threads) {
     std::fprintf(stderr,
                  "FATAL: determinism digest drifted from the frozen "
                  "reference — the speedup is not bit-identical\n");
+    return 1;
+  }
+  if (!heavy_digest_ok) {
+    std::fprintf(stderr,
+                 "FATAL: dedup-heavy digest differs with the fast path on "
+                 "vs off — the fast path leaked into virtual time\n");
+    return 1;
+  }
+  if (sha_reduction < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: dedup-heavy full-SHA reduction %.2fx is below the "
+                 "2x acceptance floor\n", sha_reduction);
     return 1;
   }
   return 0;

@@ -76,6 +76,10 @@ struct SimE2eConfig {
   // EC(2,1) base + chunk pools instead of 2x replicated: exercises the
   // ReedSolomon encode/decode kernels on the client and flush paths.
   bool ec = false;
+  // Two-tier fingerprint fast path.  -1 = inherit GDEDUP_FP_FASTPATH
+  // (default on), 0 = force off, 1 = force on.  The digest is the same
+  // for every value — the fast path changes host-side work only.
+  int fp_fastpath = -1;
 };
 
 struct SimE2eResult {
@@ -103,6 +107,35 @@ struct SimE2eResult {
     uint64_t busy_ns;
   };
   std::vector<KernelBreakdown> kernels;  // per-kernel host wall time
+
+  // Two-tier fingerprint fast path + chunk-map metadata accounting
+  // (host-side observability; never digested).
+  bool fp_fastpath_used = false;
+  uint64_t sha_computed = 0;
+  uint64_t sha_avoided = 0;
+  uint64_t weak_hash_hits = 0;
+  uint64_t weak_collisions = 0;
+  uint64_t bloom_negative_hits = 0;
+  uint64_t fingerprint_cache_hits = 0;
+  uint64_t meta_bytes_read = 0;
+  uint64_t meta_bytes_written = 0;
+  uint64_t refs_decodes = 0;
+  uint64_t refs_cache_hits = 0;
+
+  // Share of fingerprint requests answered without running the full SHA
+  // (memo + verified index hits over all requests).
+  double sha_avoided_ratio() const {
+    const uint64_t total = sha_computed + sha_avoided + fingerprint_cache_hits;
+    if (total == 0) return 0.0;
+    return static_cast<double>(sha_avoided + fingerprint_cache_hits) /
+           static_cast<double>(total);
+  }
+  // Chunk-map metadata bytes read per client payload byte moved.
+  double meta_read_amp() const {
+    if (sim_bytes == 0) return 0.0;
+    return static_cast<double>(meta_bytes_read) /
+           static_cast<double>(sim_bytes);
+  }
 };
 
 // Wrap an issuer so each completion folds its latency into the digest.
@@ -188,6 +221,7 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
   cc.client_nodes = cfg.client_nodes;
   cc.exec_threads = cfg.exec_threads;
   cc.sim_shards = cfg.sim_shards;
+  cc.fp_fastpath = cfg.fp_fastpath;
   Cluster c(cc);
 
   const PoolId base = cfg.ec ? c.create_ec_pool("base", 2, 1)
@@ -271,6 +305,22 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
     if (s.jobs == 0) continue;
     res.kernels.push_back({kernel_name(static_cast<Kernel>(k)), s.jobs,
                            s.busy_ns});
+  }
+
+  res.fp_fastpath_used = c.fp_fastpath();
+  const DedupTierStats ts = c.tier_stats(base);
+  res.sha_computed = ts.sha_computed;
+  res.sha_avoided = ts.sha_avoided;
+  res.weak_hash_hits = ts.weak_hash_hits;
+  res.weak_collisions = ts.weak_collisions;
+  res.bloom_negative_hits = ts.bloom_negative_hits;
+  res.fingerprint_cache_hits = ts.fingerprint_cache_hits;
+  for (Osd* o : c.osds()) {
+    const OsdStats& s = o->stats();
+    res.meta_bytes_read += s.meta_bytes_read;
+    res.meta_bytes_written += s.meta_bytes_written;
+    res.refs_decodes += s.refs_decodes;
+    res.refs_cache_hits += s.refs_cache_hits;
   }
   return res;
 }

@@ -54,7 +54,7 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 cmake --build "${tsan_dir}" -j "$(nproc)" \
     --target test_observability perf_dump test_exec_pool \
     test_fault_campaign bench_micro_components bench_sim_e2e \
-    test_sim_determinism test_sim_shards
+    test_sim_determinism test_sim_shards test_fp_fastpath bench_fp_lookup
 
 cd "${tsan_dir}"
 # Four exec-pool workers and four engine shards (serial windows): the
@@ -73,3 +73,12 @@ GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 ctest --output-on-failure -R \
 GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 GDEDUP_SIM_PARALLEL=1 \
     ctest --output-on-failure -R \
     'test_sim_determinism|test_sim_shards|sim_e2e_smoke'
+
+# Fast-path phase: the two-tier fingerprint path forced ON while the exec
+# pool offloads kernels and the engine runs four shards.  The node-local
+# fingerprint index is thread-confined by design (probes/inserts only from
+# the owning node's event thread); this run makes TSan check that claim
+# wherever shard windows, kernel workers and the refs cache interleave.
+GDEDUP_FP_FASTPATH=1 GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 \
+    ctest --output-on-failure -R \
+    'test_fp_fastpath|bench_fp_smoke|sim_e2e_smoke'

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Build Release and record the perf trajectory points: the content-pipeline
-# microbenchmark suite (BENCH_PIPELINE.json) and the end-to-end simulation
-# bench (BENCH_SIM.json), then append one timestamped line per point to
-# BENCH_HISTORY.jsonl so the trajectory is a log, not just a latest-wins
-# snapshot.
+# microbenchmark suite (BENCH_PIPELINE.json), the end-to-end simulation
+# bench (BENCH_SIM.json), the event-engine bench (BENCH_EVENTS.json) and
+# the two-tier fingerprint lookup bench (BENCH_FP.json), then append one
+# timestamped line per point to BENCH_HISTORY.jsonl so the trajectory is a
+# log, not just a latest-wins snapshot.
 #
 # Usage: scripts/run_bench.sh [output.json]
 #
@@ -31,7 +32,8 @@ out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_micro_components bench_sim_e2e bench_events perf_dump
+  --target bench_micro_components bench_sim_e2e bench_events \
+  bench_fp_lookup perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
@@ -49,6 +51,14 @@ events_json="${repo_root}/BENCH_EVENTS.json"
 "${build_dir}/bench/bench_events" --json="${events_json}"
 
 echo "event-engine trajectory point recorded at ${events_json}"
+
+# Two-tier fingerprint lookup: weak-hash vs SHA-first raw throughput, the
+# fused-chunking overhead and the zipf hit-rate sweep over the node-local
+# fingerprint index.
+fp_json="${repo_root}/BENCH_FP.json"
+"${build_dir}/bench/bench_fp_lookup" --json="${fp_json}"
+
+echo "fingerprint fast-path trajectory point recorded at ${fp_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -106,7 +116,8 @@ merge_obs "${repo_root}/BENCH_SIM.json"
 # only, so regressions stay visible after the latest-wins JSONs move on.
 
 history="${repo_root}/BENCH_HISTORY.jsonl"
-python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" <<'HIST'
+python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" \
+    "${fp_json}" <<'HIST'
 import datetime, json, sys
 history, paths = sys.argv[1], sys.argv[2:]
 ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

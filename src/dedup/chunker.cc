@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "hash/rabin.h"
+#include "hash/weak_hash.h"
 
 namespace gdedup {
 
@@ -18,6 +19,20 @@ std::vector<Chunk> FixedChunker::split(const Buffer& object_data) const {
   for (size_t off = 0; off < n; off += chunk_size_) {
     const size_t len = std::min<size_t>(chunk_size_, n - off);
     out.push_back({off, object_data.slice(off, len)});
+  }
+  return out;
+}
+
+std::vector<WeakChunk> FixedChunker::split_with_weak(
+    const Buffer& object_data) const {
+  std::vector<WeakChunk> out;
+  const size_t n = object_data.size();
+  out.reserve(n / chunk_size_ + 1);
+  for (size_t off = 0; off < n; off += chunk_size_) {
+    const size_t len = std::min<size_t>(chunk_size_, n - off);
+    Buffer data = object_data.slice(off, len);
+    const uint64_t w = WeakHasher::oneshot(data.span());
+    out.push_back({off, std::move(data), w});
   }
   return out;
 }
@@ -39,20 +54,21 @@ CdcChunker::CdcChunker(uint32_t min_size, uint32_t avg_size, uint32_t max_size)
   mask_ = avg_size - 1;  // boundary probability 1/avg per byte
 }
 
-std::vector<Chunk> CdcChunker::split(const Buffer& object_data) const {
-  // Skip-ahead fast path.  A boundary requires len >= min_size_ and a full
-  // window; the rolling hash at any position depends only on the last
-  // kWindow bytes (the out_table subtraction cancels everything older,
-  // exactly, in mod-2^64 arithmetic).  Since min_size_ >= kWindow (ctor
-  // assert), it is safe to start rolling kWindow bytes before the first
-  // candidate position of each chunk — the skipped prefix provably cannot
-  // cut.  The inner loop keeps the hash and ring index in locals, evicts
-  // via a preloaded table pointer, and wraps with a compare instead of `%`.
-  std::vector<Chunk> out;
-  const uint8_t* p = object_data.data();
-  const size_t n = object_data.size();
-  out.reserve(n / avg_size_ + 2);
+namespace {
 
+// Skip-ahead CDC boundary scan shared by split() and split_with_weak().
+// A boundary requires len >= min_size and a full window; the rolling hash
+// at any position depends only on the last kWindow bytes (the out_table
+// subtraction cancels everything older, exactly, in mod-2^64 arithmetic).
+// Since min_size >= kWindow (ctor assert), it is safe to start rolling
+// kWindow bytes before the first candidate position of each chunk — the
+// skipped prefix provably cannot cut.  The inner loop keeps the hash and
+// ring index in locals, evicts via a preloaded table pointer, and wraps
+// with a compare instead of `%`.  emit(start, len) fires per chunk, in
+// order, immediately after the cut is found.
+template <typename Emit>
+void cdc_scan(const uint8_t* p, size_t n, uint32_t min_size_,
+              uint32_t max_size_, uint64_t mask_, Emit emit) {
   constexpr size_t kW = RabinRolling::kWindow;
   constexpr uint64_t kMul = RabinRolling::kMul;
   const uint64_t* out_tab = RabinRolling::out_table().data();
@@ -127,12 +143,39 @@ std::vector<Chunk> CdcChunker::split(const Buffer& object_data) const {
         break;  // ran out of data before any boundary: tail chunk below
       }
     }
-    out.push_back({start, object_data.slice(start, cut_end - start)});
+    emit(start, cut_end - start);
     start = cut_end;
   }
   if (start < n) {
-    out.push_back({start, object_data.slice(start, n - start)});
+    emit(start, n - start);
   }
+}
+
+}  // namespace
+
+std::vector<Chunk> CdcChunker::split(const Buffer& object_data) const {
+  std::vector<Chunk> out;
+  const size_t n = object_data.size();
+  out.reserve(n / avg_size_ + 2);
+  cdc_scan(object_data.data(), n, min_size_, max_size_, mask_,
+           [&](size_t start, size_t len) {
+             out.push_back({start, object_data.slice(start, len)});
+           });
+  return out;
+}
+
+std::vector<WeakChunk> CdcChunker::split_with_weak(
+    const Buffer& object_data) const {
+  std::vector<WeakChunk> out;
+  const size_t n = object_data.size();
+  out.reserve(n / avg_size_ + 2);
+  cdc_scan(object_data.data(), n, min_size_, max_size_, mask_,
+           [&](size_t start, size_t len) {
+             // Hash while the boundary scan's bytes are still resident.
+             Buffer data = object_data.slice(start, len);
+             const uint64_t w = WeakHasher::oneshot(data.span());
+             out.push_back({start, std::move(data), w});
+           });
   return out;
 }
 

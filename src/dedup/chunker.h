@@ -19,6 +19,17 @@ struct Chunk {
   Buffer data;
 };
 
+// A chunk plus its weak content hash (hash/weak_hash.h).  Produced by the
+// fused split_with_weak() passes: the weak hash of each chunk is computed
+// the moment its boundary is known, while the bytes are still cache-hot
+// from the boundary scan, instead of a second cold sweep over the object
+// after chunking completes.
+struct WeakChunk {
+  uint64_t offset = 0;
+  Buffer data;
+  uint64_t weak = 0;
+};
+
 // Fixed-size chunking on a stable grid: chunk i covers
 // [i*chunk_size, (i+1)*chunk_size), so overwrites map to the same chunk
 // slots regardless of write alignment.
@@ -30,6 +41,9 @@ class FixedChunker {
 
   // Split a whole object image into grid chunks (last may be short).
   std::vector<Chunk> split(const Buffer& object_data) const;
+
+  // split() fused with per-chunk weak hashing (one touch per byte).
+  std::vector<WeakChunk> split_with_weak(const Buffer& object_data) const;
 
   // Grid arithmetic for partial-write handling.
   uint64_t chunk_start(uint64_t offset) const {
@@ -59,6 +73,11 @@ class CdcChunker {
   // The original byte-at-a-time scalar implementation, kept as the
   // equivalence oracle for the fast path.
   std::vector<Chunk> split_reference(const Buffer& object_data) const;
+
+  // split() fused with per-chunk weak hashing.  Same boundaries as
+  // split(); each chunk's weak64 is computed right after its cut is
+  // found, while the scanned bytes are cache-resident.
+  std::vector<WeakChunk> split_with_weak(const Buffer& object_data) const;
 
   uint32_t min_size() const { return min_size_; }
   uint32_t avg_size() const { return avg_size_; }

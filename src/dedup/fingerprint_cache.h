@@ -49,6 +49,20 @@ class FingerprintCache {
  public:
   using Key = FingerprintCacheKey;
 
+  // A memo entry also remembers the chunk's weak hash (when the fast path
+  // computed one), so a memo hit can refresh the node's fingerprint index
+  // (dedup/fingerprint_index.h) in O(1) — without it the two caches
+  // drift: the memo keeps answering for a buffer identity while the index
+  // evicts the content entry, and the next *different* buffer with the
+  // same bytes pays a full SHA again.  kNoWeakHash marks entries inserted
+  // with the fast path off.
+  static constexpr uint64_t kNoWeakHash = 0;
+
+  struct Entry {
+    Fingerprint fp;
+    uint64_t weak = kNoWeakHash;
+  };
+
   static constexpr size_t kDefaultCapacity = 8192;
 
   explicit FingerprintCache(size_t capacity = kDefaultCapacity)
@@ -60,17 +74,18 @@ class FingerprintCache {
     return b.storage_id() != nullptr && !b.empty();
   }
 
-  const Fingerprint* find(const Buffer& b, FingerprintAlgo algo) {
+  const Entry* find(const Buffer& b, FingerprintAlgo algo) {
     lookups_++;
     if (!cacheable(b)) return nullptr;
-    const Fingerprint* fp = lru_.get(key_of(b, algo));
-    if (fp != nullptr) hits_++;
-    return fp;
+    const Entry* e = lru_.get(key_of(b, algo));
+    if (e != nullptr) hits_++;
+    return e;
   }
 
-  void insert(const Buffer& b, FingerprintAlgo algo, const Fingerprint& fp) {
+  void insert(const Buffer& b, FingerprintAlgo algo, const Fingerprint& fp,
+              uint64_t weak = kNoWeakHash) {
     if (!cacheable(b)) return;
-    lru_.put(key_of(b, algo), fp);
+    lru_.put(key_of(b, algo), Entry{fp, weak});
   }
 
   uint64_t lookups() const { return lookups_; }
@@ -83,7 +98,7 @@ class FingerprintCache {
             static_cast<uint8_t>(algo)};
   }
 
-  LruMap<Key, Fingerprint> lru_;
+  LruMap<Key, Entry> lru_;
   uint64_t lookups_ = 0;
   uint64_t hits_ = 0;
 };

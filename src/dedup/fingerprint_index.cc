@@ -1,0 +1,122 @@
+#include "dedup/fingerprint_index.h"
+
+#include <algorithm>
+
+namespace gdedup {
+
+namespace {
+
+size_t round_up_pow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FingerprintIndex::FingerprintIndex() : FingerprintIndex(Config()) {}
+
+FingerprintIndex::FingerprintIndex(Config cfg) : cfg_(cfg) {
+  const size_t nshards =
+      round_up_pow2(static_cast<size_t>(std::max(1, cfg_.shards)));
+  shard_entry_cap_ = std::max<size_t>(1, cfg_.max_entries / nshards);
+  shard_byte_cap_ = std::max<uint64_t>(1, cfg_.max_bytes / nshards);
+  shards_.reserve(nshards);
+  for (size_t i = 0; i < nshards; i++) {
+    shards_.emplace_back(shard_entry_cap_, cfg_.bloom_fp_rate);
+  }
+}
+
+FingerprintIndex::ProbeResult FingerprintIndex::probe(uint64_t weak,
+                                                      const Buffer& content) {
+  stats_.probes++;
+  Shard& s = shard_of(weak);
+  if (!s.bloom.maybe_contains(weak)) {
+    stats_.bloom_negatives++;
+    stats_.misses++;
+    return {Outcome::kBloomNegative, nullptr};
+  }
+  Entry* e = s.lru.get(weak);
+  if (e == nullptr) {
+    stats_.misses++;
+    return {Outcome::kMiss, nullptr};
+  }
+  if (!e->content.content_equals(content)) {
+    // Weak-hash collision: the candidate is a *different* chunk that
+    // happens to share the weak hash.  Never trust it — the caller falls
+    // back to the full SHA and insert() will make the newer chunk the
+    // shard's candidate for this key.
+    stats_.collisions++;
+    return {Outcome::kCollision, nullptr};
+  }
+  stats_.verified_hits++;
+  return {Outcome::kVerifiedHit, &e->fp};
+}
+
+void FingerprintIndex::insert(uint64_t weak, const Buffer& content,
+                              const Fingerprint& fp) {
+  if (content.empty()) return;
+  Shard& s = shard_of(weak);
+  stats_.inserts++;
+  if (Entry* e = s.lru.get(weak)) {
+    // Refresh in place (same content re-fingerprinted, or a colliding
+    // chunk displacing the previous candidate).
+    s.bytes -= e->content.size();
+    e->content = content;
+    e->fp = fp;
+    s.bytes += content.size();
+  } else {
+    if (auto evicted = s.lru.put(weak, Entry{content, fp})) {
+      s.bytes -= evicted->second.content.size();
+      stats_.evictions++;
+    }
+    s.bytes += content.size();
+    s.bloom.insert(weak);
+    s.bloom_inserts++;
+  }
+  // Byte budget: drop coldest entries until the retained content fits.
+  while (s.bytes > shard_byte_cap_ && s.lru.size() > 1) {
+    const auto* victim = s.lru.coldest();
+    s.bytes -= victim->second.content.size();
+    s.lru.erase(victim->first);
+    stats_.evictions++;
+  }
+  maybe_rebuild_bloom(s);
+}
+
+void FingerprintIndex::maybe_rebuild_bloom(Shard& s) {
+  // Blooms cannot delete: once lifetime insertions dwarf the live set the
+  // false-positive rate decays toward 1 and the negative fast path stops
+  // paying.  Rebuild from the surviving keys.
+  if (s.bloom_inserts < 8 * shard_entry_cap_) return;
+  s.bloom.clear();
+  for (const auto& [key, entry] : s.lru) {
+    (void)entry;
+    s.bloom.insert(key);
+  }
+  s.bloom_inserts = s.lru.size();
+  stats_.bloom_rebuilds++;
+}
+
+size_t FingerprintIndex::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) n += s.lru.size();
+  return n;
+}
+
+uint64_t FingerprintIndex::retained_bytes() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.bytes;
+  return n;
+}
+
+void FingerprintIndex::clear() {
+  for (Shard& s : shards_) {
+    s.lru.clear();
+    s.bloom.clear();
+    s.bytes = 0;
+    s.bloom_inserts = 0;
+  }
+}
+
+}  // namespace gdedup

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "hash/fingerprint.h"
+#include "hash/weak_hash.h"
 #include "osd/messages.h"
 
 namespace gdedup {
@@ -69,6 +70,12 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
   b.add_counter(l_tier_engine_ticks, "engine_ticks");
   b.add_counter(l_tier_engine_aborts, "engine_aborts");
   b.add_counter(l_tier_fingerprint_cache_hits, "fingerprint_cache_hits");
+  b.add_counter(l_tier_weak_hash_hits, "weak_hash_hits");
+  b.add_counter(l_tier_weak_hash_misses, "weak_hash_misses");
+  b.add_counter(l_tier_weak_collisions, "weak_collisions");
+  b.add_counter(l_tier_bloom_negative_hits, "bloom_negative_hits");
+  b.add_counter(l_tier_sha_computed, "sha_computed");
+  b.add_counter(l_tier_sha_avoided, "sha_avoided");
   b.add_histogram(l_tier_write_lat, "write_lat");
   b.add_histogram(l_tier_read_lat, "read_lat");
   b.add_histogram(l_tier_fingerprint_lat, "fingerprint_lat");
@@ -104,6 +111,12 @@ void DedupTier::refresh_stats_view() const {
   stats_view_.engine_aborts = perf_->get(l_tier_engine_aborts);
   stats_view_.fingerprint_cache_hits =
       perf_->get(l_tier_fingerprint_cache_hits);
+  stats_view_.weak_hash_hits = perf_->get(l_tier_weak_hash_hits);
+  stats_view_.weak_hash_misses = perf_->get(l_tier_weak_hash_misses);
+  stats_view_.weak_collisions = perf_->get(l_tier_weak_collisions);
+  stats_view_.bloom_negative_hits = perf_->get(l_tier_bloom_negative_hits);
+  stats_view_.sha_computed = perf_->get(l_tier_sha_computed);
+  stats_view_.sha_avoided = perf_->get(l_tier_sha_avoided);
 }
 
 // --------------------------------------------------------- object context
@@ -1132,21 +1145,85 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
       /*foreground=*/false);
 }
 
+FingerprintIndex* DedupTier::fp_index() {
+  if (FingerprintIndex* idx = osd_->ctx().fp_index(osd_->node())) return idx;
+  if (!own_fp_index_) own_fp_index_ = std::make_unique<FingerprintIndex>();
+  return own_fp_index_.get();
+}
+
+uint64_t DedupTier::weak_hash_of(const Buffer& content) {
+  if (weak_hash_hook_) return weak_hash_hook_(content);
+  return WeakHasher::oneshot(content.span());
+}
+
 void DedupTier::fingerprint_async(const Buffer& content,
                                   std::function<void(const Fingerprint&)> k,
                                   obs::OpTraceRef trace) {
   const FingerprintAlgo algo = cfg().fp_algo;
-  if (const Fingerprint* hit = fp_cache_.find(content, algo)) {
+  const bool fast = osd_->ctx().fp_fastpath();
+  FingerprintIndex* idx = fast ? fp_index() : nullptr;
+  if (const FingerprintCache::Entry* hit = fp_cache_.find(content, algo)) {
     // Known content: skip the hash and its simulated CPU cost entirely.
     perf_->inc(l_tier_fingerprint_cache_hits);
     perf_->record(l_tier_fingerprint_lat, 0);
     if (trace) trace->event("fingerprint_cache_hit", sched().now());
-    k(*hit);
+    if (idx != nullptr && hit->weak != FingerprintCache::kNoWeakHash) {
+      // Keep the two caches coherent: a memo hit answers for this buffer
+      // identity, but the *content* must stay probeable for the next
+      // different buffer with the same bytes.  O(1) — the memo entry
+      // remembered the weak hash.
+      idx->insert(hit->weak, content, hit->fp);
+    }
+    k(hit->fp);
     return;
   }
   const SimTime t0 = sched().now();
   const size_t sp = trace ? trace->span_begin("fingerprint", t0) : 0;
   CpuModel& cpu = osd_->ctx().node_cpu(osd_->node());
+
+  // Tier 1 of the fast path: weak-hash the bytes (an order of magnitude
+  // cheaper than SHA) and probe the node index.  A verified hit replays
+  // the miss path's virtual-time trajectory exactly — same costed CPU
+  // execute, same latency record, same trace span — minus the host-side
+  // SHA kernel; a collision or miss falls through to the real hash.
+  const uint64_t weak =
+      idx != nullptr ? weak_hash_of(content) : FingerprintCache::kNoWeakHash;
+  if (idx != nullptr) {
+    const FingerprintIndex::ProbeResult pr = idx->probe(weak, content);
+    switch (pr.outcome) {
+      case FingerprintIndex::Outcome::kVerifiedHit:
+        perf_->inc(l_tier_weak_hash_hits);
+        break;
+      case FingerprintIndex::Outcome::kCollision:
+        perf_->inc(l_tier_weak_hash_hits);
+        perf_->inc(l_tier_weak_collisions);
+        break;
+      case FingerprintIndex::Outcome::kBloomNegative:
+        perf_->inc(l_tier_bloom_negative_hits);
+        perf_->inc(l_tier_weak_hash_misses);
+        break;
+      case FingerprintIndex::Outcome::kMiss:
+        perf_->inc(l_tier_weak_hash_misses);
+        break;
+    }
+    if (pr.hit()) {
+      perf_->inc(l_tier_sha_avoided);
+      // Copy out: the entry can be evicted before the costed completion.
+      cpu.execute(
+          cpu.fingerprint_cost(content.size(), algo == FingerprintAlgo::kSha1),
+          [this, algo, content, weak, t0, trace = std::move(trace), sp,
+           fp = *pr.fp, k = std::move(k)]() mutable {
+            const SimTime now = sched().now();
+            perf_->record(l_tier_fingerprint_lat,
+                          static_cast<uint64_t>(now - t0));
+            if (trace) trace->span_end(sp, now);
+            fp_cache_.insert(content, algo, fp, weak);
+            k(fp);
+          });
+      return;
+    }
+  }
+  perf_->inc(l_tier_sha_computed);
   // Submit the real hash at issue time; a worker overlaps it with the
   // simulated cost below, and take() inside the completion callback is
   // where the result becomes observable (inline there in serial mode).
@@ -1155,14 +1232,15 @@ void DedupTier::fingerprint_async(const Buffer& content,
       [algo, content] { return Fingerprint::compute(algo, content.span()); });
   cpu.execute(
       cpu.fingerprint_cost(content.size(), algo == FingerprintAlgo::kSha1),
-      [this, algo, content, t0, trace = std::move(trace), sp,
+      [this, algo, content, weak, idx, t0, trace = std::move(trace), sp,
        fp_fut = std::move(fp_fut), k = std::move(k)]() mutable {
         const SimTime now = sched().now();
         perf_->record(l_tier_fingerprint_lat,
                       static_cast<uint64_t>(now - t0));
         if (trace) trace->span_end(sp, now);
         const Fingerprint fp = fp_fut.take();
-        fp_cache_.insert(content, algo, fp);
+        fp_cache_.insert(content, algo, fp, weak);
+        if (idx != nullptr) idx->insert(weak, content, fp);
         k(fp);
       });
 }

@@ -48,6 +48,7 @@
 #include "dedup/chunk_map.h"
 #include "dedup/chunker.h"
 #include "dedup/fingerprint_cache.h"
+#include "dedup/fingerprint_index.h"
 #include "dedup/hitset.h"
 #include "dedup/rate_controller.h"
 #include "obs/op_tracker.h"
@@ -101,6 +102,15 @@ enum {
   l_tier_engine_ticks,
   l_tier_engine_aborts,
   l_tier_fingerprint_cache_hits,
+  // Two-tier fingerprint fast path (dedup/fingerprint_index.h).  Host-
+  // side work only — never digested: they differ with the fast path
+  // on/off while the determinism digest must not.
+  l_tier_weak_hash_hits,      // index candidate found (pre-verification)
+  l_tier_weak_hash_misses,    // no candidate under the weak hash
+  l_tier_weak_collisions,     // candidate bytes differed; SHA fallback
+  l_tier_bloom_negative_hits, // negative answered by the shard filter
+  l_tier_sha_computed,        // full SHA kernels actually run
+  l_tier_sha_avoided,         // full SHA skipped via verified index hit
   l_tier_write_lat,        // tier write handling, entry -> client ack, ns
   l_tier_read_lat,         // tier read handling, entry -> reply, ns
   l_tier_fingerprint_lat,  // costed fingerprint compute (cache hits = 0ns)
@@ -135,6 +145,13 @@ struct DedupTierStats {
   uint64_t engine_ticks = 0;
   uint64_t engine_aborts = 0;     // injected failures taken
   uint64_t fingerprint_cache_hits = 0;  // hashes skipped via COW memoization
+  // Two-tier fast path (reported, never digested — see the counter enum).
+  uint64_t weak_hash_hits = 0;
+  uint64_t weak_hash_misses = 0;
+  uint64_t weak_collisions = 0;
+  uint64_t bloom_negative_hits = 0;
+  uint64_t sha_computed = 0;
+  uint64_t sha_avoided = 0;
 };
 
 class DedupTier : public TierService {
@@ -178,6 +195,15 @@ class DedupTier : public TierService {
   // in-flight flush is abandoned; redo must converge).
   using FailureHook = std::function<bool(FailurePoint, const std::string&)>;
   void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
+  // Override the weak hash of the fast path — the collision-injection
+  // hook.  A test returning a constant forces every chunk onto one index
+  // key, so distinct contents must survive on byte verification alone.
+  // nullptr restores WeakHasher::oneshot.
+  using WeakHashHook = std::function<uint64_t(const Buffer&)>;
+  void set_weak_hash_hook(WeakHashHook hook) {
+    weak_hash_hook_ = std::move(hook);
+  }
 
   // Rebuild volatile state (dirty list, chunk-map cache) from the local
   // store — the self-contained-object recovery path after a crash.
@@ -266,9 +292,17 @@ class DedupTier : public TierService {
   // COW-aware memoization cache first: a hit skips both the real hash and
   // the simulated CPU cost (and bumps the fingerprint_cache_hits counter);
   // a miss computes under the costed CPU model and populates the cache.
+  // With the fast path on, a memo miss probes the node's fingerprint
+  // index by weak hash before falling back to the SHA kernel — the
+  // simulated CPU cost is charged identically either way, so only the
+  // host wall clock (and the never-digested fast-path counters) changes.
   void fingerprint_async(const Buffer& content,
                          std::function<void(const Fingerprint&)> k,
                          obs::OpTraceRef trace = nullptr);
+
+  // Node-shared fingerprint index (nullptr context -> private fallback).
+  FingerprintIndex* fp_index();
+  uint64_t weak_hash_of(const Buffer& content);
 
   void refresh_stats_view() const;
 
@@ -298,6 +332,10 @@ class DedupTier : public TierService {
   std::unordered_set<std::string> promote_set_;
 
   FailureHook failure_hook_;
+  WeakHashHook weak_hash_hook_;
+  // Fallback index for cluster-less fixtures (ctx().fp_index == nullptr);
+  // created on first use so fixtures that never fingerprint pay nothing.
+  std::unique_ptr<FingerprintIndex> own_fp_index_;
   bool running_ = false;
   bool in_tick_ = false;
   Scheduler::EventId tick_event_ = 0;

@@ -1,0 +1,103 @@
+#include "hash/weak_hash.h"
+
+#include <cstring>
+
+namespace gdedup {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t load_le64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (the whole sim assumes LE wire)
+}
+
+inline uint64_t mix_word(uint64_t h, uint64_t w) {
+  return (h ^ w) * kFnvPrime;
+}
+
+// splitmix64 finalizer: FNV over words leaves the low bits weakly mixed
+// for short inputs; the index shards and the Bloom filter key off the low
+// bits, so avalanche them.
+inline uint64_t finalize(uint64_t h, uint64_t len) {
+  h ^= len;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+void WeakHasher::update(std::span<const uint8_t> data) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  total_len_ += n;
+
+  // Finish a partial word carried from the previous update().
+  if (tail_len_ > 0) {
+    const size_t take = std::min(n, sizeof(tail_) - tail_len_);
+    std::memcpy(tail_ + tail_len_, p, take);
+    tail_len_ += take;
+    p += take;
+    n -= take;
+    if (tail_len_ < sizeof(tail_)) return;
+    h_ = mix_word(h_, load_le64(tail_));
+    tail_len_ = 0;
+  }
+
+  while (n >= 8) {
+    h_ = mix_word(h_, load_le64(p));
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::memcpy(tail_, p, n);
+    tail_len_ = n;
+  }
+}
+
+uint64_t WeakHasher::digest() const {
+  uint64_t h = h_;
+  if (tail_len_ > 0) {
+    // Zero-padded final word: the length fold in finalize() keeps streams
+    // that differ only by trailing zero-padding distinct.
+    uint8_t w[8] = {};
+    std::memcpy(w, tail_, tail_len_);
+    h = mix_word(h, load_le64(w));
+  }
+  return finalize(h, total_len_);
+}
+
+void WeakHasher::reset() {
+  h_ = kOffsetBasis;
+  total_len_ = 0;
+  tail_len_ = 0;
+}
+
+uint64_t WeakHasher::oneshot(std::span<const uint8_t> data) {
+  uint64_t h = kOffsetBasis;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    h = mix_word(h, load_le64(p));
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint8_t w[8] = {};
+    std::memcpy(w, p, n);
+    h = mix_word(h, load_le64(w));
+  }
+  return finalize(h, data.size());
+}
+
+uint64_t weak_hash64(const void* data, size_t len) {
+  return WeakHasher::oneshot({static_cast<const uint8_t*>(data), len});
+}
+
+}  // namespace gdedup

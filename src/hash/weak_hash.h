@@ -1,0 +1,50 @@
+#pragma once
+
+// Weak (non-cryptographic) chunk hash — the candidate filter of the
+// two-tier fingerprint fast path.
+//
+// The write pipeline fingerprints every dirty chunk with full SHA even
+// though, on dedup-heavy workloads, most chunks repeat content the node
+// has hashed before.  A cheap 64-bit weak hash is enough to *find* the
+// candidate: the fingerprint index keeps the candidate's real bytes, and
+// a memcmp against them decides.  Weak-hash collisions are therefore
+// harmless — a collision fails byte verification and falls back to the
+// full SHA — so this hash optimizes for speed, not distribution-theoretic
+// guarantees (FNV-1a over 8-byte words, ~8x fewer multiplies than the
+// byte-wise FNV used for placement, plus a splitmix64 finalizer so short
+// tails still spread over the index shards).
+//
+// Streaming: WeakHasher::update() may be fed arbitrary spans; digest() is
+// defined over the byte stream only, never over the split points — the
+// incremental-vs-oneshot equivalence test pins that down.
+
+#include <cstdint>
+#include <span>
+
+namespace gdedup {
+
+class WeakHasher {
+ public:
+  void update(std::span<const uint8_t> data);
+  // Final value over all bytes fed so far; does not consume (more
+  // update() calls continue the same stream).
+  uint64_t digest() const;
+  void reset();
+
+  uint64_t bytes_consumed() const { return total_len_; }
+
+  static uint64_t oneshot(std::span<const uint8_t> data);
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+
+  uint64_t h_ = kOffsetBasis;
+  uint64_t total_len_ = 0;
+  uint8_t tail_[8] = {};
+  size_t tail_len_ = 0;
+};
+
+// Convenience alias for call sites that hold a raw pointer.
+uint64_t weak_hash64(const void* data, size_t len);
+
+}  // namespace gdedup

@@ -2,9 +2,11 @@
 
 #include <cstdio>
 
+#include "dedup/tier.h"
 #include "obs/json.h"
 #include "obs/op_tracker.h"
 #include "obs/perf_counters.h"
+#include "osd/osd.h"
 #include "rados/cluster.h"
 
 namespace gdedup::obs {
@@ -54,6 +56,38 @@ std::string summary_line(Cluster& cluster) {
                 static_cast<unsigned long long>(trk.started()),
                 static_cast<unsigned long long>(trk.finished()));
   std::string out = buf;
+
+  // Two-tier fingerprint fast path + chunk-map metadata traffic, summed
+  // across entities by name prefix (the registry is the source of truth).
+  uint64_t sha_computed = 0, sha_avoided = 0, memo_hits = 0;
+  uint64_t meta_read = 0, meta_written = 0;
+  for (const auto& pc : reg.sorted()) {
+    if (pc->name().rfind("tier.", 0) == 0) {
+      sha_computed += pc->get(l_tier_sha_computed);
+      sha_avoided += pc->get(l_tier_sha_avoided);
+      memo_hits += pc->get(l_tier_fingerprint_cache_hits);
+    } else if (pc->name().rfind("osd.", 0) == 0) {
+      meta_read += pc->get(l_osd_meta_bytes_read);
+      meta_written += pc->get(l_osd_meta_bytes_written);
+    }
+  }
+  const uint64_t fp_total = sha_computed + sha_avoided + memo_hits;
+  uint64_t client_bytes = 0;
+  for (PoolId pid : cluster.osdmap().pool_ids()) {
+    client_bytes += cluster.pool_stats(pid).logical_bytes;
+  }
+  if (fp_total > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " sha_avoided=%.3f meta_read_amp=%.4f meta_kb=%llu/%llu",
+                  static_cast<double>(sha_avoided + memo_hits) /
+                      static_cast<double>(fp_total),
+                  client_bytes > 0 ? static_cast<double>(meta_read) /
+                                         static_cast<double>(client_bytes)
+                                   : 0.0,
+                  static_cast<unsigned long long>(meta_read / 1024),
+                  static_cast<unsigned long long>(meta_written / 1024));
+    out += buf;
+  }
   auto slow = trk.dump_historic_slow_ops(1);
   if (!slow.empty()) {
     out += " slowest: ";

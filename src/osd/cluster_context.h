@@ -5,6 +5,8 @@
 // lookup and per-node device models.  Implemented by rados::Cluster;
 // kept abstract here so osd/ and dedup/ stay independent of bring-up code.
 
+#include <cstdlib>
+
 #include "cluster/osd_map.h"
 #include "sim/cpu.h"
 #include "sim/exec_pool.h"
@@ -14,6 +16,7 @@
 namespace gdedup {
 
 class Osd;
+class FingerprintIndex;
 
 namespace obs {
 class PerfRegistry;
@@ -48,6 +51,27 @@ class ClusterContext {
   // nullptr: kernel_async() then runs the job inline at take(), which is
   // exactly the serial path — fixtures without a cluster need no pool.
   virtual ExecPool* exec_pool() { return nullptr; }
+
+  // Two-tier fingerprint fast path (dedup/fingerprint_index.h).  The knob
+  // gates *host-side* work only — SHA invocations actually run and chunk
+  // refcount decode/encode round trips — so the determinism digest is
+  // byte-identical either way; both states stay testable.  Default: the
+  // GDEDUP_FP_FASTPATH environment variable, on unless set to "0".
+  // rados::Cluster overrides with its ClusterConfig knob.
+  static bool env_fp_fastpath() {
+    const char* v = std::getenv("GDEDUP_FP_FASTPATH");
+    return v == nullptr || v[0] == '\0' || v[0] != '0';
+  }
+  virtual bool fp_fastpath() const { return env_fp_fastpath(); }
+
+  // Node-local fingerprint index shared by the dedup tiers of one storage
+  // node (every event of a node runs on that node's engine shard, so the
+  // index needs no lock).  Default nullptr: tiers in cluster-less
+  // fixtures fall back to a private per-tier index.
+  virtual FingerprintIndex* fp_index(NodeId node) {
+    (void)node;
+    return nullptr;
+  }
 };
 
 }  // namespace gdedup

@@ -80,6 +80,10 @@ Osd::Osd(ClusterContext* ctx, OsdId id, NodeId node, const SsdConfig& disk_cfg)
   b.add_counter(l_osd_bytes_zero_copied, "bytes_zero_copied");
   b.add_counter(l_osd_crc_verifies, "crc_verifies");
   b.add_counter(l_osd_crc_verify_failures, "crc_verify_failures");
+  b.add_counter(l_osd_meta_bytes_read, "meta_bytes_read");
+  b.add_counter(l_osd_meta_bytes_written, "meta_bytes_written");
+  b.add_counter(l_osd_refs_decodes, "refs_decodes");
+  b.add_counter(l_osd_refs_cache_hits, "refs_cache_hits");
   perf_ = b.create();
   if (auto* reg = ctx_->perf_registry()) reg->add(perf_);
 }
@@ -96,6 +100,10 @@ void Osd::refresh_stats_view() const {
   stats_view_.chunks_reclaimed = perf_->get(l_osd_chunks_reclaimed);
   stats_view_.pulls = perf_->get(l_osd_pulls);
   stats_view_.pushes = perf_->get(l_osd_pushes);
+  stats_view_.meta_bytes_read = perf_->get(l_osd_meta_bytes_read);
+  stats_view_.meta_bytes_written = perf_->get(l_osd_meta_bytes_written);
+  stats_view_.refs_decodes = perf_->get(l_osd_refs_decodes);
+  stats_view_.refs_cache_hits = perf_->get(l_osd_refs_cache_hits);
 }
 
 bool Osd::fail_at(OsdFailurePoint p, const ObjectKey& key) {
@@ -470,6 +478,33 @@ void Osd::finish_object_op(OpQueue& q, const ObjectKey& key) {
   }
 }
 
+Status Osd::load_refs(const ObjectKey& key, std::vector<ChunkRef>* out) {
+  auto raw = local_getxattr(key.pool, key.oid, kRefsXattr);
+  if (!raw.is_ok()) return Status::ok();  // no refs recorded yet
+  perf_->inc(l_osd_meta_bytes_read, raw.value().size());
+  if (ctx_->fp_fastpath()) {
+    if (const std::vector<ChunkRef>* cached =
+            refs_cache_.find(key, raw.value())) {
+      perf_->inc(l_osd_refs_cache_hits);
+      *out = *cached;
+      return Status::ok();
+    }
+  }
+  perf_->inc(l_osd_refs_decodes);
+  auto dec = decode_refs(raw.value());
+  if (!dec.is_ok()) return dec.status();
+  *out = std::move(dec).value();
+  if (ctx_->fp_fastpath()) refs_cache_.put(key, raw.value(), *out);
+  return Status::ok();
+}
+
+Buffer Osd::store_refs(const ObjectKey& key, std::vector<ChunkRef> refs) {
+  Buffer enc = encode_refs(refs);
+  perf_->inc(l_osd_meta_bytes_written, enc.size());
+  if (ctx_->fp_fastpath()) refs_cache_.put(key, enc, std::move(refs));
+  return enc;
+}
+
 void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   if (fail_at(OsdFailurePoint::kBeforeChunkRefWrite, {op.pool, op.oid})) {
     return;  // crashed mid-refcount-update; queue already reset
@@ -508,15 +543,10 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   if (local_exists(op.pool, op.oid)) {
     // Double hashing at work: same OID == same content, so this put is a
     // duplicate.  Normally only reference bookkeeping is written.
-    auto raw = local_getxattr(op.pool, op.oid, kRefsXattr);
     std::vector<ChunkRef> refs;
-    if (raw.is_ok()) {
-      auto dec = decode_refs(raw.value());
-      if (!dec.is_ok()) {
-        finish(dec.status());
-        return;
-      }
-      refs = std::move(dec).value();
+    if (Status s = load_refs(key, &refs); !s.is_ok()) {
+      finish(s);
+      return;
     }
     const bool recorded =
         std::find(refs.begin(), refs.end(), op.ref) != refs.end();
@@ -545,7 +575,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
     }
     Transaction txn;
     if (!fully_placed) txn.write_full(key, op.data);
-    txn.setxattr(key, kRefsXattr, encode_refs(refs));
+    txn.setxattr(key, kRefsXattr, store_refs(key, std::move(refs)));
     submit_write(op.pool, op.oid, std::move(txn), std::move(finish),
                  op.foreground);
     return;
@@ -568,6 +598,10 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
     if (ps == nullptr) continue;
     auto praw = ps->getxattr(key, kRefsXattr);
     if (!praw.is_ok()) continue;
+    // Peer reads stay uncached — they cross OSDs, and this degraded-create
+    // path is rare — but their metadata traffic is still accounted.
+    perf_->inc(l_osd_meta_bytes_read, praw.value().size());
+    perf_->inc(l_osd_refs_decodes);
     auto pdec = decode_refs(praw.value());
     if (!pdec.is_ok()) continue;
     for (const auto& r : pdec.value()) {
@@ -578,7 +612,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   }
   Transaction txn;
   txn.write_full(key, op.data);
-  txn.setxattr(key, kRefsXattr, encode_refs(refs));
+  txn.setxattr(key, kRefsXattr, store_refs(key, std::move(refs)));
   submit_write(op.pool, op.oid, std::move(txn), std::move(finish),
                op.foreground);
 }
@@ -595,15 +629,10 @@ void Osd::chunk_deref_locked(const OsdOp& op, ReplyFn reply) {
     finish(Status::ok());  // already reclaimed — deref is idempotent
     return;
   }
-  auto raw = local_getxattr(op.pool, op.oid, kRefsXattr);
   std::vector<ChunkRef> refs;
-  if (raw.is_ok()) {
-    auto dec = decode_refs(raw.value());
-    if (!dec.is_ok()) {
-      finish(dec.status());
-      return;
-    }
-    refs = std::move(dec).value();
+  if (Status s = load_refs(key, &refs); !s.is_ok()) {
+    finish(s);
+    return;
   }
   auto it = std::find(refs.begin(), refs.end(), op.ref);
   if (it == refs.end()) {
@@ -613,11 +642,12 @@ void Osd::chunk_deref_locked(const OsdOp& op, ReplyFn reply) {
   refs.erase(it);
   if (refs.empty()) {
     perf_->inc(l_osd_chunks_reclaimed);
+    refs_cache_.erase(key);  // chunk object is going away
     submit_remove(op.pool, op.oid, std::move(finish), op.foreground);
     return;
   }
   Transaction txn;
-  txn.setxattr(key, kRefsXattr, encode_refs(refs));
+  txn.setxattr(key, kRefsXattr, store_refs(key, std::move(refs)));
   submit_write(op.pool, op.oid, std::move(txn), std::move(finish),
                op.foreground);
 }

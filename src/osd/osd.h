@@ -28,6 +28,7 @@
 #include "osd/cluster_context.h"
 #include "osd/messages.h"
 #include "osd/object_store.h"
+#include "osd/refs_cache.h"
 #include "sim/disk.h"
 #include "sim/metrics.h"
 
@@ -95,6 +96,14 @@ enum {
   l_osd_bytes_zero_copied,    // payload bytes applied as shared COW slices
   l_osd_crc_verifies,         // exec-pool payload CRC cross-checks run
   l_osd_crc_verify_failures,  // dedup-hit payload mismatched stored chunk
+  // Chunk-map metadata accounting (osd/refs_cache.h).  meta_bytes_* count
+  // the refs-xattr traffic identically with the fast path on or off; the
+  // cache counters measure decodes actually skipped.  Host-side only —
+  // never part of the determinism digest.
+  l_osd_meta_bytes_read,      // refs xattr bytes read (incl. peer union)
+  l_osd_meta_bytes_written,   // refs xattr bytes encoded + written
+  l_osd_refs_decodes,         // full reference-list decodes performed
+  l_osd_refs_cache_hits,      // decodes skipped via identity-validated hit
   l_osd_last,
 };
 
@@ -113,6 +122,10 @@ struct OsdStats {
   uint64_t chunks_reclaimed = 0;   // refcount hit zero
   uint64_t pulls = 0;
   uint64_t pushes = 0;
+  uint64_t meta_bytes_read = 0;
+  uint64_t meta_bytes_written = 0;
+  uint64_t refs_decodes = 0;
+  uint64_t refs_cache_hits = 0;
 };
 
 class Osd {
@@ -222,6 +235,15 @@ class Osd {
   void chunk_put_ref_locked(const OsdOp& op, ReplyFn reply);
   void chunk_deref_locked(const OsdOp& op, ReplyFn reply);
 
+  // Read + decode the chunk's reference list (empty vector if none is
+  // recorded yet), consulting the decoded-refs cache when the fast path
+  // is on.  Metadata read bytes are accounted identically in both modes.
+  Status load_refs(const ObjectKey& key, std::vector<ChunkRef>* out);
+  // Encode `refs`, account the metadata write, and pre-populate the cache
+  // with the encoded buffer's identity (the store retains it zero-copy,
+  // so the next load_refs on this chunk skips the decode).
+  Buffer store_refs(const ObjectKey& key, std::vector<ChunkRef> refs);
+
   // Per-object FIFO op queues.  Chunk verbs serialize so two in-flight
   // puts of the same (new) chunk cannot both take the create path; EC
   // writes serialize so concurrent read-modify-writes of one object can
@@ -268,6 +290,10 @@ class Osd {
   std::map<PoolId, std::unique_ptr<TierService>> tiers_;
   OpQueue chunk_op_queue_;
   OpQueue ec_write_queue_;
+  // Decoded refs-xattr cache, consulted only when ctx_->fp_fastpath().
+  // Identity validation makes stale entries self-healing, so crash resets
+  // (reset_volatile) need not touch it.
+  RefsCache refs_cache_;
   obs::PerfCountersRef perf_;
   mutable OsdStats stats_view_;
   OsdFailureHook failure_hook_;

@@ -1,0 +1,90 @@
+#pragma once
+
+// Decoded chunk-reference cache — the chunk-map half of the metadata fast
+// path (the fingerprint half lives in dedup/fingerprint_index.h).
+//
+// Every chunk put/deref reads the chunk's refs xattr and decodes the full
+// reference list just to answer "is this ref recorded?" — O(refs bytes)
+// of decode per operation on hot chunks that accumulate hundreds of
+// references.  This cache keeps the decoded list keyed by chunk object,
+// validated against the *identity* of the currently stored xattr buffer:
+// Buffers are copy-on-write and carry a globally unique, never-reused
+// mutation generation (see Buffer::generation()), so (data pointer, size,
+// generation) identifies the encoded bytes exactly.  If the store still
+// holds the very buffer we decoded (or encoded ourselves on the previous
+// update), the cached vector is byte-for-byte what a fresh decode would
+// produce; any recovery, wipe, or peer rewrite installs a different
+// buffer and the entry silently misses.  No invalidation protocol needed,
+// and no ABA hazard from recycled allocations.
+//
+// The cache changes host-side work only: the xattr read itself (and its
+// accounted metadata bytes) happens in both modes, a hit merely skips the
+// decode.  Per-OSD and thread-confined like the rest of OSD state.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/lru.h"
+#include "osd/messages.h"
+#include "osd/object_store.h"
+
+namespace gdedup {
+struct ObjectKeyHash {
+  size_t operator()(const ObjectKey& k) const noexcept {
+    size_t h = std::hash<std::string>{}(k.oid);
+    return h * 0x9e3779b97f4a7c15ULL + static_cast<size_t>(k.pool);
+  }
+};
+}  // namespace gdedup
+
+template <>
+struct std::hash<gdedup::ObjectKey> : gdedup::ObjectKeyHash {};
+
+namespace gdedup {
+
+class RefsCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit RefsCache(size_t capacity = kDefaultCapacity) : lru_(capacity) {}
+
+  // Returns the cached decoded refs iff `raw` is the exact buffer the
+  // entry was built against; stale entries are dropped eagerly.
+  const std::vector<ChunkRef>* find(const ObjectKey& key, const Buffer& raw) {
+    Entry* e = lru_.get(key);
+    if (e == nullptr) return nullptr;
+    if (e->data != reinterpret_cast<uintptr_t>(raw.data()) ||
+        e->len != raw.size() || e->gen != raw.generation()) {
+      lru_.erase(key);
+      return nullptr;
+    }
+    return &e->refs;
+  }
+
+  // Bind `refs` to the identity of encoded buffer `enc`.  Callers pass the
+  // buffer they are about to setxattr: if the store retains it zero-copy,
+  // the next read hits; if the store copies (or the txn never lands), the
+  // identity check simply fails.
+  void put(const ObjectKey& key, const Buffer& enc,
+           std::vector<ChunkRef> refs) {
+    if (enc.storage_id() == nullptr) return;
+    lru_.put(key, Entry{reinterpret_cast<uintptr_t>(enc.data()), enc.size(),
+                        enc.generation(), std::move(refs)});
+  }
+
+  void erase(const ObjectKey& key) { lru_.erase(key); }
+  size_t size() const { return lru_.size(); }
+
+ private:
+  struct Entry {
+    uintptr_t data = 0;
+    size_t len = 0;
+    uint64_t gen = 0;
+    std::vector<ChunkRef> refs;
+  };
+
+  LruMap<ObjectKey, Entry> lru_;
+};
+
+}  // namespace gdedup

@@ -5,6 +5,7 @@
 
 #include "common/encoding.h"
 #include "common/logging.h"
+#include "dedup/fingerprint_index.h"
 #include "ec/reed_solomon.h"
 
 namespace gdedup {
@@ -14,7 +15,9 @@ Cluster::Cluster(ClusterConfig cfg)
       sched_(cfg.sim_shards > 0 ? cfg.sim_shards : Scheduler::env_shards()),
       exec_pool_(cfg.exec_threads > 0 ? cfg.exec_threads
                                       : ExecPool::env_threads()),
-      net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net) {
+      net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net),
+      fp_fastpath_(cfg.fp_fastpath < 0 ? ClusterContext::env_fp_fastpath()
+                                       : cfg.fp_fastpath != 0) {
   // Storage nodes spread round-robin over shards; client nodes pin to
   // shard 0 so the bench harnesses' shared completion counters stay
   // single-shard.  The map is part of the determinism contract only in
@@ -42,6 +45,9 @@ Cluster::Cluster(ClusterConfig cfg)
   for (int n = 0; n < num_nodes(); n++) {
     node_cpus_.push_back(std::make_unique<CpuModel>(&sched_, cfg_.cpu));
   }
+  for (int n = 0; n < cfg_.storage_nodes; n++) {
+    node_fp_indexes_.push_back(std::make_unique<FingerprintIndex>());
+  }
   int osd_id = 0;
   for (int n = 0; n < cfg_.storage_nodes; n++) {
     for (int d = 0; d < cfg_.osds_per_node; d++) {
@@ -65,6 +71,13 @@ Cluster::~Cluster() {
 Osd* Cluster::osd(OsdId id) {
   if (id < 0 || id >= static_cast<OsdId>(osds_.size())) return nullptr;
   return osds_[static_cast<size_t>(id)].get();
+}
+
+FingerprintIndex* Cluster::fp_index(NodeId node) {
+  if (node < 0 || node >= static_cast<NodeId>(node_fp_indexes_.size())) {
+    return nullptr;  // client nodes run no tiers
+  }
+  return node_fp_indexes_[static_cast<size_t>(node)].get();
 }
 
 NodeId Cluster::node_of_osd(OsdId id) const {
@@ -150,6 +163,12 @@ DedupTierStats Cluster::tier_stats(PoolId metadata_pool) {
     agg.engine_ticks += s.engine_ticks;
     agg.engine_aborts += s.engine_aborts;
     agg.fingerprint_cache_hits += s.fingerprint_cache_hits;
+    agg.weak_hash_hits += s.weak_hash_hits;
+    agg.weak_hash_misses += s.weak_hash_misses;
+    agg.weak_collisions += s.weak_collisions;
+    agg.bloom_negative_hits += s.bloom_negative_hits;
+    agg.sha_computed += s.sha_computed;
+    agg.sha_avoided += s.sha_avoided;
   }
   return agg;
 }

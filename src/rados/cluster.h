@@ -46,6 +46,12 @@ struct ClusterConfig {
   // actually run on worker threads is a separate switch
   // (GDEDUP_SIM_PARALLEL / Scheduler::set_parallel).
   int sim_shards = 0;
+  // Two-tier fingerprint fast path + chunk-refs metadata cache.  -1 =
+  // take GDEDUP_FP_FASTPATH from the environment (default on), 0 = off,
+  // 1 = on.  Either state produces the same determinism digest — the
+  // fast path avoids host-side SHA invocations and refs-xattr decode
+  // round trips, never virtual-time observables.
+  int fp_fastpath = -1;
 };
 
 // Perf-counter indices for the event engine (registry entity "sim").
@@ -85,6 +91,8 @@ class Cluster : public ClusterContext {
   obs::PerfRegistry* perf_registry() override { return &perf_registry_; }
   obs::OpTracker* op_tracker() override { return &op_tracker_; }
   ExecPool* exec_pool() override { return &exec_pool_; }
+  bool fp_fastpath() const override { return fp_fastpath_; }
+  FingerprintIndex* fp_index(NodeId node) override;
 
   // --- topology ---
   const ClusterConfig& config() const { return cfg_; }
@@ -165,6 +173,10 @@ class Cluster : public ClusterContext {
   std::vector<std::unique_ptr<CpuModel>> node_cpus_;
   std::vector<std::unique_ptr<Osd>> osds_;
   std::map<OsdId, NodeId> osd_node_;
+  // One fingerprint index per storage node, shared by that node's tiers
+  // (thread-confined to the node's engine shard; see fingerprint_index.h).
+  bool fp_fastpath_;
+  std::vector<std::unique_ptr<FingerprintIndex>> node_fp_indexes_;
 };
 
 }  // namespace gdedup

@@ -28,6 +28,8 @@ const char* kernel_name(Kernel k) {
       return "ec_decode";
     case Kernel::kCompress:
       return "compress";
+    case Kernel::kWeakHash:
+      return "weak_hash";
     default:
       return "?";
   }

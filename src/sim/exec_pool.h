@@ -47,6 +47,7 @@ enum class Kernel : int {
   kEcEncode,
   kEcDecode,
   kCompress,
+  kWeakHash,
   kCount,
 };
 

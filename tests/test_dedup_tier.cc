@@ -195,9 +195,9 @@ TEST(FingerprintCache, SameStorageHitsMutationMisses) {
   const Fingerprint fp =
       Fingerprint::compute(FingerprintAlgo::kSha256, b.span());
   cache.insert(b, FingerprintAlgo::kSha256, fp);
-  const Fingerprint* hit = cache.find(b, FingerprintAlgo::kSha256);
+  const FingerprintCache::Entry* hit = cache.find(b, FingerprintAlgo::kSha256);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, fp);
+  EXPECT_EQ(hit->fp, fp);
   Buffer copy = b;  // shares storage and generation
   EXPECT_NE(cache.find(copy, FingerprintAlgo::kSha256), nullptr);
   // The algorithm is part of the key.
