@@ -39,6 +39,11 @@ cd "${build_dir}"
 if [[ -n "${filter}" ]]; then
   ctest --output-on-failure -R "${filter}"
 else
+  # Fail-fast smoke first: the restore-path bench (assembly window,
+  # selective rewrite, zero-copy window slices) and the refs-cache /
+  # fingerprint fast path are the heaviest pointer-juggling paths —
+  # surface ASan reports there before paying for the full suite.
+  ctest --output-on-failure -L asan_smoke
   ctest --output-on-failure
 fi
 

@@ -33,7 +33,7 @@ out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_micro_components bench_sim_e2e bench_events \
-  bench_fp_lookup perf_dump
+  bench_fp_lookup bench_restore perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
@@ -59,6 +59,13 @@ fp_json="${repo_root}/BENCH_FP.json"
 "${build_dir}/bench/bench_fp_lookup" --json="${fp_json}"
 
 echo "fingerprint fast-path trajectory point recorded at ${fp_json}"
+
+# Restore throughput vs dedup ratio: the fragmented baseline against the
+# selective-rewrite path, plus the assembly-cache digest-neutrality check.
+restore_json="${repo_root}/BENCH_RESTORE.json"
+"${build_dir}/bench/bench_restore" --json="${restore_json}"
+
+echo "restore trajectory point recorded at ${restore_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -117,7 +124,7 @@ merge_obs "${repo_root}/BENCH_SIM.json"
 
 history="${repo_root}/BENCH_HISTORY.jsonl"
 python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" \
-    "${fp_json}" <<'HIST'
+    "${fp_json}" "${restore_json}" <<'HIST'
 import datetime, json, sys
 history, paths = sys.argv[1], sys.argv[2:]
 ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

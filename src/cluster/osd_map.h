@@ -72,6 +72,18 @@ struct DedupTierConfig {
   // (dedup/scrub.h), exactly the trade the paper describes.
   bool async_deref = false;
 
+  // Capping-style selective rewrite (fragmentation-aware restore path):
+  // after an object flushes fully clean, if its measured fragmentation
+  // (distinct chunk-object extents / chunks) exceeds the threshold, runs
+  // of adjacent cold duplicate chunks are rewritten as one fresh
+  // contiguous container object, trading bounded storage blowup for
+  // restored sequentiality.  Intentionally changes placement, so it is
+  // off by default and carries its own frozen determinism digest.
+  bool restore_rewrite = false;
+  double rewrite_frag_threshold = 0.5;  // rewrite when frag ratio exceeds
+  int rewrite_max_pct = 50;             // cap: % of the object's chunks
+  int rewrite_run_len = 8;              // max chunks coalesced per container
+
   bool enabled() const { return mode != DedupMode::kOff; }
 };
 

@@ -62,8 +62,14 @@ Buffer ChunkMap::encode_entry(const ChunkMapEntry& ent) {
   Encoder ee;
   ee.put_u64(ent.offset);
   ee.put_u32(ent.length);
-  ee.put_u8(static_cast<uint8_t>((ent.cached ? 1 : 0) | (ent.dirty ? 2 : 0)));
+  ee.put_u8(static_cast<uint8_t>((ent.cached ? 1 : 0) | (ent.dirty ? 2 : 0) |
+                                 (ent.container ? 4 : 0)));
   ee.put_string(ent.chunk_id);
+  // Trailing container offset: encodes as zeros for ordinary chunks, which
+  // is byte-identical to the fixed-footprint padding below — the on-disk
+  // format (and the omap-bytes accounting the determinism digest folds in)
+  // only changes for container members.
+  ee.put_u64(ent.chunk_off);
   Buffer body = ee.finish();
   // Fixed per-entry footprint (the paper's 150 bytes per chunk entry).
   Buffer padded(kEntryEncodedBytes);
@@ -80,8 +86,12 @@ Result<ChunkMapEntry> ChunkMap::decode_entry(const Buffer& b) {
   if (auto s = ed.get_u32(&ent.length); !s.is_ok()) return s;
   if (auto s = ed.get_u8(&flags); !s.is_ok()) return s;
   if (auto s = ed.get_string(&ent.chunk_id); !s.is_ok()) return s;
+  // Container offset rides after the chunk id; entries written before the
+  // field existed (or handed to tests unpadded) decode it as absent = 0.
+  if (auto s = ed.get_u64(&ent.chunk_off); !s.is_ok()) ent.chunk_off = 0;
   ent.cached = (flags & 1) != 0;
   ent.dirty = (flags & 2) != 0;
+  ent.container = (flags & 4) != 0;
   return ent;
 }
 

@@ -39,6 +39,16 @@ struct ChunkMapEntry {
   std::string chunk_id;  // fingerprint-hex OID; empty until first flush
   bool cached = false;
   bool dirty = false;
+  // Offset of this slot's bytes inside the chunk object.  0 for ordinary
+  // chunks (the chunk object IS the slot content); nonzero only for slots
+  // the selective-rewrite pass coalesced into a shared container object.
+  // Encodes as trailing zeros when 0, so default-mode omap bytes are
+  // byte-identical to the pre-container format.
+  uint64_t chunk_off = 0;
+  // Slot is a member of a rewrite container (chunk_id names the container
+  // object; chunk_off locates the slot inside it).  Container members are
+  // never re-selected by the rewrite pass.
+  bool container = false;
   // Volatile (not encoded): bumped on every dirtying write, so a flush
   // can detect that newer data landed while it was in flight.
   uint64_t dirty_gen = 0;

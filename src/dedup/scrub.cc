@@ -225,6 +225,9 @@ ScrubReport Scrubber::collect_garbage() {
       rep.leaked_chunks_reclaimed++;
       for (OsdId id : who) {
         (void)ctx_->osd(id)->store(chunks_).remove_object(key);
+        // Direct store removal bypasses chunk_deref_locked's cache erase;
+        // a recreate of this OID must not revalidate a stale refs entry.
+        ctx_->osd(id)->drop_refs_cache(key);
       }
       continue;
     }
@@ -283,6 +286,9 @@ ScrubReport Scrubber::collect_garbage() {
         continue;
       }
       rep.leaked_chunks_reclaimed++;
+      // GC reclaim is not a deref: invalidate every holder's decoded-refs
+      // entry before the removal fans out.
+      for (OsdId id : who) ctx_->osd(id)->drop_refs_cache(key);
       (*outstanding)++;
       o->submit_remove(chunks_, key.oid,
                        [outstanding](Status) { (*outstanding)--; },

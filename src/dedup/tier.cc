@@ -76,6 +76,16 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
   b.add_counter(l_tier_bloom_negative_hits, "bloom_negative_hits");
   b.add_counter(l_tier_sha_computed, "sha_computed");
   b.add_counter(l_tier_sha_avoided, "sha_avoided");
+  b.add_counter(l_tier_read_logical_bytes, "read_logical_bytes");
+  b.add_counter(l_tier_read_chunk_objects, "read_chunk_objects");
+  b.add_counter(l_tier_read_chunk_rpcs, "read_chunk_rpcs");
+  b.add_counter(l_tier_asm_window_opens, "asm_window_opens");
+  b.add_counter(l_tier_asm_hits, "asm_hits");
+  b.add_counter(l_tier_asm_prefetched_refs, "asm_prefetched_refs");
+  b.add_counter(l_tier_asm_wasted_refs, "asm_wasted_refs");
+  b.add_counter(l_tier_rewrite_runs, "rewrite_runs");
+  b.add_counter(l_tier_rewrite_chunks, "rewrite_chunks");
+  b.add_counter(l_tier_rewrite_bytes, "rewrite_bytes");
   b.add_histogram(l_tier_write_lat, "write_lat");
   b.add_histogram(l_tier_read_lat, "read_lat");
   b.add_histogram(l_tier_fingerprint_lat, "fingerprint_lat");
@@ -83,6 +93,7 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
   b.add_histogram(l_tier_chunk_deref_lat, "chunk_deref_lat");
   b.add_histogram(l_tier_merge_read_lat, "merge_read_lat");
   b.add_histogram(l_tier_flush_lat, "flush_lat");
+  b.add_histogram(l_tier_read_gap, "read_gap");
   perf_ = b.create();
   if (auto* reg = osd_->ctx().perf_registry()) reg->add(perf_);
 }
@@ -117,6 +128,16 @@ void DedupTier::refresh_stats_view() const {
   stats_view_.bloom_negative_hits = perf_->get(l_tier_bloom_negative_hits);
   stats_view_.sha_computed = perf_->get(l_tier_sha_computed);
   stats_view_.sha_avoided = perf_->get(l_tier_sha_avoided);
+  stats_view_.read_logical_bytes = perf_->get(l_tier_read_logical_bytes);
+  stats_view_.read_chunk_objects = perf_->get(l_tier_read_chunk_objects);
+  stats_view_.read_chunk_rpcs = perf_->get(l_tier_read_chunk_rpcs);
+  stats_view_.asm_window_opens = perf_->get(l_tier_asm_window_opens);
+  stats_view_.asm_hits = perf_->get(l_tier_asm_hits);
+  stats_view_.asm_prefetched_refs = perf_->get(l_tier_asm_prefetched_refs);
+  stats_view_.asm_wasted_refs = perf_->get(l_tier_asm_wasted_refs);
+  stats_view_.rewrite_runs = perf_->get(l_tier_rewrite_runs);
+  stats_view_.rewrite_chunks = perf_->get(l_tier_rewrite_chunks);
+  stats_view_.rewrite_bytes = perf_->get(l_tier_rewrite_bytes);
 }
 
 // --------------------------------------------------------- object context
@@ -228,6 +249,10 @@ void DedupTier::rebuild_dirty_list() {
   pending_writes_.clear();
   promote_queue_.clear();
   promote_set_.clear();
+  asm_windows_.clear();
+  rewrite_queue_.clear();
+  rewrite_set_.clear();
+  bump_map_stamp();
   in_tick_ = false;
   const ObjectStore* st = osd_->store_if_exists(pool_);
   if (st == nullptr) return;
@@ -302,7 +327,8 @@ std::string DedupTier::find_chunk_recording_ref(
 void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
                                const ChunkRef& ref, bool foreground,
                                std::function<void(Status)> done,
-                               obs::OpTraceRef trace) {
+                               obs::OpTraceRef trace,
+                               std::vector<ChunkRef> extra_refs) {
   const PoolId cp = cfg().chunk_pool;
   const OsdId primary = osd_->ctx().osdmap().primary(cp, chunk_oid);
   const SimTime t0 = sched().now();
@@ -313,6 +339,7 @@ void DedupTier::send_chunk_put(const std::string& chunk_oid, Buffer data,
   op.oid = chunk_oid;
   op.data = std::move(data);
   op.ref = ref;
+  op.extra_refs = std::move(extra_refs);
   op.foreground = foreground;
   send_osd_op(osd_->ctx(), osd_->node(), primary, std::move(op),
               [this, t0, trace = std::move(trace), sp,
@@ -403,9 +430,10 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
                        RedundancyScheme::kErasure;
 
   struct Preread {
-    uint64_t chunk_off;
+    uint64_t chunk_off;   // logical slot offset in the object
     std::string chunk_oid;
     uint32_t length;
+    uint64_t src_off;     // offset of the slot inside the chunk object
   };
   std::vector<Preread> prereads;
   if (ec_base && !full) {
@@ -415,7 +443,7 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
       const uint64_t cov_b = std::max(off, c);
       const uint64_t cov_e = std::min(new_end, c + e->length);
       if (cov_b <= c && cov_e >= c + e->length) continue;  // fully replaced
-      prereads.push_back({c, e->chunk_id, e->length});
+      prereads.push_back({c, e->chunk_id, e->length, e->chunk_off});
     }
   }
   auto g = std::make_shared<Gather>();
@@ -484,6 +512,7 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
       txn.omap_set(key, ChunkMap::omap_key(c), ChunkMap::encode_entry(e));
     }
 
+    bump_map_stamp();  // assembly plans over the old map are stale now
     mark_dirty(oid);
     pending_writes_[oid]++;
     osd_->submit_write(pool_, oid, std::move(txn),
@@ -501,7 +530,8 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
   g->done = std::move(proceed);
   for (size_t i = 0; i < prereads.size(); i++) {
     perf_->inc(l_tier_prereads);
-    read_chunk_from_pool(prereads[i].chunk_oid, 0, prereads[i].length,
+    read_chunk_from_pool(prereads[i].chunk_oid, prereads[i].src_off,
+                         prereads[i].length,
                          /*foreground=*/true,
                          [g, i](Result<Buffer> r) { g->arrive(i, std::move(r)); },
                          op.trace);
@@ -602,8 +632,11 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
             auto commit = [this, oid, c, clen, new_id, step](Status) {
               ChunkMapEntry& ent2 = cached_map(oid).obtain(c, clen);
               ent2.chunk_id = new_id;
+              ent2.chunk_off = 0;
+              ent2.container = false;
               ent2.cached = false;
               ent2.dirty = false;
+              bump_map_stamp();
               (*step)();
             };
             if (old_id == new_id) {
@@ -636,8 +669,8 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
       // The Figure 5(a) read-modify-write: fetch the 32KB chunk to apply a
       // 16KB write.
       perf_->inc(l_tier_prereads);
-      read_chunk_from_pool(e->chunk_id, 0, e->length, /*foreground=*/true,
-                           assemble, trace);
+      read_chunk_from_pool(e->chunk_id, e->chunk_off, e->length,
+                           /*foreground=*/true, assemble, trace);
     } else {
       Buffer zeros(clen);
       assemble(zeros);
@@ -685,6 +718,57 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
   }
   const uint64_t len =
       op.len == 0 ? size - off : std::min<uint64_t>(op.len, size - off);
+  perf_->inc(l_tier_read_logical_bytes, len);
+
+  // Forward-assembly window bookkeeping (host-side only — the window
+  // changes neither the RPCs issued nor any digested counter, it only
+  // assembles replies into one shared buffer and serves them as
+  // zero-copy slices).  Retries rebuild the map view, so only the first
+  // attempt consults the window.
+  AssemblyWindow* win = nullptr;
+  const uint32_t cs = chunker_.chunk_size();
+  if (attempt == 0 && osd_->ctx().restore_assembly()) {
+    AssemblyWindow& w = asm_windows_[oid];
+    if (w.streak > 0 && off == w.expect_off) {
+      w.streak++;
+    } else {
+      close_assembly_window(&w);  // sequentiality broke
+      w.streak = 1;
+    }
+    w.expect_off = off + len;
+    if (w.open && (w.stamp != map_mutation_stamp_ || off < w.win_begin ||
+                   off + len > w.win_end)) {
+      close_assembly_window(&w);  // plan stale or read left the window
+    }
+    if (!w.open && w.streak >= kAsmStreakThreshold) {
+      const uint64_t first = off / cs * cs;
+      const uint64_t wend = std::min<uint64_t>(
+          size, first + static_cast<uint64_t>(kAsmWindowChunks) * cs);
+      if (wend > off) {
+        w.open = true;
+        w.stamp = map_mutation_stamp_;
+        w.win_begin = off;
+        w.win_end = wend;
+        w.buf = std::make_shared<Buffer>(wend - off);
+        w.planned = 0;
+        w.consumed = 0;
+        for (uint64_t c = first; c < wend; c += cs) {
+          const ChunkMapEntry* ent = cm.find(c);
+          if (ent != nullptr && !ent->cached && ent->flushed()) w.planned++;
+        }
+        perf_->inc(l_tier_asm_window_opens);
+        perf_->inc(l_tier_asm_prefetched_refs, w.planned);
+      }
+    }
+    if (w.open && w.stamp == map_mutation_stamp_ && off >= w.win_begin &&
+        off + len <= w.win_end) {
+      win = &w;
+    }
+  }
+  // Completions write through the shared buffer, never through `win`:
+  // the window may close (or the map rehash) while RPCs are in flight.
+  std::shared_ptr<Buffer> wbuf = win != nullptr ? win->buf : nullptr;
+  const uint64_t woff = win != nullptr ? win->win_begin : 0;
 
   // Build segments: coalesced local spans, per-chunk remote reads.
   struct Segment {
@@ -696,7 +780,11 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
     uint64_t chunk_off;  // offset within the chunk object
   };
   std::vector<Segment> segs;
-  const uint32_t cs = chunker_.chunk_size();
+  // Read-amplification bookkeeping: distinct chunk-pool objects touched
+  // and the pg distance between consecutive remote placements (the
+  // seek-locality signal restore fragmentation destroys).
+  std::unordered_set<std::string> touched_chunks;
+  int64_t prev_pg = -1;
   for (uint64_t c : chunker_.covering(off, len)) {
     const uint64_t b = std::max(off, c);
     const uint64_t e = std::min(off + len, c + static_cast<uint64_t>(cs));
@@ -704,9 +792,38 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
     const bool remote = ent != nullptr && !ent->cached && ent->flushed();
     if (remote) {
       perf_->inc(l_tier_redirected_read_chunks);
-      // A dirty non-cached chunk holds its newest bytes in local extents
-      // over older chunk-pool content: fetch remote, overlay local.
-      segs.push_back({true, ent->dirty, b, e, ent->chunk_id, b - c});
+      if (touched_chunks.insert(ent->chunk_id).second) {
+        perf_->inc(l_tier_read_chunk_objects);
+      }
+      const int64_t pg = static_cast<int64_t>(
+          osd_->ctx().osdmap().pg_of(cfg().chunk_pool, ent->chunk_id));
+      if (prev_pg >= 0) {
+        perf_->record(l_tier_read_gap,
+                      static_cast<uint64_t>(pg > prev_pg ? pg - prev_pg
+                                                         : prev_pg - pg));
+      }
+      prev_pg = pg;
+      if (win != nullptr) {
+        perf_->inc(l_tier_asm_hits);
+        win->consumed++;
+      }
+      const uint64_t in_obj = ent->chunk_off + (b - c);
+      // Adjacent slots coalesced into one container object read back as
+      // ONE batched chunk-pool RPC.  Ordinary chunks can never merge
+      // here: their in-object offset restarts at 0 every slot, so the
+      // contiguity test fails — with restore_rewrite off this branch is
+      // digest-neutral by construction.
+      if (!segs.empty() && segs.back().remote && !segs.back().merge_local &&
+          !ent->dirty && segs.back().chunk_oid == ent->chunk_id &&
+          segs.back().end == b &&
+          segs.back().chunk_off + (segs.back().end - segs.back().begin) ==
+              in_obj) {
+        segs.back().end = e;
+      } else {
+        // A dirty non-cached chunk holds its newest bytes in local extents
+        // over older chunk-pool content: fetch remote, overlay local.
+        segs.push_back({true, ent->dirty, b, e, ent->chunk_id, in_obj});
+      }
     } else {
       perf_->inc(l_tier_cached_read_chunks);
       if (!segs.empty() && !segs.back().remote && segs.back().end == b) {
@@ -715,6 +832,9 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
         segs.push_back({false, false, b, e, {}, 0});
       }
     }
+  }
+  for (const Segment& s : segs) {
+    if (s.remote) perf_->inc(l_tier_read_chunk_rpcs);
   }
 
   const bool any_remote =
@@ -725,7 +845,8 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
   g->outstanding = static_cast<int>(segs.size());
   // Weak self-reference: see post_process_write's `proceed`.
   std::weak_ptr<Gather> gw = g;
-  g->done = [this, gw, op, attempt, reply = std::move(reply)](Status s) mutable {
+  g->done = [this, gw, op, attempt, wbuf, woff, off, len,
+             reply = std::move(reply)](Status s) mutable {
     auto g = gw.lock();
     if (!g) return;
     if (!s.is_ok()) {
@@ -741,8 +862,14 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
       reply(OsdOpReply{s, {}, 0, {}, nullptr});
       return;
     }
-    Buffer out = g->parts.size() == 1 ? std::move(g->parts[0]) : Buffer();
-    if (g->parts.size() != 1) {
+    Buffer out;
+    if (wbuf) {
+      // Every part of this read landed in the window buffer; the reply is
+      // a zero-copy slice of it (no per-read concat allocation).
+      out = wbuf->slice(off - woff, len);
+    } else if (g->parts.size() == 1) {
+      out = std::move(g->parts[0]);
+    } else {
       size_t total = 0;
       for (const auto& p : g->parts) total += p.size();
       out.resize(total);
@@ -764,7 +891,7 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
       read_chunk_from_pool(
           s.chunk_oid, s.chunk_off, n,
           /*foreground=*/true,
-          [this, g, i, merge, oid, b, n](Result<Buffer> r) {
+          [this, g, i, merge, oid, b, n, wbuf, woff](Result<Buffer> r) {
             if (!r.is_ok()) {
               g->arrive(i, std::move(r));
               return;
@@ -774,21 +901,34 @@ void DedupTier::handle_read_attempt(const OsdOp& op, ReplyFn reply,
             Buffer part = std::move(r).value();
             part.resize(n);
             if (merge) overlay_local(oid, b, &part);
-            g->arrive(i, std::move(part));
+            if (wbuf) {
+              wbuf->write_at(b - woff, part);
+              g->arrive(i, Buffer());
+            } else {
+              g->arrive(i, std::move(part));
+            }
           },
           op.trace);
     } else {
+      const uint64_t b = s.begin;
       const uint64_t n = s.end - s.begin;
-      osd_->submit_read(pool_, oid, s.begin, n,
-                        [g, i, n](Result<Buffer> r) {
-                          if (r.is_ok() && r->size() < n) {
+      osd_->submit_read(pool_, oid, b, n,
+                        [g, i, b, n, wbuf, woff](Result<Buffer> r) {
+                          if (!r.is_ok()) {
+                            g->arrive(i, std::move(r));
+                            return;
+                          }
+                          Buffer part = std::move(r).value();
+                          if (part.size() < n) {
                             // Hole past the store's (possibly truncated)
                             // logical size: zeros by definition.
-                            Buffer b = std::move(r).value();
-                            b.resize(n);
-                            g->arrive(i, std::move(b));
+                            part.resize(n);
+                          }
+                          if (wbuf) {
+                            wbuf->write_at(b - woff, part);
+                            g->arrive(i, Buffer());
                           } else {
-                            g->arrive(i, std::move(r));
+                            g->arrive(i, std::move(part));
                           }
                         },
                         /*foreground=*/true);
@@ -817,6 +957,9 @@ void DedupTier::handle_remove(const OsdOp& op, ReplyFn reply) {
   }
   dirty_set_.erase(oid);
   drop_context(oid);
+  asm_windows_.erase(oid);
+  rewrite_set_.erase(oid);
+  bump_map_stamp();
   osd_->submit_remove(pool_, oid, [reply = std::move(reply)](Status s) {
     reply(OsdOpReply{s, {}, 0, {}, nullptr});
   });
@@ -968,7 +1111,33 @@ bool DedupTier::launch_one(const std::shared_ptr<TickState>& st) {
     st->inflight++;
     flush_object(oid, chunk_budget, [this, oid, on_done](bool any_left) {
       inflight_oids_.erase(oid);
-      if (any_left) mark_dirty(oid);  // take another pass later
+      if (any_left) {
+        mark_dirty(oid);  // take another pass later
+      } else {
+        // Fully clean: the fragmentation this flush produced is now
+        // measurable — queue a selective rewrite if it crossed the line.
+        maybe_enqueue_rewrite(oid);
+      }
+      on_done();
+    });
+    return true;
+  }
+
+  // Selective-rewrite queue, after the dirty backlog: defragmentation is
+  // strictly lower priority than getting dirty data deduplicated.
+  while (!rewrite_queue_.empty()) {
+    const std::string oid = rewrite_queue_.front();
+    rewrite_queue_.pop_front();
+    if (!rewrite_set_.erase(oid)) continue;  // cancelled (remove/forget)
+    if (!osd_->local_exists(pool_, oid) || is_dirty(oid) ||
+        pending_writes_.count(oid) > 0) {
+      continue;  // went dirty again; a later clean flush re-queues it
+    }
+    st->budget--;
+    st->inflight++;
+    inflight_oids_.insert(oid);  // marks the object busy for scrub/GC
+    rewrite_object(oid, [this, oid, on_done] {
+      inflight_oids_.erase(oid);
       on_done();
     });
     return true;
@@ -1078,7 +1247,7 @@ void DedupTier::flush_chunk_at(const std::string& oid, uint64_t offset,
     // superseded chunk, overlay the local extents, then continue.
     perf_->inc(l_tier_flush_merges);
     read_chunk_from_pool(
-        entry.chunk_id, 0, entry.length, /*foreground=*/false,
+        entry.chunk_id, entry.chunk_off, entry.length, /*foreground=*/false,
         [this, oid, entry, with_content, trace,
          done = std::move(done)](Result<Buffer> r) mutable {
           if (!r.is_ok()) {
@@ -1410,6 +1579,12 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
   // redo re-based onto an adopted chunk (see flush_chunk_at) reaches here
   // with the entry still naming its reclaimed predecessor.
   e->chunk_id = new_id;
+  // A flush always produces (or re-affirms) an ordinary chunk whose object
+  // starts at the slot content; container membership ended when the slot
+  // went dirty.
+  e->chunk_off = 0;
+  e->container = false;
+  bump_map_stamp();
   if (racy) {
     // A client write landed mid-flush; the local data is newer than what
     // we pushed.  Keep the chunk dirty so the engine reprocesses it.
@@ -1494,6 +1669,7 @@ void DedupTier::enforce_cache_capacity() {
     }
     cache_lru_.erase(oid);
     if (reclaimed == 0) continue;
+    bump_map_stamp();  // cached flags changed under any open window plans
     if (!any_local) txn.truncate(key, 0);
     total -= reclaimed;
     osd_->submit_write(pool_, oid, std::move(txn), [](Status) {},
@@ -1507,13 +1683,14 @@ void DedupTier::promote_object(const std::string& oid,
     uint64_t offset;
     uint32_t length;
     std::string chunk_oid;
+    uint64_t chunk_off;
   };
   auto targets = std::make_shared<std::vector<Target>>();
   {
     ChunkMap& cm = cached_map(oid);
     for (const auto& [off, e] : cm.entries()) {
       if (!e.cached && e.flushed() && !e.dirty) {
-        targets->push_back({off, e.length, e.chunk_id});
+        targets->push_back({off, e.length, e.chunk_id, e.chunk_off});
       }
     }
   }
@@ -1542,23 +1719,243 @@ void DedupTier::promote_object(const std::string& oid,
       const Target& t = (*targets)[i];
       ChunkMapEntry* e = cm.find(t.offset);
       // Only install if the chunk still references what we fetched.
-      if (e != nullptr && e->chunk_id == t.chunk_oid && !e->dirty) {
+      if (e != nullptr && e->chunk_id == t.chunk_oid &&
+          e->chunk_off == t.chunk_off && !e->dirty) {
         txn.write(key, t.offset, g->parts[i]);
         e->cached = true;
         txn.omap_set(key, ChunkMap::omap_key(t.offset),
                      ChunkMap::encode_entry(*e));
       }
     }
+    bump_map_stamp();
     osd_->submit_write(pool_, oid, std::move(txn),
                        [done = std::move(done)](Status) { done(); },
                        /*foreground=*/false);
   };
   for (size_t i = 0; i < targets->size(); i++) {
-    read_chunk_from_pool((*targets)[i].chunk_oid, 0, (*targets)[i].length,
+    read_chunk_from_pool((*targets)[i].chunk_oid, (*targets)[i].chunk_off,
+                         (*targets)[i].length,
                          /*foreground=*/false, [g, i](Result<Buffer> r) {
                            g->arrive(i, std::move(r));
                          });
   }
+}
+
+// --------------------------------------- fragmentation-aware restore path
+
+void DedupTier::close_assembly_window(AssemblyWindow* w) {
+  if (!w->open) return;
+  if (w->planned > w->consumed) {
+    perf_->inc(l_tier_asm_wasted_refs, w->planned - w->consumed);
+  }
+  w->open = false;
+  w->buf.reset();
+  w->planned = 0;
+  w->consumed = 0;
+}
+
+double DedupTier::fragmentation_of(const ChunkMap& cm) const {
+  uint64_t chunks = 0;
+  uint64_t extents = 0;
+  const ChunkMapEntry* prev = nullptr;
+  for (const auto& [off, e] : cm.entries()) {
+    if (!e.flushed() || e.cached || e.dirty) {
+      prev = nullptr;  // locally served slots break no remote extent
+      continue;
+    }
+    chunks++;
+    const bool contiguous = prev != nullptr && prev->chunk_id == e.chunk_id &&
+                            prev->offset + prev->length == e.offset &&
+                            prev->chunk_off + prev->length == e.chunk_off;
+    if (!contiguous) extents++;
+    prev = &e;
+  }
+  if (chunks == 0) return 0.0;
+  return static_cast<double>(extents) / static_cast<double>(chunks);
+}
+
+void DedupTier::maybe_enqueue_rewrite(const std::string& oid) {
+  if (!cfg().restore_rewrite) return;
+  if (rewrite_set_.count(oid) > 0) return;
+  if (!osd_->local_exists(pool_, oid)) return;
+  if (hitset_.is_hot(oid, sched().now())) return;  // promotion serves it
+  const ChunkMap& cm = cached_map(oid);
+  if (fragmentation_of(cm) <= cfg().rewrite_frag_threshold) return;
+  rewrite_set_.insert(oid);
+  rewrite_queue_.push_back(oid);
+}
+
+void DedupTier::rewrite_object(const std::string& oid,
+                               std::function<void()> done) {
+  if (!osd_->local_exists(pool_, oid) ||
+      osd_->ctx().osdmap().primary(pool_, oid) != osd_->id() ||
+      hitset_.is_hot(oid, sched().now())) {
+    sched().after(0, std::move(done));
+    return;
+  }
+  ChunkMap& cm = cached_map(oid);
+
+  // Select runs of 2..rewrite_run_len adjacent cold flushed slots, capped
+  // at rewrite_max_pct of the object's eligible chunks.  Container members
+  // are excluded, so a rewritten object converges instead of re-coalescing
+  // forever.
+  struct Slot {
+    uint64_t offset;
+    uint32_t length;
+    std::string chunk_id;
+    uint64_t chunk_off;
+  };
+  using Run = std::vector<Slot>;
+  auto runs = std::make_shared<std::vector<Run>>();
+  {
+    const size_t run_cap =
+        static_cast<size_t>(std::max(2, cfg().rewrite_run_len));
+    uint64_t eligible = 0;
+    for (const auto& [off, e] : cm.entries()) {
+      if (e.flushed() && !e.cached && !e.dirty && !e.container &&
+          e.length > 0) {
+        eligible++;
+      }
+    }
+    const uint64_t chunk_cap = std::max<uint64_t>(
+        2, eligible *
+               static_cast<uint64_t>(std::clamp(cfg().rewrite_max_pct, 0, 100)) /
+               100);
+    uint64_t taken = 0;
+    Run cur;
+    auto close_run = [&] {
+      if (cur.size() >= 2) {
+        runs->push_back(cur);
+      } else {
+        taken -= cur.size();  // a single slot gains nothing; return budget
+      }
+      cur.clear();
+    };
+    for (const auto& [off, e] : cm.entries()) {
+      const bool ok = e.flushed() && !e.cached && !e.dirty && !e.container &&
+                      e.length > 0 && taken < chunk_cap;
+      const bool adjacent =
+          !cur.empty() && cur.back().offset + cur.back().length == e.offset;
+      if (!ok || !adjacent) close_run();
+      if (!ok) continue;
+      cur.push_back({e.offset, e.length, e.chunk_id, e.chunk_off});
+      taken++;
+      if (cur.size() >= run_cap) close_run();
+    }
+    close_run();
+  }
+  if (runs->empty()) {
+    sched().after(0, std::move(done));
+    return;
+  }
+
+  // One run at a time: read the slots, fingerprint the concatenation (the
+  // container OID is content-addressed like any chunk, so deep scrub's
+  // recompute holds), put it carrying one ref per slot, update the map,
+  // then — deref-last, the Figure 9 ordering — release the old chunks.
+  auto idx = std::make_shared<size_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> step_weak = step;
+  *step = [this, oid, runs, idx, step_weak,
+           done = std::move(done)]() mutable {
+    auto step = step_weak.lock();
+    if (!step) return;
+    if (*idx >= runs->size() || !osd_->local_exists(pool_, oid)) {
+      done();
+      return;
+    }
+    const Run run = (*runs)[(*idx)++];
+    auto g = std::make_shared<Gather>();
+    g->parts.resize(run.size());
+    g->outstanding = static_cast<int>(run.size());
+    // Weak self-reference: see post_process_write's `proceed`.
+    std::weak_ptr<Gather> gw = g;
+    g->done = [this, oid, run, gw, step](Status s) mutable {
+      auto g = gw.lock();
+      if (!g) return;
+      if (!s.is_ok()) {
+        (*step)();  // a slot vanished mid-read; skip this run
+        return;
+      }
+      size_t total = 0;
+      for (const auto& sl : run) total += sl.length;
+      Buffer content(total);
+      size_t pos = 0;
+      for (size_t i = 0; i < run.size(); i++) {
+        Buffer p = std::move(g->parts[i]);
+        p.resize(run[i].length);  // short tail chunks zero-fill
+        content.write_at(pos, p);
+        pos += run[i].length;
+      }
+      fingerprint_async(
+          content,
+          [this, oid, run, content, step](const Fingerprint& fp) mutable {
+            const std::string cid = fp.hex();
+            std::vector<ChunkRef> extras;
+            extras.reserve(run.size() - 1);
+            for (size_t i = 1; i < run.size(); i++) {
+              extras.push_back({pool_, oid, run[i].offset});
+            }
+            const ChunkRef ref0{pool_, oid, run.front().offset};
+            auto after_put = [this, oid, run, cid, step](Status ps) mutable {
+              if (!ps.is_ok() || !osd_->local_exists(pool_, oid)) {
+                // Container may exist with refs no map names; the GC
+                // dangling-ref sweep reclaims it.
+                (*step)();
+                return;
+              }
+              ChunkMap& cm2 = cached_map(oid);
+              const ObjectKey key{pool_, oid};
+              Transaction txn;
+              auto derefs = std::make_shared<
+                  std::vector<std::pair<std::string, ChunkRef>>>();
+              uint64_t cum = 0;
+              for (const auto& sl : run) {
+                ChunkMapEntry* e = cm2.find(sl.offset);
+                const ChunkRef r{pool_, oid, sl.offset};
+                if (e != nullptr && !e->dirty && e->chunk_id == sl.chunk_id &&
+                    e->chunk_off == sl.chunk_off) {
+                  e->chunk_id = cid;
+                  e->chunk_off = cum;
+                  e->container = true;
+                  txn.omap_set(key, ChunkMap::omap_key(sl.offset),
+                               ChunkMap::encode_entry(*e));
+                  derefs->push_back({sl.chunk_id, r});
+                  perf_->inc(l_tier_rewrite_chunks);
+                  perf_->inc(l_tier_rewrite_bytes, sl.length);
+                } else {
+                  // The slot changed mid-rewrite: the container's ref for
+                  // it is already stale — release it instead.
+                  derefs->push_back({cid, r});
+                }
+                cum += sl.length;
+              }
+              perf_->inc(l_tier_rewrite_runs);
+              bump_map_stamp();
+              osd_->submit_write(
+                  pool_, oid, std::move(txn),
+                  [this, derefs, step](Status) {
+                    // Deref-last: only once the map durably names the
+                    // container may the old chunks lose their refs.
+                    for (auto& d : *derefs) {
+                      pending_derefs_.push_back(std::move(d));
+                    }
+                    (*step)();
+                  },
+                  /*foreground=*/false);
+            };
+            send_chunk_put(cid, content, ref0, /*foreground=*/false,
+                           std::move(after_put), nullptr, std::move(extras));
+          });
+    };
+    for (size_t i = 0; i < run.size(); i++) {
+      read_chunk_from_pool(run[i].chunk_id, run[i].chunk_off, run[i].length,
+                           /*foreground=*/false, [g, i](Result<Buffer> r) {
+                             g->arrive(i, std::move(r));
+                           });
+    }
+  };
+  (*step)();
 }
 
 }  // namespace gdedup

@@ -111,6 +111,21 @@ enum {
   l_tier_bloom_negative_hits, // negative answered by the shard filter
   l_tier_sha_computed,        // full SHA kernels actually run
   l_tier_sha_avoided,         // full SHA skipped via verified index hit
+  // Fragmentation-aware restore path.  The read-amp and forward-assembly
+  // counters are host-side observability (reported, never digested: the
+  // assembly cache must not move virtual time).  The rewrite counters
+  // only move in restore_rewrite mode, which carries its own frozen
+  // digest because it intentionally changes placement.
+  l_tier_read_logical_bytes,   // logical bytes served by tier reads
+  l_tier_read_chunk_objects,   // distinct chunk-pool objects touched, per read
+  l_tier_read_chunk_rpcs,      // chunk-pool read RPCs issued by reads
+  l_tier_asm_window_opens,     // sequential windows opened
+  l_tier_asm_hits,             // redirected chunk reads served from a window
+  l_tier_asm_prefetched_refs,  // chunk refs planned into windows
+  l_tier_asm_wasted_refs,      // planned refs never consumed before close
+  l_tier_rewrite_runs,         // container objects written by selective rewrite
+  l_tier_rewrite_chunks,       // map slots coalesced into containers
+  l_tier_rewrite_bytes,        // bytes rewritten into containers
   l_tier_write_lat,        // tier write handling, entry -> client ack, ns
   l_tier_read_lat,         // tier read handling, entry -> reply, ns
   l_tier_fingerprint_lat,  // costed fingerprint compute (cache hits = 0ns)
@@ -118,6 +133,8 @@ enum {
   l_tier_chunk_deref_lat,  // chunk-pool deref round trip
   l_tier_merge_read_lat,   // chunk-pool reads (RMW fills / redirects)
   l_tier_flush_lat,        // one chunk flush attempt, launch -> completion
+  l_tier_read_gap,         // log2 |pg distance| between consecutive remote
+                           // chunk placements in one read (seek locality)
   l_tier_last,
 };
 
@@ -152,6 +169,18 @@ struct DedupTierStats {
   uint64_t bloom_negative_hits = 0;
   uint64_t sha_computed = 0;
   uint64_t sha_avoided = 0;
+  // Fragmentation-aware restore path (reported, never digested except the
+  // rewrite counters under restore_rewrite's own frozen digest).
+  uint64_t read_logical_bytes = 0;
+  uint64_t read_chunk_objects = 0;
+  uint64_t read_chunk_rpcs = 0;
+  uint64_t asm_window_opens = 0;
+  uint64_t asm_hits = 0;
+  uint64_t asm_prefetched_refs = 0;
+  uint64_t asm_wasted_refs = 0;
+  uint64_t rewrite_runs = 0;
+  uint64_t rewrite_chunks = 0;
+  uint64_t rewrite_bytes = 0;
 };
 
 class DedupTier : public TierService {
@@ -167,7 +196,8 @@ class DedupTier : public TierService {
   void stop() override;
   size_t dirty_backlog() const override {
     return dirty_list_.size() + inflight_oids_.size() +
-           pending_derefs_.size() + promote_queue_.size();
+           pending_derefs_.size() + promote_queue_.size() +
+           rewrite_queue_.size();
   }
   bool object_busy(const std::string& oid) const override {
     return is_dirty(oid) || pending_writes_.count(oid) > 0;
@@ -179,6 +209,8 @@ class DedupTier : public TierService {
     promote_set_.erase(oid);
     map_cache_.erase(oid);
     cache_lru_.erase(oid);
+    asm_windows_.erase(oid);
+    rewrite_set_.erase(oid);
   }
 
   // --- introspection / test hooks ---
@@ -246,7 +278,8 @@ class DedupTier : public TierService {
   void send_chunk_put(const std::string& chunk_oid, Buffer data,
                       const ChunkRef& ref, bool foreground,
                       std::function<void(Status)> done,
-                      obs::OpTraceRef trace = nullptr);
+                      obs::OpTraceRef trace = nullptr,
+                      std::vector<ChunkRef> extra_refs = {});
   void send_chunk_deref(const std::string& chunk_oid, const ChunkRef& ref,
                         bool foreground, std::function<void(Status)> done,
                         obs::OpTraceRef trace = nullptr);
@@ -280,6 +313,46 @@ class DedupTier : public TierService {
                     const std::string& new_id, uint64_t snapshot_gen,
                     bool was_noop, std::function<void()> done);
   void promote_object(const std::string& oid, std::function<void()> done);
+
+  // -- fragmentation-aware restore path --
+  // Forward-assembly window: a per-object sequential-read detector that,
+  // once a streak is established, plans the next chunk refs from the map
+  // and assembles them into one window buffer.  Host-side only: every
+  // chunk-pool RPC, costed read, and digested counter happens identically
+  // with the window on or off — replies are merely carved from the window
+  // buffer as zero-copy slices instead of re-fetched.  Plans are
+  // validated against map_mutation_stamp_, bumped at every map-mutating
+  // site, so a stale window silently dissolves.
+  struct AssemblyWindow {
+    uint64_t expect_off = 0;  // predicted offset of the next read
+    int streak = 0;           // consecutive sequential reads seen
+    bool open = false;
+    uint64_t stamp = 0;       // map_mutation_stamp_ when planned
+    uint64_t win_begin = 0;
+    uint64_t win_end = 0;
+    // Assembled [win_begin, win_end) bytes.  Shared so in-flight read
+    // completions write into the same storage the window slices replies
+    // from (a by-value Buffer copy would detach on first write).
+    std::shared_ptr<Buffer> buf;
+    uint64_t planned = 0;     // refs planned into this window
+    uint64_t consumed = 0;    // refs actually served from it
+  };
+  static constexpr int kAsmStreakThreshold = 3;  // reads before a window
+  static constexpr int kAsmWindowChunks = 16;    // refs planned per window
+  void close_assembly_window(AssemblyWindow* w);
+  void bump_map_stamp() { map_mutation_stamp_++; }
+
+  // Fragmentation = extents/chunks over the flushed, non-cached map
+  // slots, where an extent is a maximal run contiguous inside one chunk
+  // object.  0 = fully sequential, ->1 = every chunk is its own seek.
+  double fragmentation_of(const ChunkMap& cm) const;
+  // After an object flushes fully clean: queue it for selective rewrite
+  // if restore_rewrite is on and fragmentation exceeds the threshold.
+  void maybe_enqueue_rewrite(const std::string& oid);
+  // Coalesce runs of adjacent cold flushed chunks into fresh contiguous
+  // container objects (one put carrying one ref per slot), then swap the
+  // map entries and deref the old chunks via pending_derefs_.
+  void rewrite_object(const std::string& oid, std::function<void()> done);
 
   // Section 4.3's LRU cache manager: when cache_capacity_bytes is set,
   // evict the coldest objects' clean cached chunks until under the cap.
@@ -330,6 +403,12 @@ class DedupTier : public TierService {
   std::deque<std::pair<std::string, ChunkRef>> pending_derefs_;
   std::deque<std::string> promote_queue_;
   std::unordered_set<std::string> promote_set_;
+  // Restore path: per-object assembly windows, the map-mutation stamp
+  // that invalidates their plans, and the selective-rewrite queue.
+  std::unordered_map<std::string, AssemblyWindow> asm_windows_;
+  uint64_t map_mutation_stamp_ = 1;
+  std::deque<std::string> rewrite_queue_;
+  std::unordered_set<std::string> rewrite_set_;
 
   FailureHook failure_hook_;
   WeakHashHook weak_hash_hook_;

@@ -49,7 +49,7 @@ std::string dump(Cluster& cluster, size_t slow_ops) {
 std::string summary_line(Cluster& cluster) {
   const PerfRegistry& reg = *cluster.perf_registry();
   const OpTracker& trk = *cluster.op_tracker();
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "obs: entities=%zu counters=%zu ops=%llu/%llu",
                 reg.num_entities(), reg.num_counters(),
@@ -57,15 +57,31 @@ std::string summary_line(Cluster& cluster) {
                 static_cast<unsigned long long>(trk.finished()));
   std::string out = buf;
 
-  // Two-tier fingerprint fast path + chunk-map metadata traffic, summed
-  // across entities by name prefix (the registry is the source of truth).
+  // Every ratio goes through safe_div so an idle cluster prints 0.000
+  // rather than nan/inf (or silently dropping the segment).
+  auto safe_div = [](uint64_t num, uint64_t den) {
+    return den > 0
+               ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+  };
+
+  // Fingerprint fast path, chunk-map metadata traffic, and restore-path
+  // read amplification, summed across entities by name prefix (the
+  // registry is the source of truth).
   uint64_t sha_computed = 0, sha_avoided = 0, memo_hits = 0;
   uint64_t meta_read = 0, meta_written = 0;
+  uint64_t read_bytes = 0, read_objects = 0, read_rpcs = 0;
+  uint64_t asm_hits = 0, remote_chunks = 0;
   for (const auto& pc : reg.sorted()) {
     if (pc->name().rfind("tier.", 0) == 0) {
       sha_computed += pc->get(l_tier_sha_computed);
       sha_avoided += pc->get(l_tier_sha_avoided);
       memo_hits += pc->get(l_tier_fingerprint_cache_hits);
+      read_bytes += pc->get(l_tier_read_logical_bytes);
+      read_objects += pc->get(l_tier_read_chunk_objects);
+      read_rpcs += pc->get(l_tier_read_chunk_rpcs);
+      asm_hits += pc->get(l_tier_asm_hits);
+      remote_chunks += pc->get(l_tier_redirected_read_chunks);
     } else if (pc->name().rfind("osd.", 0) == 0) {
       meta_read += pc->get(l_osd_meta_bytes_read);
       meta_written += pc->get(l_osd_meta_bytes_written);
@@ -76,18 +92,24 @@ std::string summary_line(Cluster& cluster) {
   for (PoolId pid : cluster.osdmap().pool_ids()) {
     client_bytes += cluster.pool_stats(pid).logical_bytes;
   }
-  if (fp_total > 0) {
-    std::snprintf(buf, sizeof(buf),
-                  " sha_avoided=%.3f meta_read_amp=%.4f meta_kb=%llu/%llu",
-                  static_cast<double>(sha_avoided + memo_hits) /
-                      static_cast<double>(fp_total),
-                  client_bytes > 0 ? static_cast<double>(meta_read) /
-                                         static_cast<double>(client_bytes)
-                                   : 0.0,
-                  static_cast<unsigned long long>(meta_read / 1024),
-                  static_cast<unsigned long long>(meta_written / 1024));
-    out += buf;
-  }
+  std::snprintf(buf, sizeof(buf),
+                " sha_avoided=%.3f meta_read_amp=%.4f meta_kb=%llu/%llu",
+                safe_div(sha_avoided + memo_hits, fp_total),
+                safe_div(meta_read, client_bytes),
+                static_cast<unsigned long long>(meta_read / 1024),
+                static_cast<unsigned long long>(meta_written / 1024));
+  out += buf;
+  // read_amp: distinct chunk-pool objects touched per logical MB read
+  // (Section 3.4's restore-locality figure of merit); asm_hit: fraction
+  // of remote chunk reads served from the forward-assembly window.
+  std::snprintf(buf, sizeof(buf), " read_amp=%.2f/MB asm_hit=%.3f rpc=%llu",
+                read_bytes > 0 ? static_cast<double>(read_objects) /
+                                     (static_cast<double>(read_bytes) /
+                                      (1024.0 * 1024.0))
+                               : 0.0,
+                safe_div(asm_hits, remote_chunks),
+                static_cast<unsigned long long>(read_rpcs));
+  out += buf;
   auto slow = trk.dump_historic_slow_ops(1);
   if (!slow.empty()) {
     out += " slowest: ";

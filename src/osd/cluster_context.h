@@ -64,6 +64,19 @@ class ClusterContext {
   }
   virtual bool fp_fastpath() const { return env_fp_fastpath(); }
 
+  // Forward-assembly restore cache (dedup/tier.cc handle_read).  Host-side
+  // only, like the fingerprint fast path: a sequential-read window plans
+  // the next chunk refs and assembles replies from one window buffer, but
+  // every chunk-pool RPC, cpu cost, and digested counter is issued
+  // identically — the determinism digest is byte-identical either way.
+  // Default: the GDEDUP_RESTORE_ASSEMBLY environment variable, on unless
+  // set to "0".  rados::Cluster overrides with its ClusterConfig knob.
+  static bool env_restore_assembly() {
+    const char* v = std::getenv("GDEDUP_RESTORE_ASSEMBLY");
+    return v == nullptr || v[0] == '\0' || v[0] != '0';
+  }
+  virtual bool restore_assembly() const { return env_restore_assembly(); }
+
   // Node-local fingerprint index shared by the dedup tiers of one storage
   // node (every event of a node runs on that node's engine shard, so the
   // index needs no lock).  Default nullptr: tiers in cluster-less

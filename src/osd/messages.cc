@@ -79,6 +79,7 @@ uint64_t OsdOp::wire_bytes() const {
   if (state) n += object_state_bytes(*state);
   if (type == OsdOpType::kChunkPutRef || type == OsdOpType::kChunkDeref) {
     n += 16 + ref.oid.size();
+    for (const auto& r : extra_refs) n += 16 + r.oid.size();
   }
   return n;
 }

@@ -74,6 +74,9 @@ struct OsdOp {
   Buffer data;
   std::string name;  // xattr name
   ChunkRef ref;      // kChunkPutRef / kChunkDeref
+  // Additional back-references recorded with the same kChunkPutRef — a
+  // rewrite container carries one ref per coalesced slot in a single put.
+  std::vector<ChunkRef> extra_refs;
   std::shared_ptr<Transaction> txn;        // kSubWrite
   std::shared_ptr<ObjectState> state;      // kPush
   bool foreground = true;  // false for background dedup / recovery traffic

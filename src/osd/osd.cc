@@ -550,6 +550,13 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
     }
     const bool recorded =
         std::find(refs.begin(), refs.end(), op.ref) != refs.end();
+    bool extras_recorded = true;
+    for (const auto& r : op.extra_refs) {
+      if (std::find(refs.begin(), refs.end(), r) == refs.end()) {
+        extras_recorded = false;
+        break;
+      }
+    }
     // The local copy alone does not make the put durable: a prior attempt
     // can have created the chunk here while its replica fanout was lost to
     // a network fault, and acking a retry off local state would leave the
@@ -564,7 +571,7 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
         break;
       }
     }
-    if (recorded && fully_placed) {
+    if (recorded && extras_recorded && fully_placed) {
       // Retried flush; the reference is already recorded everywhere.
       finish(Status::ok());
       return;
@@ -572,6 +579,11 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
     if (!recorded) {
       perf_->inc(l_osd_chunk_dedup_hits);
       refs.push_back(op.ref);
+    }
+    for (const auto& r : op.extra_refs) {
+      if (std::find(refs.begin(), refs.end(), r) == refs.end()) {
+        refs.push_back(r);
+      }
     }
     Transaction txn;
     if (!fully_placed) txn.write_full(key, op.data);
@@ -590,6 +602,9 @@ void Osd::chunk_put_ref_locked(const OsdOp& op, ReplyFn reply) {
   // later deref-to-zero would then destroy a chunk another object's map
   // still names.  Union the surviving refs in.
   std::vector<ChunkRef> refs{op.ref};
+  for (const auto& r : op.extra_refs) {
+    if (std::find(refs.begin(), refs.end(), r) == refs.end()) refs.push_back(r);
+  }
   for (OsdId pid : ctx_->osdmap().all_osds()) {
     if (pid == id_) continue;
     Osd* peer = ctx_->osd(pid);

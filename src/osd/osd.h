@@ -154,6 +154,14 @@ class Osd {
   // assert.  Called on crash; harmless on a live OSD with no queued work.
   void reset_volatile();
 
+  // Drop the decoded-refs cache entry for `key` (all entries when `key`
+  // is omitted).  Needed wherever a chunk object is destroyed *without*
+  // passing through chunk_deref_locked — GC reclaim, store wipes — since
+  // a recreate could otherwise revalidate a stale entry whose bound
+  // buffer was never mutated.
+  void drop_refs_cache(const ObjectKey& key) { refs_cache_.erase(key); }
+  void drop_refs_cache() { refs_cache_.clear(); }
+
   // Per-pool backing store (created on first touch; compression-at-rest
   // follows the pool config).
   ObjectStore& store(PoolId pool);

@@ -54,7 +54,13 @@ class RefsCache {
   const std::vector<ChunkRef>* find(const ObjectKey& key, const Buffer& raw) {
     Entry* e = lru_.get(key);
     if (e == nullptr) return nullptr;
-    if (e->data != reinterpret_cast<uintptr_t>(raw.data()) ||
+    // Generation 0 means "never went through next_generation()" — e.g. a
+    // default-constructed Buffer — so it is NOT globally unique and two
+    // distinct buffers can share the full (data, len, 0) identity.  An
+    // entry bound to such a buffer could survive a delete+recreate of the
+    // object; refuse to validate against it.
+    if (e->gen == 0 || raw.generation() == 0 ||
+        e->data != reinterpret_cast<uintptr_t>(raw.data()) ||
         e->len != raw.size() || e->gen != raw.generation()) {
       lru_.erase(key);
       return nullptr;
@@ -68,12 +74,13 @@ class RefsCache {
   // identity check simply fails.
   void put(const ObjectKey& key, const Buffer& enc,
            std::vector<ChunkRef> refs) {
-    if (enc.storage_id() == nullptr) return;
+    if (enc.storage_id() == nullptr || enc.generation() == 0) return;
     lru_.put(key, Entry{reinterpret_cast<uintptr_t>(enc.data()), enc.size(),
                         enc.generation(), std::move(refs)});
   }
 
   void erase(const ObjectKey& key) { lru_.erase(key); }
+  void clear() { lru_.clear(); }
   size_t size() const { return lru_.size(); }
 
  private:

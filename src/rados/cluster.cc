@@ -17,7 +17,10 @@ Cluster::Cluster(ClusterConfig cfg)
                                       : ExecPool::env_threads()),
       net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net),
       fp_fastpath_(cfg.fp_fastpath < 0 ? ClusterContext::env_fp_fastpath()
-                                       : cfg.fp_fastpath != 0) {
+                                       : cfg.fp_fastpath != 0),
+      restore_assembly_(cfg.restore_assembly < 0
+                            ? ClusterContext::env_restore_assembly()
+                            : cfg.restore_assembly != 0) {
   // Storage nodes spread round-robin over shards; client nodes pin to
   // shard 0 so the bench harnesses' shared completion counters stay
   // single-shard.  The map is part of the determinism contract only in
@@ -169,6 +172,16 @@ DedupTierStats Cluster::tier_stats(PoolId metadata_pool) {
     agg.bloom_negative_hits += s.bloom_negative_hits;
     agg.sha_computed += s.sha_computed;
     agg.sha_avoided += s.sha_avoided;
+    agg.read_logical_bytes += s.read_logical_bytes;
+    agg.read_chunk_objects += s.read_chunk_objects;
+    agg.read_chunk_rpcs += s.read_chunk_rpcs;
+    agg.asm_window_opens += s.asm_window_opens;
+    agg.asm_hits += s.asm_hits;
+    agg.asm_prefetched_refs += s.asm_prefetched_refs;
+    agg.asm_wasted_refs += s.asm_wasted_refs;
+    agg.rewrite_runs += s.rewrite_runs;
+    agg.rewrite_chunks += s.rewrite_chunks;
+    agg.rewrite_bytes += s.rewrite_bytes;
   }
   return agg;
 }
@@ -226,6 +239,9 @@ void Cluster::revive_osd(OsdId id, bool wipe_store) {
         (void)st.remove_object(key);
       }
     }
+    // Every object this OSD held is gone; decoded-refs entries bound to
+    // the wiped xattr buffers must not survive into the recreated world.
+    o->drop_refs_cache();
   }
   o->set_up(true);
   osdmap_.mark_up(id);

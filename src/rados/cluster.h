@@ -52,6 +52,10 @@ struct ClusterConfig {
   // fast path avoids host-side SHA invocations and refs-xattr decode
   // round trips, never virtual-time observables.
   int fp_fastpath = -1;
+  // Forward-assembly restore cache: -1 = take GDEDUP_RESTORE_ASSEMBLY
+  // from the environment (default on), 0 = off, 1 = on.  Host-side only,
+  // digest-identical either way (see ClusterContext::restore_assembly).
+  int restore_assembly = -1;
 };
 
 // Perf-counter indices for the event engine (registry entity "sim").
@@ -92,6 +96,7 @@ class Cluster : public ClusterContext {
   obs::OpTracker* op_tracker() override { return &op_tracker_; }
   ExecPool* exec_pool() override { return &exec_pool_; }
   bool fp_fastpath() const override { return fp_fastpath_; }
+  bool restore_assembly() const override { return restore_assembly_; }
   FingerprintIndex* fp_index(NodeId node) override;
 
   // --- topology ---
@@ -176,6 +181,7 @@ class Cluster : public ClusterContext {
   // One fingerprint index per storage node, shared by that node's tiers
   // (thread-confined to the node's engine shard; see fingerprint_index.h).
   bool fp_fastpath_;
+  bool restore_assembly_;
   std::vector<std::unique_ptr<FingerprintIndex>> node_fp_indexes_;
 };
 

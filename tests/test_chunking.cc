@@ -10,6 +10,7 @@
 #include "dedup/chunk_map.h"
 #include "dedup/chunker.h"
 #include "hash/rabin.h"
+#include "hash/weak_hash.h"
 
 namespace gdedup {
 namespace {
@@ -233,6 +234,86 @@ TEST(CdcChunker, FastPathMatchesReferenceShortInputs) {
   EXPECT_EQ(c.split(random_data(2047, 42)).size(), 1u);
   expect_same_chunks(c, random_data(2048, 43));  // exactly min_size
   expect_same_chunks(c, random_data(2049, 44));
+}
+
+// ----------------------------------------------------- split_with_weak
+
+// The fused pass must agree with split() on boundaries and with the
+// standalone hasher on every chunk — including the edges where the fusion
+// bookkeeping is easiest to get wrong: empty input, input below the
+// minimum chunk size, and a final chunk cut exactly at the size bound.
+
+template <typename Chunker>
+void expect_weak_matches_split(const Chunker& c, const Buffer& data) {
+  const auto plain = c.split(data);
+  const auto fused = c.split_with_weak(data);
+  ASSERT_EQ(fused.size(), plain.size());
+  for (size_t i = 0; i < fused.size(); i++) {
+    EXPECT_EQ(fused[i].offset, plain[i].offset) << "chunk " << i;
+    EXPECT_TRUE(fused[i].data.content_equals(plain[i].data)) << "chunk " << i;
+    EXPECT_EQ(fused[i].weak, WeakHasher::oneshot(fused[i].data.span()))
+        << "chunk " << i;
+  }
+}
+
+TEST(SplitWithWeak, EmptyInput) {
+  EXPECT_TRUE(FixedChunker(4096).split_with_weak(Buffer()).empty());
+  EXPECT_TRUE(
+      CdcChunker(2048, 8192, 32768).split_with_weak(Buffer()).empty());
+}
+
+TEST(SplitWithWeak, InputBelowMinChunkIsOneHashedChunk) {
+  // Shorter than one grid slot / shorter than min_size: exactly one chunk
+  // carrying the whole input, weak-hashed over exactly those bytes.
+  const Buffer tiny = random_data(100, 50);
+  for (const auto& w : {FixedChunker(4096).split_with_weak(tiny)}) {
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].offset, 0u);
+    EXPECT_TRUE(w[0].data.content_equals(tiny));
+    EXPECT_EQ(w[0].weak, WeakHasher::oneshot(tiny.span()));
+  }
+  const auto w = CdcChunker(2048, 8192, 32768).split_with_weak(tiny);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w[0].data.content_equals(tiny));
+  EXPECT_EQ(w[0].weak, WeakHasher::oneshot(tiny.span()));
+}
+
+TEST(SplitWithWeak, FinalChunkExactlyAtBound) {
+  // Fixed grid: input an exact multiple of the chunk size — the final
+  // chunk is full-length, and no empty trailing chunk appears.
+  FixedChunker fc(4096);
+  const Buffer exact = random_data(3 * 4096, 51);
+  const auto w = fc.split_with_weak(exact);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.back().offset, 2u * 4096);
+  EXPECT_EQ(w.back().data.size(), 4096u);
+  expect_weak_matches_split(fc, exact);
+
+  // CDC: input of exactly max_size with no earlier cut point (all-zero
+  // bytes never satisfy the boundary predicate) forces the single chunk
+  // to be cut at max_size exactly.
+  CdcChunker cc(2048, 8192, 32768);
+  const Buffer zeros(32768);
+  const auto z = cc.split_with_weak(zeros);
+  ASSERT_GE(z.size(), 1u);
+  uint64_t covered = 0;
+  for (const auto& ch : z) covered += ch.data.size();
+  EXPECT_EQ(covered, zeros.size());
+  EXPECT_EQ(z.back().offset + z.back().data.size(), 32768u);
+  expect_weak_matches_split(cc, zeros);
+}
+
+TEST(SplitWithWeak, MatchesOneshotAcrossShapes) {
+  FixedChunker fc(4096);
+  CdcChunker cc(2048, 8192, 32768);
+  for (uint64_t seed = 60; seed < 64; seed++) {
+    for (size_t n : {size_t(1), size_t(2047), size_t(2048), size_t(4096),
+                     size_t(100000), size_t(300000)}) {
+      const Buffer data = random_data(n, seed);
+      expect_weak_matches_split(fc, data);
+      expect_weak_matches_split(cc, data);
+    }
+  }
 }
 
 // --------------------------------------------------------------- ChunkMap

@@ -19,6 +19,7 @@
 #include "dedup/chunker.h"
 #include "dedup/fingerprint_index.h"
 #include "hash/weak_hash.h"
+#include "osd/refs_cache.h"
 #include "rados/fault_campaign.h"
 #include "sim_e2e_scenario.h"
 #include "test_util.h"
@@ -213,6 +214,39 @@ TEST(FingerprintIndex, ByteCapEvictsColdest) {
   EXPECT_TRUE(idx.probe(4, last).hit());
 }
 
+TEST(FingerprintIndex, ReinsertChurnKeepsByteAccountingExact) {
+  // Refreshing an existing key swaps the pinned content in place; the
+  // shard's byte gauge must track the swap exactly (debit old, credit
+  // new), or the byte cap drifts and either over-evicts or stops bounding
+  // memory at all.  Churn one key through growing and shrinking payloads
+  // and require retained_bytes to stay a ground-truth recount.
+  FingerprintIndex::Config cfg;
+  cfg.max_entries = 64;
+  cfg.max_bytes = 1ull << 30;  // byte cap out of the way: pure accounting
+  cfg.shards = 1;
+  FingerprintIndex idx(cfg);
+  const size_t sizes[] = {512, kChunk, 256, 4096, kChunk, 100};
+  for (uint64_t round = 0; round < 32; round++) {
+    const size_t n = sizes[round % (sizeof(sizes) / sizeof(sizes[0]))];
+    Buffer c = random_buffer(n, 7000 + round);
+    idx.insert(/*weak=*/1, c,
+               Fingerprint::compute(FingerprintAlgo::kSha256, c.span()));
+    EXPECT_EQ(idx.size(), 1u) << "round " << round;
+    EXPECT_EQ(idx.retained_bytes(), n) << "round " << round;
+  }
+  EXPECT_EQ(idx.stats().evictions, 0u);
+  // And under a tight cap, churned re-inserts still respect the bound.
+  cfg.max_bytes = 2 * kChunk;
+  FingerprintIndex tight(cfg);
+  for (uint64_t round = 0; round < 32; round++) {
+    Buffer c = random_buffer(kChunk, 8000 + round);
+    tight.insert(round % 3, c,
+                 Fingerprint::compute(FingerprintAlgo::kSha256, c.span()));
+    EXPECT_LE(tight.retained_bytes(), uint64_t(2 * kChunk));
+    EXPECT_EQ(tight.retained_bytes(), tight.size() * uint64_t(kChunk));
+  }
+}
+
 TEST(FingerprintIndex, BloomRebuildsAfterChurn) {
   FingerprintIndex::Config cfg;
   cfg.max_entries = 4;
@@ -228,6 +262,74 @@ TEST(FingerprintIndex, BloomRebuildsAfterChurn) {
   // *rate* — so just require the negative path to be live at all).
   for (uint64_t i = 1000; i < 1200; i++) (void)idx.probe(i, c);
   EXPECT_GT(idx.stats().bloom_negatives, 0u);
+}
+
+// --- Refs cache: identity validation (osd/refs_cache.h) ---
+
+TEST(RefsCache, HitsOnExactBufferIdentityOnly) {
+  RefsCache cache(8);
+  const ObjectKey key{1, "sha256:feed"};
+  Buffer enc = random_buffer(64, 1);
+  cache.put(key, enc, {{1, "obj", 0}, {1, "obj", kChunk}});
+
+  const std::vector<ChunkRef>* hit = cache.find(key, enc);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+
+  // Byte-identical content in a *different* buffer is a different
+  // identity (fresh generation): the stale entry is dropped eagerly.
+  Buffer twin = random_buffer(64, 1);
+  ASSERT_TRUE(twin.content_equals(enc));
+  EXPECT_EQ(cache.find(key, twin), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RefsCache, GenerationZeroNeverValidates) {
+  // Generation 0 marks a Buffer that never went through
+  // next_generation() — e.g. default-constructed.  Such identities are
+  // not unique (two empty Buffers share (nullptr, 0, 0)), so an entry
+  // bound to one could survive a delete+recreate of the chunk object.
+  // Both ends refuse: put() drops gen-0 bindings, find() rejects gen-0
+  // probes against a live entry.
+  RefsCache cache(8);
+  const ObjectKey key{1, "sha256:beef"};
+
+  Buffer untracked;  // no storage, generation 0
+  cache.put(key, untracked, {{1, "obj", 0}});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key, untracked), nullptr);
+
+  Buffer real = random_buffer(32, 2);
+  cache.put(key, real, {{1, "obj", 0}});
+  EXPECT_EQ(cache.size(), 1u);
+  Buffer empty_probe;
+  EXPECT_EQ(cache.find(key, empty_probe), nullptr);
+}
+
+TEST(RefsCache, DeleteRecreateNeverReusesStaleRefs) {
+  // End to end through the OSD: flush a deduped object, remove it (chunk
+  // derefs to zero -> chunk object deleted -> cache entry dropped), then
+  // recreate the same content.  The recreated chunk must carry exactly
+  // the fresh ref — a stale cached vector would resurrect the old one.
+  DedupHarness h(test_tier_config());
+  Buffer piece = random_buffer(kChunk, 77);
+  ASSERT_TRUE(h.write("obj", 0, piece).is_ok());
+  ASSERT_TRUE(h.drain());
+  ASSERT_EQ(h.chunk_object_count(), 1u);
+  ASSERT_EQ(h.total_chunk_refs(), 1u);
+
+  ASSERT_TRUE(sync_remove(*h.cluster, *h.client, h.meta, "obj").is_ok());
+  ASSERT_TRUE(h.drain());
+  EXPECT_EQ(h.chunk_object_count(), 0u);
+
+  ASSERT_TRUE(h.write("obj2", 0, piece).is_ok());
+  ASSERT_TRUE(h.drain());
+  EXPECT_EQ(h.chunk_object_count(), 1u);
+  EXPECT_EQ(h.total_chunk_refs(), 1u);
+  EXPECT_TRUE(h.refcounts_consistent());
+  auto r = h.read("obj2", 0, kChunk);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->content_equals(piece));
 }
 
 // --- The tier fast path end to end (DedupHarness) ---

@@ -393,3 +393,27 @@ TEST(ObservabilityCluster, DumpIsByteIdenticalAcrossSameSeedRuns) {
     EXPECT_NE(a.find(key), std::string::npos) << key;
   }
 }
+
+TEST(ObservabilityCluster, SummaryLineIsFiniteOnIdleCluster) {
+  // Regression: with zero I/O every ratio in the one-line summary has a
+  // zero denominator.  Each must print as 0.000 (or 0.00), never "nan" /
+  // "inf" — the line is grepped by scripts, and NaN also poisoned the
+  // sha_avoided segment which used to be skipped entirely when idle.
+  ClusterConfig cfg;
+  cfg.storage_nodes = 2;
+  cfg.osds_per_node = 2;
+  cfg.client_nodes = 1;
+  Cluster c(cfg);
+  const PoolId base = c.create_replicated_pool("base", 2);
+  const PoolId chunks = c.create_replicated_pool("chunks", 2);
+  c.enable_dedup(base, chunks, testutil::test_tier_config());
+
+  const std::string line = obs::summary_line(c);
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  // The divide-guarded segments are present even with all-zero inputs.
+  for (const char* key : {"sha_avoided=0.000", "meta_read_amp=0.0000",
+                          "read_amp=0.00/MB", "asm_hit=0.000", "rpc=0"}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key << " in: " << line;
+  }
+}
