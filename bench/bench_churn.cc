@@ -1,0 +1,483 @@
+// bench_churn — long-horizon multi-tenant churn under the telemetry engine
+// and health watchdogs (DESIGN.md §13, EXPERIMENTS.md churn-timeline
+// recipe).
+//
+// Drives a dedup-enabled cluster through virtual hours of hosted-storage
+// churn: onboard an initial tenant population, run zipf overwrite/read/
+// delete steady state, crank an overwrite storm, a delete storm, and a
+// mid-run tenant-onboarding burst, then drain and read back.  A
+// TelemetryEngine samples the cluster every virtual second on the control
+// lane; a Watchdog evaluates the default health rules plus a
+// refcount-conservation probe (the PR 2 invariant hooks) each tick.
+//
+// Determinism contract exercised here:
+//   * the timeline JSONL is byte-identical run-to-run for a fixed seed;
+//   * the determinism digest (per-op latencies + final counters) is
+//     byte-identical with the healthy spec run twice;
+//   * the healthy run raises ZERO incidents, while a cluster whose
+//     RateController is misconfigured (watermarks degenerate at 0/0, so
+//     every nonzero demand lands in the top throttle band) demonstrably
+//     fires rate_dwell_high / dedup_backlog_growth.
+//
+// --smoke runs the acceptance assertions at tiny scale (the churn_smoke
+// ctest); the full run is sized by --hours and feeds BENCH_CHURN.json +
+// the timeline files consumed by scripts/run_bench.sh.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dedup/invariants.h"
+#include "obs/json.h"
+#include "obs/timeseries.h"
+#include "obs/watchdog.h"
+#include "sim_e2e_scenario.h"
+#include "workload/churn.h"
+
+namespace gdedup::bench {
+namespace {
+
+struct ChurnSpec {
+  workload::ChurnConfig wl;
+  int initial_tenants = 12;  // onboarded before steady state
+  int burst_tenants = 4;     // onboarded mid-run (the onboarding burst)
+  double steady_iops = 50;   // open-loop demand, steady phases
+  double storm_iops = 200;   // overwrite storm demand
+  double delete_iops = 100;  // delete storm demand
+  SimTime steady_dur = 1800 * kSecond;  // per steady phase (two of them)
+  SimTime storm_dur = 300 * kSecond;    // per storm phase
+  size_t read_sweep_ops = 4096;         // closed-loop readback after drain
+  int depth = 8;                        // closed-loop phases
+  uint32_t chunk_size = 32 * 1024;
+  int low_wm = 500;    // RateController watermarks (bench defaults);
+  int high_wm = 4000;  // 0/0 = the degenerate misconfiguration
+  bool drain = true;   // misconfigured runs skip the (unbounded) drain
+  SimTime telemetry_interval = kSecond;
+  int probe_every = 30;  // conservation-probe cadence, in ticks
+};
+
+struct ChurnResult {
+  uint64_t ops = 0;
+  double virtual_sec = 0;
+  uint64_t ticks = 0;
+  uint64_t frames = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t conservation_checks = 0;  // probe evaluations that ran the walk
+  size_t incidents = 0;
+  size_t open_incidents = 0;
+  std::vector<std::string> fired_rules;
+  bool drained = true;
+  std::string digest;
+  std::string timeline_jsonl;
+  std::string timeline_csv;
+  std::string incident_log;
+  double steady_p99_ms = 0;
+  double storm_p99_ms = 0;
+  double read_p99_ms = 0;
+  uint64_t logical_bytes = 0;
+  uint64_t physical_bytes = 0;
+};
+
+std::vector<workload::ChurnOp> gen_ops(workload::ChurnWorkload& wl, size_t n,
+                                       double write_frac, double delete_frac) {
+  std::vector<workload::ChurnOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; i++) ops.push_back(wl.next_op(write_frac, delete_frac));
+  return ops;
+}
+
+IssueFn make_churn_issuer(RadosClient& cl, PoolId pool,
+                          const std::vector<workload::ChurnOp>& ops) {
+  return [&cl, pool, &ops](size_t idx, std::function<void(uint64_t)> done) {
+    const workload::ChurnOp& op = ops[idx % ops.size()];
+    switch (op.kind) {
+      case workload::ChurnOpKind::kWrite: {
+        Buffer data = workload::BlockContent::make(op.content_seed, op.length);
+        cl.write(pool, op.oid, op.offset, std::move(data),
+                 [done = std::move(done), n = op.length](Status) { done(n); });
+        break;
+      }
+      case workload::ChurnOpKind::kRead:
+        cl.read(pool, op.oid, op.offset, op.length,
+                [done = std::move(done), n = op.length](Result<Buffer>) {
+                  done(n);
+                });
+        break;
+      case workload::ChurnOpKind::kRemove:
+        cl.remove(pool, op.oid,
+                  [done = std::move(done)](Status) { done(0); });
+        break;
+    }
+  };
+}
+
+ChurnResult run_churn(const ChurnSpec& spec, bool verbose) {
+  ClusterConfig cc;
+  cc.storage_nodes = 3;
+  cc.osds_per_node = 2;
+  cc.client_nodes = 1;
+  Cluster c(cc);
+
+  const PoolId base = c.create_replicated_pool("base", 2);
+  const PoolId chunks = c.create_replicated_pool("chunks", 2);
+  DedupTierConfig t = bench_tier_config(spec.chunk_size);
+  t.low_watermark_iops = spec.low_wm;
+  t.high_watermark_iops = spec.high_wm;
+  c.enable_dedup(base, chunks, t);
+
+  RadosClient client(&c, c.client_node(0));
+  workload::ChurnWorkload wl(spec.wl);
+
+  // Telemetry engine on the control lane: default series, gauges synced at
+  // the top of every tick, watchdog armed as the post-sample hook.
+  obs::TelemetryConfig tc;
+  tc.interval = spec.telemetry_interval;
+  obs::TelemetryEngine eng(&c.sched(), c.perf_registry(), tc);
+  eng.add_default_series();
+  eng.set_presample([&c](SimTime) { c.sync_telemetry_gauges(); });
+
+  obs::Watchdog dog(&eng, c.op_tracker());
+  dog.add_default_rules();
+  // Refcount-conservation drift probe (PR 2 invariant hooks).  The
+  // metadata walk is only meaningful on a quiescent tier: while the
+  // engines hold dirty entries or client ops are in flight, maps lag the
+  // chunk pool by design, so the probe reports healthy and waits.
+  ChurnResult res;
+  {
+    obs::HealthRule r;
+    r.name = "refcount_conservation";
+    r.kind = obs::RuleKind::kProbe;
+    r.threshold = 0.5;  // any violation string is an incident
+    r.min_consecutive = 1;
+    r.probe_every = spec.probe_every;
+    r.probe = [&c, &res, base, chunks](SimTime) -> double {
+      if (dedup_walk::total_backlog(&c, base) > 0) return 0.0;
+      if (c.op_tracker()->started() != c.op_tracker()->finished()) return 0.0;
+      res.conservation_checks++;
+      InvariantReport rep = InvariantChecker(&c, base, chunks).check_metadata();
+      return static_cast<double>(rep.violations.size());
+    };
+    dog.add_rule(std::move(r));
+  }
+  dog.arm();
+  eng.start();
+
+  DeterminismDigest dig;
+
+  auto run_phase = [&](const char* name,
+                       const std::vector<workload::ChurnOp>& ops,
+                       double iops) -> LoadResult {
+    LoadResult r =
+        iops > 0
+            ? run_open_loop(c, ops.size(), iops,
+                            digesting_issuer(
+                                c, make_churn_issuer(client, base, ops), &dig))
+            : run_closed_loop(c, ops.size(), spec.depth,
+                              digesting_issuer(
+                                  c, make_churn_issuer(client, base, ops),
+                                  &dig));
+    res.ops += r.ops;
+    if (verbose) {
+      std::printf("  %-16s %8llu ops  %7.1f iops  p99 %8.2f ms\n", name,
+                  static_cast<unsigned long long>(r.ops), r.iops(),
+                  r.latency.percentile(0.99) / 1e6);
+    }
+    return r;
+  };
+
+  const SimTime t0 = c.sched().now();
+
+  // Phase 1: onboard the initial tenant population (closed loop).
+  {
+    auto plan = wl.onboarding_plan(0, spec.initial_tenants);
+    run_phase("onboard", plan, 0);
+  }
+
+  // Phase 2: steady multi-tenant churn (open loop).
+  const size_t steady_ops = static_cast<size_t>(
+      spec.steady_iops * static_cast<double>(spec.steady_dur) / kSecond);
+  {
+    auto ops = gen_ops(wl, steady_ops, -1.0, -1.0);
+    LoadResult r = run_phase("steady-a", ops, spec.steady_iops);
+    res.steady_p99_ms = r.latency.percentile(0.99) / 1e6;
+  }
+
+  // Phase 3: overwrite storm — write-heavy, hotter, faster.
+  {
+    const size_t n = static_cast<size_t>(
+        spec.storm_iops * static_cast<double>(spec.storm_dur) / kSecond);
+    auto ops = gen_ops(wl, n, /*write_frac=*/0.95, /*delete_frac=*/0.01);
+    LoadResult r = run_phase("overwrite-storm", ops, spec.storm_iops);
+    res.storm_p99_ms = r.latency.percentile(0.99) / 1e6;
+  }
+
+  // Phase 4: delete storm — elevated whole-object removes.
+  {
+    const size_t n = static_cast<size_t>(
+        spec.delete_iops * static_cast<double>(spec.storm_dur) / kSecond);
+    auto ops = gen_ops(wl, n, /*write_frac=*/0.5, /*delete_frac=*/0.15);
+    run_phase("delete-storm", ops, spec.delete_iops);
+  }
+
+  // Phase 5: tenant-onboarding burst while churn history is hot.
+  if (spec.burst_tenants > 0) {
+    auto plan = wl.onboarding_plan(spec.initial_tenants, spec.burst_tenants);
+    run_phase("onboard-burst", plan, 0);
+  }
+
+  // Phase 6: steady churn again — the long tail of the horizon.
+  {
+    auto ops = gen_ops(wl, steady_ops, -1.0, -1.0);
+    run_phase("steady-b", ops, spec.steady_iops);
+  }
+
+  // Phase 7: drain the dedup backlog, then give the conservation probe a
+  // quiescent window to actually run its walk (probe_every ticks + 1).
+  if (spec.drain) {
+    res.drained = c.drain_dedup();
+    c.sched().run_for(static_cast<SimTime>(spec.probe_every + 1) *
+                      spec.telemetry_interval);
+  }
+
+  // Phase 8: read sweep over the surviving population.
+  if (spec.read_sweep_ops > 0) {
+    auto ops = gen_ops(wl, spec.read_sweep_ops, 0.0, 0.0);
+    LoadResult r = run_phase("read-sweep", ops, 0);
+    res.read_p99_ms = r.latency.percentile(0.99) / 1e6;
+  }
+
+  eng.sample_now();  // final frame at the end-of-run timestamp
+  eng.stop();
+
+  digest_final_state(c, base, chunks, &dig);
+  res.digest = dig.hex();
+  res.virtual_sec = static_cast<double>(c.sched().now() - t0) / kSecond;
+  res.ticks = eng.ticks();
+  res.frames = eng.frames();
+  res.frames_dropped = eng.frames_dropped();
+  res.incidents = dog.incidents().size();
+  res.open_incidents = dog.open_incidents();
+  for (const obs::Incident& inc : dog.incidents()) {
+    res.fired_rules.push_back(inc.rule);
+  }
+  res.timeline_jsonl = eng.timeline_jsonl();
+  res.timeline_csv = eng.timeline_csv();
+  res.incident_log = dog.log_text();
+  {
+    const auto sb = c.pool_stats(base);
+    const auto sc = c.pool_stats(chunks);
+    res.logical_bytes = sb.logical_bytes + sc.logical_bytes;
+    res.physical_bytes = sb.physical_bytes + sc.physical_bytes;
+  }
+  if (verbose) print_obs_summary(c);
+  return res;
+}
+
+ChurnSpec smoke_spec() {
+  ChurnSpec s;
+  s.wl.tenants = 6;
+  s.wl.objects_per_tenant = 12;
+  s.wl.object_bytes = 128 * 1024;
+  s.wl.io_bytes = 16 * 1024;
+  s.wl.seed = 7;
+  s.initial_tenants = 4;
+  s.burst_tenants = 2;
+  s.steady_iops = 40;
+  s.storm_iops = 120;
+  s.delete_iops = 80;
+  s.steady_dur = 60 * kSecond;
+  s.storm_dur = 20 * kSecond;
+  s.read_sweep_ops = 512;
+  s.probe_every = 10;
+  return s;
+}
+
+ChurnSpec misconfigured(ChurnSpec s) {
+  // Degenerate watermarks: low == high == 0, so every nonzero demand
+  // lands in the top throttle band — the dedup engine starves, the
+  // backlog climbs, and the controller dwells in regime 2.  (A literal
+  // low/high swap would NOT misbehave: demand <= low short-circuits to
+  // unthrottled.)
+  s.low_wm = 0;
+  s.high_wm = 0;
+  s.drain = false;  // throttled drain would never finish
+  // One steady phase is enough to trip the dwell rule; skip the storms.
+  s.storm_iops = 0;
+  s.delete_iops = 0;
+  s.storm_dur = 0;
+  s.burst_tenants = 0;
+  s.read_sweep_ops = 0;
+  return s;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  double hours = 1.0;
+  uint64_t seed = 1;
+  std::string json_path;
+  std::string timeline_base;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      timeline_base = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--hours=", 8) == 0) {
+      hours = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "unrecognized flag: %s\n"
+                   "usage: bench_churn [--smoke] [--hours=H] [--seed=N] "
+                   "[--json=PATH] [--timeline=BASE]\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+
+  print_header("Long-horizon churn under telemetry + health watchdogs",
+               "DESIGN.md §13 — deterministic timeline over virtual hours");
+
+  bool ok = true;
+  JsonWriter jw;
+
+  if (smoke) {
+    // Acceptance run A/B: same spec twice — the timeline and the digest
+    // must be byte-identical, and a healthy cluster raises no incidents.
+    const ChurnSpec spec = smoke_spec();
+    std::printf("healthy run A:\n");
+    ChurnResult a = run_churn(spec, true);
+    std::printf("healthy run B (same seed):\n");
+    ChurnResult b = run_churn(spec, false);
+    std::printf("digest a=%s b=%s (%s), timeline %zu bytes (%s), "
+                "frames=%llu incidents=%zu conservation_checks=%llu\n",
+                a.digest.c_str(), b.digest.c_str(),
+                a.digest == b.digest ? "IDENTICAL" : "MISMATCH",
+                a.timeline_jsonl.size(),
+                a.timeline_jsonl == b.timeline_jsonl ? "IDENTICAL"
+                                                     : "MISMATCH",
+                static_cast<unsigned long long>(a.frames), a.incidents,
+                static_cast<unsigned long long>(a.conservation_checks));
+    if (a.digest != b.digest) {
+      std::printf("FAIL: same-seed digests differ\n");
+      ok = false;
+    }
+    if (a.timeline_jsonl != b.timeline_jsonl || a.timeline_jsonl.empty()) {
+      std::printf("FAIL: same-seed timelines differ (or empty)\n");
+      ok = false;
+    }
+    if (a.incidents != 0) {
+      std::printf("FAIL: healthy run raised incidents:\n%s",
+                  a.incident_log.c_str());
+      ok = false;
+    }
+    if (!a.drained) {
+      std::printf("FAIL: healthy run did not drain\n");
+      ok = false;
+    }
+    if (a.conservation_checks == 0) {
+      std::printf("FAIL: conservation probe never reached a quiescent walk\n");
+      ok = false;
+    }
+
+    // Acceptance run C: misconfigured RateController must fire a rule.
+    std::printf("misconfigured run (watermarks 0/0):\n");
+    ChurnResult m = run_churn(misconfigured(spec), true);
+    bool fired = false;
+    for (const std::string& rule : m.fired_rules) {
+      if (rule == "rate_dwell_high" || rule == "dedup_backlog_growth") {
+        fired = true;
+      }
+    }
+    std::printf("misconfigured incidents=%zu:\n%s", m.incidents,
+                m.incident_log.c_str());
+    if (!fired) {
+      std::printf(
+          "FAIL: misconfigured watermarks fired no dwell/backlog rule\n");
+      ok = false;
+    }
+    jw.add("smoke_digest", a.digest);
+    jw.add("smoke_frames", static_cast<double>(a.frames));
+    jw.add("smoke_incidents_misconfigured", static_cast<double>(m.incidents));
+  } else {
+    ChurnSpec spec;
+    spec.wl.seed = seed;
+    spec.steady_dur =
+        static_cast<SimTime>(hours * 1800.0 * static_cast<double>(kSecond));
+    std::printf("horizon: 2 x %.0f s steady + storms (seed %llu)\n",
+                static_cast<double>(spec.steady_dur) / kSecond,
+                static_cast<unsigned long long>(seed));
+    ChurnResult r = run_churn(spec, true);
+    std::printf("virtual %.1f s (%.2f h), %llu frames, %zu incidents "
+                "(%zu open), conservation_checks=%llu, digest %s\n",
+                r.virtual_sec, r.virtual_sec / 3600.0,
+                static_cast<unsigned long long>(r.frames), r.incidents,
+                r.open_incidents,
+                static_cast<unsigned long long>(r.conservation_checks),
+                r.digest.c_str());
+    if (r.incidents > 0) std::printf("%s", r.incident_log.c_str());
+    if (!r.drained) {
+      std::printf("FAIL: backlog did not drain\n");
+      ok = false;
+    }
+    if (r.frames == 0 || r.frames_dropped > 0) {
+      std::printf("FAIL: timeline frames=%llu dropped=%llu\n",
+                  static_cast<unsigned long long>(r.frames),
+                  static_cast<unsigned long long>(r.frames_dropped));
+      ok = false;
+    }
+    const double saved =
+        r.logical_bytes > 0
+            ? 100.0 * (1.0 - static_cast<double>(r.physical_bytes) /
+                                 (2.0 * static_cast<double>(r.logical_bytes)))
+            : 0.0;
+    jw.add("ops", static_cast<double>(r.ops));
+    jw.add("virtual_sec", r.virtual_sec);
+    jw.add("frames", static_cast<double>(r.frames));
+    jw.add("ticks", static_cast<double>(r.ticks));
+    jw.add("incidents", static_cast<double>(r.incidents));
+    jw.add("open_incidents", static_cast<double>(r.open_incidents));
+    jw.add("conservation_checks", static_cast<double>(r.conservation_checks));
+    jw.add("steady_p99_ms", r.steady_p99_ms);
+    jw.add("storm_p99_ms", r.storm_p99_ms);
+    jw.add("read_p99_ms", r.read_p99_ms);
+    jw.add("saved_vs_raw_pct", saved);
+    jw.add("timeline_bytes", static_cast<double>(r.timeline_jsonl.size()));
+    jw.add("digest", r.digest);
+
+    if (!timeline_base.empty()) {
+      auto write_text = [&ok](const std::string& path, const std::string& s) {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::printf("FAIL: could not write %s\n", path.c_str());
+          ok = false;
+          return;
+        }
+        std::fwrite(s.data(), 1, s.size(), f);
+        std::fclose(f);
+      };
+      write_text(timeline_base + ".jsonl", r.timeline_jsonl);
+      write_text(timeline_base + ".csv", r.timeline_csv);
+      std::printf("timeline: %s.jsonl (%zu bytes), %s.csv (%zu bytes)\n",
+                  timeline_base.c_str(), r.timeline_jsonl.size(),
+                  timeline_base.c_str(), r.timeline_csv.size());
+    }
+  }
+
+  if (!json_path.empty() && !jw.write_file(json_path)) {
+    std::printf("FAIL: could not write %s\n", json_path.c_str());
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gdedup::bench
+
+int main(int argc, char** argv) { return gdedup::bench::run(argc, argv); }

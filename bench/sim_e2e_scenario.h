@@ -17,8 +17,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_util.h"
 #include "common/crc32.h"
+#include "obs/timeseries.h"
 #include "rados/sync.h"
 #include "workload/fio_gen.h"
 
@@ -80,6 +83,10 @@ struct SimE2eConfig {
   // (default on), 0 = force off, 1 = force on.  The digest is the same
   // for every value — the fast path changes host-side work only.
   int fp_fastpath = -1;
+  // Telemetry sampling cadence (0 = off).  Sampling is reported, never
+  // digested: the digest is byte-identical with any value here — enforced
+  // by test_telemetry.
+  SimTime telemetry = 0;
 };
 
 struct SimE2eResult {
@@ -121,6 +128,9 @@ struct SimE2eResult {
   uint64_t meta_bytes_written = 0;
   uint64_t refs_decodes = 0;
   uint64_t refs_cache_hits = 0;
+
+  // Telemetry engine accounting (reported, never digested).
+  uint64_t telemetry_ticks = 0;
 
   // Share of fingerprint requests answered without running the full SHA
   // (memo + verified index hits over all requests).
@@ -238,6 +248,19 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
   SimE2eResult res;
   const SimTime t0 = c.sched().now();
 
+  // Optional telemetry sampling riding along on the control lane.  The
+  // digest below must not move by a single byte whether this runs or not.
+  std::unique_ptr<obs::TelemetryEngine> telemetry;
+  if (cfg.telemetry > 0) {
+    obs::TelemetryConfig tc;
+    tc.interval = cfg.telemetry;
+    telemetry = std::make_unique<obs::TelemetryEngine>(
+        &c.sched(), c.perf_registry(), tc);
+    telemetry->add_default_series();
+    telemetry->set_presample([&c](SimTime) { c.sync_telemetry_gauges(); });
+    telemetry->start();
+  }
+
   // Phase 1: sequential preload (dedupe-laden content, fio semantics).
   workload::FioConfig fio;
   fio.total_bytes = cfg.image_bytes;
@@ -287,6 +310,11 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
     res.sim_bytes += r.bytes;
     res.ops += r.ops;
     res.phase_read_mbps = r.mbps();
+  }
+
+  if (telemetry) {
+    telemetry->stop();
+    res.telemetry_ticks = telemetry->ticks();
   }
 
   digest_final_state(c, base, chunks, &dig);

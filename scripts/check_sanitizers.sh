@@ -44,6 +44,7 @@ else
   # fingerprint fast path are the heaviest pointer-juggling paths —
   # surface ASan reports there before paying for the full suite.
   ctest --output-on-failure -L asan_smoke
+  ctest --output-on-failure -L "telemetry_smoke|churn_smoke"
   ctest --output-on-failure
 fi
 
@@ -59,7 +60,8 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
 cmake --build "${tsan_dir}" -j "$(nproc)" \
     --target test_observability perf_dump test_exec_pool \
     test_fault_campaign bench_micro_components bench_sim_e2e \
-    test_sim_determinism test_sim_shards test_fp_fastpath bench_fp_lookup
+    test_sim_determinism test_sim_shards test_fp_fastpath bench_fp_lookup \
+    test_telemetry bench_churn
 
 cd "${tsan_dir}"
 # Four exec-pool workers and four engine shards (serial windows): the

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build Release and record the perf trajectory points: the content-pipeline
 # microbenchmark suite (BENCH_PIPELINE.json), the end-to-end simulation
-# bench (BENCH_SIM.json), the event-engine bench (BENCH_EVENTS.json) and
-# the two-tier fingerprint lookup bench (BENCH_FP.json), then append one
+# bench (BENCH_SIM.json), the event-engine bench (BENCH_EVENTS.json), the
+# two-tier fingerprint lookup bench (BENCH_FP.json), the restore bench
+# (BENCH_RESTORE.json) and the long-horizon churn + telemetry bench
+# (BENCH_CHURN.json + BENCH_CHURN_TIMELINE.{jsonl,csv}), then append one
 # timestamped line per point to BENCH_HISTORY.jsonl so the trajectory is a
 # log, not just a latest-wins snapshot.
 #
@@ -33,7 +35,7 @@ out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_micro_components bench_sim_e2e bench_events \
-  bench_fp_lookup bench_restore perf_dump
+  bench_fp_lookup bench_restore bench_churn perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
@@ -66,6 +68,17 @@ restore_json="${repo_root}/BENCH_RESTORE.json"
 "${build_dir}/bench/bench_restore" --json="${restore_json}"
 
 echo "restore trajectory point recorded at ${restore_json}"
+
+# Long-horizon churn under the telemetry engine + watchdogs: ~half a
+# virtual hour of multi-tenant overwrite/delete storms, exporting the
+# per-virtual-second timeline (JSONL + CSV) alongside the summary point.
+# GDEDUP_CHURN_HOURS scales the steady phases (0.25 => 2 x 450 s).
+churn_json="${repo_root}/BENCH_CHURN.json"
+churn_timeline="${repo_root}/BENCH_CHURN_TIMELINE"
+"${build_dir}/bench/bench_churn" --hours="${GDEDUP_CHURN_HOURS:-0.25}" \
+  --json="${churn_json}" --timeline="${churn_timeline}"
+
+echo "churn trajectory point recorded at ${churn_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -124,7 +137,7 @@ merge_obs "${repo_root}/BENCH_SIM.json"
 
 history="${repo_root}/BENCH_HISTORY.jsonl"
 python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" \
-    "${fp_json}" "${restore_json}" <<'HIST'
+    "${fp_json}" "${restore_json}" "${churn_json}" <<'HIST'
 import datetime, json, sys
 history, paths = sys.argv[1], sys.argv[2:]
 ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

@@ -66,7 +66,7 @@ uint64_t Histogram::percentile(double q) const {
 }
 
 std::vector<uint64_t> Histogram::percentiles(
-    std::initializer_list<double> qs) const {
+    const std::vector<double>& qs) const {
   std::vector<uint64_t> out(qs.size(), 0);
   if (count_ == 0 || qs.size() == 0) return out;
   // Sort query indices by target rank so a single forward bucket walk

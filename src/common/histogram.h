@@ -39,7 +39,13 @@ class Histogram {
 
   // Batch percentile query: one bucket walk for any number of quantiles.
   // Quantiles need not be sorted; results line up with the input order.
-  std::vector<uint64_t> percentiles(std::initializer_list<double> qs) const;
+  std::vector<uint64_t> percentiles(std::initializer_list<double> qs) const {
+    return percentiles(std::vector<double>(qs));
+  }
+  // Runtime-sized variant for callers that assemble the quantile set
+  // dynamically (the telemetry sampler batches every quantile series that
+  // targets one histogram into a single walk).
+  std::vector<uint64_t> percentiles(const std::vector<double>& qs) const;
 
   // Compact single-line JSON object, e.g.
   //   {"count":12,"min":3,"max":917,"mean":101.250,"p50":88,"p90":401,

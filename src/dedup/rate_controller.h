@@ -76,6 +76,16 @@ class RateController {
 
   bool enabled() const { return enabled_; }
 
+  // Current throttle regime for telemetry: 0 = unthrottled (demand at or
+  // below the low watermark, or controller disabled), 1 = mid, 2 = above
+  // the high watermark.  Pure read; never accrues or consumes credits.
+  int regime(SimTime now) const {
+    if (!enabled_) return 0;
+    const double demand = current_demand(now);
+    if (demand <= low_) return 0;
+    return demand > high_ ? 2 : 1;
+  }
+
  private:
   static constexpr double kMaxCredits = 256.0;
 

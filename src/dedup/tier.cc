@@ -86,6 +86,11 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
   b.add_counter(l_tier_rewrite_runs, "rewrite_runs");
   b.add_counter(l_tier_rewrite_chunks, "rewrite_chunks");
   b.add_counter(l_tier_rewrite_bytes, "rewrite_bytes");
+  b.add_gauge(l_tier_backlog, "backlog");
+  b.add_gauge(l_tier_backlog_derefs, "backlog_derefs");
+  b.add_gauge(l_tier_rate_credits_x1000, "rate_credits_x1000");
+  b.add_gauge(l_tier_rate_demand, "rate_demand");
+  b.add_gauge(l_tier_rate_regime, "rate_regime");
   b.add_histogram(l_tier_write_lat, "write_lat");
   b.add_histogram(l_tier_read_lat, "read_lat");
   b.add_histogram(l_tier_fingerprint_lat, "fingerprint_lat");
@@ -138,6 +143,18 @@ void DedupTier::refresh_stats_view() const {
   stats_view_.rewrite_runs = perf_->get(l_tier_rewrite_runs);
   stats_view_.rewrite_chunks = perf_->get(l_tier_rewrite_chunks);
   stats_view_.rewrite_bytes = perf_->get(l_tier_rewrite_bytes);
+}
+
+void DedupTier::sync_telemetry_gauges() {
+  perf_->set_gauge(l_tier_backlog, static_cast<int64_t>(dirty_backlog()));
+  perf_->set_gauge(l_tier_backlog_derefs,
+                   static_cast<int64_t>(pending_derefs_.size()));
+  perf_->set_gauge(l_tier_rate_credits_x1000,
+                   static_cast<int64_t>(rate_.credits() * 1000.0));
+  const SimTime now = sched().now();
+  perf_->set_gauge(l_tier_rate_demand,
+                   static_cast<int64_t>(rate_.current_demand(now)));
+  perf_->set_gauge(l_tier_rate_regime, rate_.regime(now));
 }
 
 // --------------------------------------------------------- object context

@@ -126,6 +126,13 @@ enum {
   l_tier_rewrite_runs,         // container objects written by selective rewrite
   l_tier_rewrite_chunks,       // map slots coalesced into containers
   l_tier_rewrite_bytes,        // bytes rewritten into containers
+  // Telemetry gauges mirrored on demand by sync_telemetry_gauges() — the
+  // hot paths never touch them.
+  l_tier_backlog,             // gauge: dirty_backlog() snapshot
+  l_tier_backlog_derefs,      // gauge: queued deref work items
+  l_tier_rate_credits_x1000,  // gauge: RateController credits * 1000
+  l_tier_rate_demand,         // gauge: sliding-window demand (iops or B/s)
+  l_tier_rate_regime,         // gauge: 0 unthrottled / 1 mid / 2 high
   l_tier_write_lat,        // tier write handling, entry -> client ack, ns
   l_tier_read_lat,         // tier read handling, entry -> reply, ns
   l_tier_fingerprint_lat,  // costed fingerprint compute (cache hits = 0ns)
@@ -222,6 +229,12 @@ class DedupTier : public TierService {
 
   obs::PerfCounters& perf() { return *perf_; }
   const obs::PerfCounters& perf() const { return *perf_; }
+
+  // Refresh the l_tier_backlog* / l_tier_rate_* gauges from live engine
+  // state.  Called by the telemetry presample hook (and obs::dump) so
+  // gauge freshness costs nothing on the write/flush hot paths.  Pure
+  // reads: never accrues credits or advances any clock.
+  void sync_telemetry_gauges();
 
   // Return true from the hook to crash the engine at that point (the
   // in-flight flush is abandoned; redo must converge).

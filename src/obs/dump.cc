@@ -12,7 +12,10 @@
 namespace gdedup::obs {
 
 std::string dump(Cluster& cluster, size_t slow_ops) {
-  cluster.sync_sim_counters();  // event-engine gauges are mirrored on demand
+  // Mirror every on-demand gauge (event engine, tier backlog / rate
+  // posture, pool capacity, derived efficiency ratios) so the counters
+  // section carries them as first-class entities.
+  cluster.sync_telemetry_gauges();
 
   JsonWriter w;
   w.begin_object();

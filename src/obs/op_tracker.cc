@@ -2,10 +2,60 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/histogram.h"
+#include "common/logging.h"
 
 namespace gdedup::obs {
+
+namespace {
+
+// Shared bounds validation for the tracker rings: reject garbage loudly
+// (warn + default), clamp out-of-range values loudly (warn + clamp) —
+// never a silent truncation.
+size_t validated_cap(long long v, size_t dflt, size_t max_cap,
+                     const char* what) {
+  if (v < 1) {
+    LOG_WARN("op_tracker: %s=%lld out of range [1, %zu], clamping to 1", what,
+             v, max_cap);
+    return 1;
+  }
+  if (static_cast<unsigned long long>(v) > max_cap) {
+    LOG_WARN("op_tracker: %s=%lld out of range [1, %zu], clamping to %zu",
+             what, v, max_cap, max_cap);
+    return max_cap;
+  }
+  (void)dflt;
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+size_t OpTracker::resolve_historic_cap(int configured) {
+  if (configured != 0) {
+    return validated_cap(configured, kDefaultHistoricCap, kMaxHistoricCap,
+                         "ClusterConfig.ops_history");
+  }
+  const char* env = std::getenv("GDEDUP_OPS_HISTORY");
+  if (env == nullptr || *env == '\0') return kDefaultHistoricCap;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') {
+    LOG_WARN("op_tracker: GDEDUP_OPS_HISTORY=\"%s\" is not a number, using "
+             "default %zu",
+             env, kDefaultHistoricCap);
+    return kDefaultHistoricCap;
+  }
+  return validated_cap(v, kDefaultHistoricCap, kMaxHistoricCap,
+                       "GDEDUP_OPS_HISTORY");
+}
+
+size_t OpTracker::resolve_slow_cap(int configured) {
+  if (configured == 0) return kDefaultSlowCap;
+  return validated_cap(configured, kDefaultSlowCap, kMaxSlowCap,
+                       "ClusterConfig.ops_slow_board");
+}
 
 size_t OpTrace::span_begin(std::string stage, SimTime now) {
   spans_.push_back({std::move(stage), now, -1});

@@ -79,8 +79,30 @@ using OpTraceRef = std::shared_ptr<OpTrace>;
 
 class OpTracker {
  public:
-  explicit OpTracker(size_t historic_cap = 128, size_t slow_cap = 16)
+  // Bounds for the configurable rings.  Oversized boards would make every
+  // finish() pay a large sorted-insert; zero-sized ones would silently
+  // drop the flight recorder, so both ends are validated loudly.
+  static constexpr size_t kDefaultHistoricCap = 128;
+  static constexpr size_t kDefaultSlowCap = 16;
+  static constexpr size_t kMaxHistoricCap = 1u << 20;
+  static constexpr size_t kMaxSlowCap = 4096;
+
+  explicit OpTracker(size_t historic_cap = kDefaultHistoricCap,
+                     size_t slow_cap = kDefaultSlowCap)
       : historic_cap_(historic_cap), slow_cap_(slow_cap) {}
+
+  size_t historic_cap() const { return historic_cap_; }
+  size_t slow_cap() const { return slow_cap_; }
+
+  // Resolve the historic-ring cap: `configured` (ClusterConfig, > 0) wins,
+  // else the GDEDUP_OPS_HISTORY env var, else kDefaultHistoricCap.
+  // Unparseable values warn and fall back to the default; out-of-range
+  // values warn and clamp to [1, kMaxHistoricCap] — never a silent
+  // truncation.
+  static size_t resolve_historic_cap(int configured);
+  // Same for the slow board (ClusterConfig only; clamps to
+  // [1, kMaxSlowCap]).
+  static size_t resolve_slow_cap(int configured);
 
   // Create a trace.  Never fails; the tracker keeps no reference until
   // finish().

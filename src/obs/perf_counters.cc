@@ -57,6 +57,13 @@ const Histogram* PerfCounters::histogram(int idx) const {
   return at(idx).hist.get();
 }
 
+int PerfCounters::index_of(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); i++) {
+    if (entries_[i].name == name) return first_ + 1 + static_cast<int>(i);
+  }
+  return -1;
+}
+
 void PerfCounters::dump(JsonWriter& w) const {
   w.begin_object();
   for (const Entry& e : entries_) {

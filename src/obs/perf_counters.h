@@ -48,6 +48,19 @@ class PerfCounters {
   // Number of declared entries.
   size_t size() const { return entries_.size(); }
 
+  // Entry iteration for samplers: valid indices are
+  // [first_index(), last_index()) in declaration order.
+  int first_index() const { return first_ + 1; }
+  int last_index() const {
+    return first_ + 1 + static_cast<int>(entries_.size());
+  }
+  const std::string& entry_name(int idx) const { return at(idx).name; }
+  CounterType entry_type(int idx) const { return at(idx).type; }
+
+  // Declaration index of the entry called `name`, or -1.  O(entries) — the
+  // telemetry engine caches the result per entity.
+  int index_of(const std::string& name) const;
+
   // Emit {"name": value, ..., "x_lat": {histogram json}} in declaration
   // order.
   void dump(JsonWriter& w) const;

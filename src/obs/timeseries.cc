@@ -1,0 +1,392 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gdedup::obs {
+
+namespace {
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Quantile sub-metrics batched into one Histogram::percentiles() walk;
+// returns a negative value for non-quantile subs.
+double quantile_of(const std::string& sub) {
+  if (sub == "p50") return 0.50;
+  if (sub == "p90") return 0.90;
+  if (sub == "p99") return 0.99;
+  if (sub == "p999") return 0.999;
+  return -1.0;
+}
+
+bool is_known_sub(const std::string& sub) {
+  return quantile_of(sub) >= 0.0 || sub == "count" || sub == "mean" ||
+         sub == "min" || sub == "max";
+}
+
+}  // namespace
+
+std::string format_sample(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+TelemetryEngine::SeriesState::SeriesState(SeriesSpec s, size_t cap)
+    : spec(std::move(s)), ring(cap) {
+  const size_t dot = spec.counter.rfind('.');
+  if (dot != std::string::npos && is_known_sub(spec.counter.substr(dot + 1))) {
+    counter_base = spec.counter.substr(0, dot);
+    sub = spec.counter.substr(dot + 1);
+  } else {
+    counter_base = spec.counter;
+  }
+}
+
+TelemetryEngine::TelemetryEngine(Scheduler* sched, PerfRegistry* registry,
+                                 TelemetryConfig cfg)
+    : sched_(sched), registry_(registry), cfg_(cfg) {
+  assert(sched_ != nullptr && registry_ != nullptr);
+  assert(cfg_.interval > 0);
+}
+
+TelemetryEngine::~TelemetryEngine() { stop(); }
+
+void TelemetryEngine::add_series(SeriesSpec spec) {
+  assert(by_name_.find(spec.name) == by_name_.end() &&
+         "duplicate series name");
+  by_name_[spec.name] = series_.size();
+  series_.emplace_back(std::move(spec), cfg_.ring_capacity);
+}
+
+void TelemetryEngine::add_default_series() {
+  const auto S = [this](const char* name, const char* prefix,
+                        const char* counter, SeriesAgg agg, bool rate) {
+    add_series(SeriesSpec{name, prefix, counter, agg, rate});
+  };
+  // Client-visible traffic and tails.
+  S("client_ops", "client.", "ops", SeriesAgg::kSum, true);
+  S("client_bytes_written", "client.", "bytes_written", SeriesAgg::kSum, true);
+  S("client_bytes_read", "client.", "bytes_read", SeriesAgg::kSum, true);
+  S("client_errors", "client.", "errors", SeriesAgg::kSum, false);
+  S("client_write_p99_ns", "client.", "write_lat.p99", SeriesAgg::kMax, false);
+  S("client_read_p99_ns", "client.", "read_lat.p99", SeriesAgg::kMax, false);
+  S("client_read_p999_ns", "client.", "read_lat.p999", SeriesAgg::kMax, false);
+  // OSD data path, recovery traffic, metadata I/O.
+  S("osd_client_ops", "osd.", "client_ops", SeriesAgg::kSum, true);
+  S("osd_pulls", "osd.", "pulls", SeriesAgg::kSum, true);
+  S("osd_pushes", "osd.", "pushes", SeriesAgg::kSum, true);
+  S("osd_chunk_puts", "osd.", "chunk_puts", SeriesAgg::kSum, true);
+  S("osd_chunk_created", "osd.", "chunk_created", SeriesAgg::kSum, false);
+  S("osd_chunk_dedup_hits", "osd.", "chunk_dedup_hits", SeriesAgg::kSum,
+    false);
+  S("osd_chunk_derefs", "osd.", "chunk_derefs", SeriesAgg::kSum, true);
+  S("osd_chunks_reclaimed", "osd.", "chunks_reclaimed", SeriesAgg::kSum, true);
+  S("osd_meta_bytes_read", "osd.", "meta_bytes_read", SeriesAgg::kSum, true);
+  S("osd_meta_bytes_written", "osd.", "meta_bytes_written", SeriesAgg::kSum,
+    true);
+  S("osd_op_w_p99_ns", "osd.", "op_w_lat.p99", SeriesAgg::kMax, false);
+  S("osd_op_r_p99_ns", "osd.", "op_r_lat.p99", SeriesAgg::kMax, false);
+  // Dedup tier: backlog, rate-controller posture, flush/read pipelines.
+  S("tier_backlog", "tier.", "backlog", SeriesAgg::kSum, false);
+  S("tier_backlog_derefs", "tier.", "backlog_derefs", SeriesAgg::kSum, false);
+  S("tier_rate_credits_x1000", "tier.", "rate_credits_x1000", SeriesAgg::kSum,
+    false);
+  S("tier_rate_demand", "tier.", "rate_demand", SeriesAgg::kMax, false);
+  S("tier_rate_regime", "tier.", "rate_regime", SeriesAgg::kMax, false);
+  S("tier_writes", "tier.", "writes", SeriesAgg::kSum, true);
+  S("tier_chunks_flushed", "tier.", "chunks_flushed", SeriesAgg::kSum, true);
+  S("tier_flush_bytes", "tier.", "flush_bytes", SeriesAgg::kSum, true);
+  S("tier_derefs", "tier.", "derefs", SeriesAgg::kSum, true);
+  S("tier_sha_computed", "tier.", "sha_computed", SeriesAgg::kSum, true);
+  S("tier_sha_avoided", "tier.", "sha_avoided", SeriesAgg::kSum, false);
+  S("tier_read_logical_bytes", "tier.", "read_logical_bytes", SeriesAgg::kSum,
+    true);
+  S("tier_read_chunk_objects", "tier.", "read_chunk_objects", SeriesAgg::kSum,
+    true);
+  S("tier_read_chunk_rpcs", "tier.", "read_chunk_rpcs", SeriesAgg::kSum, true);
+  S("tier_asm_hits", "tier.", "asm_hits", SeriesAgg::kSum, false);
+  S("tier_hot_skips", "tier.", "hot_skips", SeriesAgg::kSum, false);
+  S("tier_evictions", "tier.", "evictions", SeriesAgg::kSum, false);
+  S("tier_write_p99_ns", "tier.", "write_lat.p99", SeriesAgg::kMax, false);
+  S("tier_write_p999_ns", "tier.", "write_lat.p999", SeriesAgg::kMax, false);
+  S("tier_read_p99_ns", "tier.", "read_lat.p99", SeriesAgg::kMax, false);
+  S("tier_flush_p99_ns", "tier.", "flush_lat.p99", SeriesAgg::kMax, false);
+  // Pool capacity gauges and the derived efficiency ratios (both mirrored
+  // into the registry by Cluster::sync_telemetry_gauges()).
+  S("pool_objects", "pool.", "objects", SeriesAgg::kSum, false);
+  S("pool_logical_bytes", "pool.", "logical_bytes", SeriesAgg::kSum, false);
+  S("pool_stored_data_bytes", "pool.", "stored_data_bytes", SeriesAgg::kSum,
+    false);
+  S("pool_physical_bytes", "pool.", "physical_bytes", SeriesAgg::kSum, false);
+  S("derived_dedup_ratio_ppm", "derived", "dedup_ratio_ppm", SeriesAgg::kMax,
+    false);
+  S("derived_read_amp_objs_per_gb", "derived", "read_amp_objs_per_gb",
+    SeriesAgg::kMax, false);
+  S("derived_asm_hit_ppm", "derived", "asm_hit_ppm", SeriesAgg::kMax, false);
+  S("derived_meta_read_amp_ppm", "derived", "meta_read_amp_ppm",
+    SeriesAgg::kMax, false);
+  S("derived_sha_avoided_ppm", "derived", "sha_avoided_ppm", SeriesAgg::kMax,
+    false);
+}
+
+void TelemetryEngine::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_tick();
+}
+
+void TelemetryEngine::stop() {
+  running_ = false;
+  if (tick_pending_) {
+    sched_->cancel(tick_event_);
+    tick_pending_ = false;
+  }
+}
+
+void TelemetryEngine::schedule_tick() {
+  // at() from control-plane code or from inside a global-lane event lands
+  // on the global control lane, so the sampler always executes with every
+  // shard synchronized at the sample timestamp.
+  tick_event_ = sched_->at(sched_->now() + cfg_.interval, [this] { on_tick(); });
+  tick_pending_ = true;
+}
+
+void TelemetryEngine::on_tick() {
+  tick_pending_ = false;
+  if (!running_) return;
+  sample_now();
+  if (running_) schedule_tick();
+}
+
+double TelemetryEngine::read_value(SeriesState& st, const PerfCounters& pc,
+                                   int idx) const {
+  switch (pc.entry_type(idx)) {
+    case CounterType::kGauge:
+      return static_cast<double>(pc.gauge(idx));
+    case CounterType::kCounter:
+      return static_cast<double>(pc.get(idx));
+    case CounterType::kHistogram: {
+      const Histogram* h = pc.histogram(idx);
+      if (h == nullptr) return 0.0;
+      if (st.sub == "mean") return h->mean();
+      if (st.sub == "min") return static_cast<double>(h->min());
+      if (st.sub == "max") return static_cast<double>(h->max());
+      // "count", or a bare histogram reference without sub-metric.
+      return static_cast<double>(h->count());
+    }
+  }
+  return 0.0;
+}
+
+void TelemetryEngine::sample_now() {
+  const SimTime now = sched_->now();
+  if (presample_) presample_(now);
+
+  const auto entities = registry_->sorted();
+  const size_t n = series_.size();
+  std::vector<double> sum(n, 0.0), mx(n, 0.0);
+  std::vector<size_t> matched(n, 0);
+  const auto accum = [&](size_t i, double v) {
+    sum[i] += v;
+    if (matched[i] == 0 || v > mx[i]) mx[i] = v;
+    matched[i]++;
+  };
+
+  // Group quantile series by (entity_prefix, histogram) so each entity's
+  // histogram is walked once per tick no matter how many quantiles target
+  // it (Histogram::percentiles batches the ranks into one pass).
+  struct QGroup {
+    std::string prefix;
+    std::string base;
+    std::vector<double> qs;
+    std::vector<size_t> specs;
+    std::unordered_map<std::string, int>* cache;
+  };
+  std::vector<QGroup> groups;
+  for (size_t i = 0; i < n; i++) {
+    SeriesState& st = series_[i];
+    const double q = quantile_of(st.sub);
+    if (q < 0.0) continue;
+    QGroup* g = nullptr;
+    for (QGroup& cand : groups) {
+      if (cand.prefix == st.spec.entity_prefix && cand.base == st.counter_base) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(
+          {st.spec.entity_prefix, st.counter_base, {}, {}, &st.index_cache});
+      g = &groups.back();
+    }
+    g->qs.push_back(q);
+    g->specs.push_back(i);
+  }
+
+  for (const PerfCountersRef& pc : entities) {
+    const std::string& entity = pc->name();
+    for (size_t i = 0; i < n; i++) {
+      SeriesState& st = series_[i];
+      if (quantile_of(st.sub) >= 0.0) continue;  // handled via groups
+      if (!has_prefix(entity, st.spec.entity_prefix)) continue;
+      auto it = st.index_cache.find(entity);
+      if (it == st.index_cache.end()) {
+        it = st.index_cache.emplace(entity, pc->index_of(st.counter_base))
+                 .first;
+      }
+      if (it->second < 0) continue;
+      accum(i, read_value(st, *pc, it->second));
+    }
+    for (QGroup& g : groups) {
+      if (!has_prefix(entity, g.prefix)) continue;
+      auto it = g.cache->find(entity);
+      if (it == g.cache->end()) {
+        it = g.cache->emplace(entity, pc->index_of(g.base)).first;
+      }
+      const int idx = it->second;
+      if (idx < 0 || pc->entry_type(idx) != CounterType::kHistogram) continue;
+      const Histogram* h = pc->histogram(idx);
+      if (h == nullptr) continue;
+      const std::vector<uint64_t> ps = h->percentiles(g.qs);
+      for (size_t k = 0; k < g.specs.size(); k++) {
+        accum(g.specs[k], static_cast<double>(ps[k]));
+      }
+    }
+  }
+
+  std::vector<double> frame(n, 0.0);
+  for (size_t i = 0; i < n; i++) {
+    switch (series_[i].spec.agg) {
+      case SeriesAgg::kSum:
+        frame[i] = sum[i];
+        break;
+      case SeriesAgg::kMax:
+        frame[i] = mx[i];
+        break;
+      case SeriesAgg::kMean:
+        frame[i] = matched[i] > 0
+                       ? sum[i] / static_cast<double>(matched[i])
+                       : 0.0;
+        break;
+    }
+    series_[i].ring.push(frame[i]);
+  }
+
+  if (cfg_.record_timeline) {
+    if (frames_.size() < cfg_.max_frames) {
+      frame_times_.push_back(now);
+      frames_.push_back(std::move(frame));
+    } else {
+      frames_dropped_++;
+    }
+  }
+  ticks_++;
+  if (post_sample_) post_sample_(now, ticks_);
+}
+
+const TimeSeries* TelemetryEngine::series(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &series_[it->second].ring;
+}
+
+double TelemetryEngine::rate(const std::string& name, int span) const {
+  const TimeSeries* s = series(name);
+  if (s == nullptr || s->size() < 2 || span < 1) return 0.0;
+  const size_t back = std::min<size_t>(static_cast<size_t>(span),
+                                       s->size() - 1);
+  const double dt =
+      static_cast<double>(cfg_.interval) * static_cast<double>(back) / 1e9;
+  if (dt <= 0.0) return 0.0;
+  return (s->back(0) - s->back(back)) / dt;
+}
+
+std::vector<std::string> TelemetryEngine::columns() const {
+  std::vector<std::string> out;
+  for (const SeriesState& st : series_) {
+    out.push_back(st.spec.name);
+    if (st.spec.rate) out.push_back(st.spec.name + "_rate");
+  }
+  return out;
+}
+
+std::string TelemetryEngine::timeline_jsonl() const {
+  std::string out;
+  char buf[64];
+  for (size_t f = 0; f < frames_.size(); f++) {
+    out += "{\"tick\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(f + 1));
+    out += buf;
+    out += ",\"t_ns\":";
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(frame_times_[f]));
+    out += buf;
+    const double dt =
+        f > 0 ? static_cast<double>(frame_times_[f] - frame_times_[f - 1]) /
+                    1e9
+              : 0.0;
+    for (size_t i = 0; i < series_.size(); i++) {
+      const SeriesState& st = series_[i];
+      out += ",\"";
+      out += st.spec.name;
+      out += "\":";
+      out += format_sample(frames_[f][i]);
+      if (st.spec.rate) {
+        const double r =
+            dt > 0.0 ? (frames_[f][i] - frames_[f - 1][i]) / dt : 0.0;
+        out += ",\"";
+        out += st.spec.name;
+        out += "_rate\":";
+        out += format_sample(r);
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string TelemetryEngine::timeline_csv() const {
+  std::string out = "tick,t_s";
+  for (const std::string& c : columns()) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  char buf[64];
+  for (size_t f = 0; f < frames_.size(); f++) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(f + 1));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",%.3f",
+                  static_cast<double>(frame_times_[f]) / 1e9);
+    out += buf;
+    const double dt =
+        f > 0 ? static_cast<double>(frame_times_[f] - frame_times_[f - 1]) /
+                    1e9
+              : 0.0;
+    for (size_t i = 0; i < series_.size(); i++) {
+      const SeriesState& st = series_[i];
+      out += ',';
+      out += format_sample(frames_[f][i]);
+      if (st.spec.rate) {
+        const double r =
+            dt > 0.0 ? (frames_[f][i] - frames_[f - 1][i]) / dt : 0.0;
+        out += ',';
+        out += format_sample(r);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gdedup::obs

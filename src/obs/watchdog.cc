@@ -1,0 +1,233 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace gdedup::obs {
+
+Watchdog::Watchdog(TelemetryEngine* engine, OpTracker* tracker)
+    : engine_(engine), tracker_(tracker) {
+  assert(engine_ != nullptr);
+}
+
+void Watchdog::add_rule(HealthRule rule) {
+  assert(!rule.name.empty());
+  assert(rule.kind != RuleKind::kProbe || rule.probe != nullptr);
+  if (rule.window < 1) rule.window = 1;
+  if (rule.min_consecutive < 1) rule.min_consecutive = 1;
+  if (rule.probe_every < 1) rule.probe_every = 1;
+  rules_.push_back(std::move(rule));
+  states_.push_back({});
+}
+
+void Watchdog::add_default_rules() {
+  // Dedup backlog that climbs for a whole window without ever draining:
+  // the rate controller has stopped keeping up (or was configured so it
+  // never runs).  A healthy backlog oscillates as engine ticks drain it,
+  // which breaks the monotone-growth requirement.
+  {
+    HealthRule r;
+    r.name = "dedup_backlog_growth";
+    r.kind = RuleKind::kGrowth;
+    r.series = "tier_backlog";
+    r.window = 12;
+    r.threshold = 48;
+    r.min_consecutive = 3;
+    add_rule(std::move(r));
+  }
+  // Same shape for the deref/GC queue feeding chunk reclamation.
+  {
+    HealthRule r;
+    r.name = "deref_backlog_growth";
+    r.kind = RuleKind::kGrowth;
+    r.series = "tier_backlog_derefs";
+    r.window = 12;
+    r.threshold = 64;
+    r.min_consecutive = 3;
+    add_rule(std::move(r));
+  }
+  // Sustained dwell above the high watermark: some tier has been in the
+  // harshest throttle regime for every one of the last N samples.
+  {
+    HealthRule r;
+    r.name = "rate_dwell_high";
+    r.kind = RuleKind::kAbove;
+    r.series = "tier_rate_regime";
+    r.threshold = 1.5;
+    r.min_consecutive = 15;
+    add_rule(std::move(r));
+  }
+  // Recovery traffic crowding out client I/O.
+  {
+    HealthRule r;
+    r.name = "recovery_interference";
+    r.kind = RuleKind::kRatioAbove;
+    r.series = "osd_pulls";
+    r.series_b = "osd_client_ops";
+    r.threshold = 0.5;
+    r.window = 8;
+    r.min_consecutive = 3;
+    r.min_denominator = 1.0;  // at least 1 client op/s before judging
+    add_rule(std::move(r));
+  }
+  // Read amplification regression: chunk objects touched per logical MiB
+  // read, over the recent window.  The bound depends on the read size:
+  // 256 KiB restore reads against 32 KiB chunks top out at 32/MiB with no
+  // locality, but 16 KiB random reads legitimately reach 64/MiB when they
+  // land on cold chunks.  The threshold sits at 48 — crossed only when
+  // nearly every small-read byte is going remote with zero cache or
+  // assembly-window help, which is the pathological regime.
+  {
+    HealthRule r;
+    r.name = "read_amp_regression";
+    r.kind = RuleKind::kRatioAbove;
+    r.series = "tier_read_chunk_objects";
+    r.series_b = "tier_read_logical_bytes";
+    r.scale = 1024.0 * 1024.0;
+    r.threshold = 48.0;
+    r.window = 8;
+    r.min_consecutive = 4;
+    r.min_denominator = 256.0 * 1024.0;  // >= 0.25 MiB/s read traffic
+    add_rule(std::move(r));
+  }
+}
+
+void Watchdog::arm() {
+  engine_->set_post_sample(
+      [this](SimTime now, uint64_t tick) { on_tick(now, tick); });
+}
+
+bool Watchdog::evaluate(const HealthRule& r, RuleState& st, SimTime now,
+                        uint64_t tick, double* value) const {
+  *value = 0.0;
+  switch (r.kind) {
+    case RuleKind::kAbove: {
+      const TimeSeries* s = engine_->series(r.series);
+      if (s == nullptr || s->size() == 0) return false;
+      *value = s->back(0) * r.scale;
+      return *value > r.threshold;
+    }
+    case RuleKind::kRateAbove: {
+      *value = engine_->rate(r.series, r.window) * r.scale;
+      return *value > r.threshold;
+    }
+    case RuleKind::kGrowth: {
+      const TimeSeries* s = engine_->series(r.series);
+      if (s == nullptr ||
+          s->size() < static_cast<size_t>(r.window) + 1) {
+        return false;
+      }
+      for (int k = 0; k < r.window; k++) {
+        if (s->back(static_cast<size_t>(k)) <
+            s->back(static_cast<size_t>(k) + 1)) {
+          return false;  // dipped at least once: it is draining
+        }
+      }
+      *value = s->back(0) - s->back(static_cast<size_t>(r.window));
+      return *value >= r.threshold;
+    }
+    case RuleKind::kRatioAbove: {
+      const double den = engine_->rate(r.series_b, r.window);
+      if (den < r.min_denominator || den <= 0.0) return false;
+      const double num = engine_->rate(r.series, r.window);
+      *value = num / den * r.scale;
+      return *value > r.threshold;
+    }
+    case RuleKind::kProbe: {
+      if ((tick - 1) % static_cast<uint64_t>(r.probe_every) == 0) {
+        st.last_probe = r.probe(now);
+      }
+      *value = st.last_probe;
+      return *value > r.threshold;
+    }
+  }
+  return false;
+}
+
+void Watchdog::on_tick(SimTime now, uint64_t tick) {
+  for (size_t i = 0; i < rules_.size(); i++) {
+    const HealthRule& r = rules_[i];
+    RuleState& st = states_[i];
+    double value = 0.0;
+    const bool unhealthy = evaluate(r, st, now, tick, &value);
+    if (unhealthy) {
+      st.unhealthy_streak++;
+      st.healthy_streak = 0;
+      if (!st.firing && st.unhealthy_streak >= r.min_consecutive) {
+        st.firing = true;
+        st.open_idx = incidents_.size();
+        Incident inc;
+        inc.rule = r.name;
+        inc.tick = tick;
+        inc.t = now;
+        inc.value = value;
+        inc.threshold = r.threshold;
+        if (tracker_ != nullptr) {
+          inc.flight_recorder = tracker_->slow_ops_text(4);
+        }
+        incidents_.push_back(std::move(inc));
+      }
+    } else {
+      st.healthy_streak++;
+      st.unhealthy_streak = 0;
+      if (st.firing && st.healthy_streak >= r.min_consecutive) {
+        st.firing = false;
+        incidents_[st.open_idx].resolved_tick = static_cast<int64_t>(tick);
+        incidents_[st.open_idx].resolved_t = now;
+      }
+    }
+  }
+}
+
+size_t Watchdog::open_incidents() const {
+  size_t n = 0;
+  for (const Incident& inc : incidents_) {
+    if (inc.resolved_tick < 0) n++;
+  }
+  return n;
+}
+
+std::string Watchdog::log_text(bool with_tail) const {
+  std::string out;
+  char buf[256];
+  for (const Incident& inc : incidents_) {
+    std::snprintf(buf, sizeof(buf),
+                  "[t=%s tick=%llu] %s: value=%s threshold=%s",
+                  format_sample(static_cast<double>(inc.t) / 1e9).c_str(),
+                  static_cast<unsigned long long>(inc.tick), inc.rule.c_str(),
+                  format_sample(inc.value).c_str(),
+                  format_sample(inc.threshold).c_str());
+    out += buf;
+    if (inc.resolved_tick >= 0) {
+      std::snprintf(buf, sizeof(buf), " (resolved tick=%lld)",
+                    static_cast<long long>(inc.resolved_tick));
+      out += buf;
+    } else {
+      out += " (open)";
+    }
+    out += '\n';
+    if (with_tail && !inc.flight_recorder.empty()) {
+      out += inc.flight_recorder;
+    }
+  }
+  return out;
+}
+
+void Watchdog::incidents_json(JsonWriter& w, bool with_tail) const {
+  w.begin_array();
+  for (const Incident& inc : incidents_) {
+    w.begin_object();
+    w.kv("rule", inc.rule);
+    w.kv("tick", inc.tick);
+    w.kv("t_ns", static_cast<int64_t>(inc.t));
+    w.kv("value", inc.value);
+    w.kv("threshold", inc.threshold);
+    w.kv("resolved_tick", inc.resolved_tick);
+    if (with_tail) w.kv("flight_recorder", inc.flight_recorder);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace gdedup::obs

@@ -1,0 +1,124 @@
+#pragma once
+
+// Health watchdog over the telemetry engine (DESIGN.md §13).
+//
+// A Watchdog evaluates declarative HealthRules against the engine's ring
+// series after every sampling tick and keeps a deterministic incident log.
+// Rules are edge-triggered with hysteresis: an incident opens only after
+// `min_consecutive` consecutive unhealthy ticks and closes (is marked
+// resolved) after the same number of consecutive healthy ticks, so a
+// metric oscillating around its threshold produces one incident, not one
+// per tick.
+//
+// When an incident opens, the OpTracker slow-op flight recorder tail is
+// attached verbatim.  The tail contains op-trace ids, which are assigned
+// in wall-clock dispatch order across parallel shard workers — so the
+// *tail text* is byte-reproducible only under serial execution, while
+// everything else about an incident (rule, tick, value, threshold) is a
+// pure function of virtual time.  incidents_json(with_tail=false) is the
+// parallel-safe form; comparisons across shard/thread counts must use it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/op_tracker.h"
+#include "obs/timeseries.h"
+
+namespace gdedup::obs {
+
+enum class RuleKind {
+  // Latest sample of `series` > threshold.
+  kAbove,
+  // Mean per-second rate of `series` over `window` intervals > threshold
+  // (after `scale`).
+  kRateAbove,
+  // `series` is non-decreasing across the last `window` intervals AND the
+  // total growth over that window >= threshold.  Catches backlogs that
+  // climb without ever draining; a healthy backlog that plateaus at zero
+  // growth stays silent.
+  kGrowth,
+  // rate(series) / rate(series_b) * scale > threshold, evaluated only when
+  // the denominator rate >= min_denominator (avoids 0/0 flapping on idle).
+  kRatioAbove,
+  // User probe function, called every `probe_every` ticks; value >
+  // threshold is unhealthy.  Lets callers wire cluster-level checks (e.g.
+  // the PR 2 refcount-conservation walk) without obs depending on dedup.
+  kProbe,
+};
+
+struct HealthRule {
+  std::string name;
+  RuleKind kind = RuleKind::kAbove;
+  std::string series;    // engine series name
+  std::string series_b;  // denominator series for kRatioAbove
+  double threshold = 0.0;
+  double scale = 1.0;
+  int window = 8;           // intervals for kGrowth / rate spans
+  int min_consecutive = 3;  // unhealthy ticks before an incident opens
+  double min_denominator = 0.0;
+  std::function<double(SimTime)> probe;
+  int probe_every = 1;
+};
+
+struct Incident {
+  std::string rule;
+  uint64_t tick = 0;  // engine tick that opened the incident
+  SimTime t = 0;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string flight_recorder;  // slow-op tail at open (may be empty)
+  int64_t resolved_tick = -1;   // -1 while still open
+  SimTime resolved_t = -1;
+};
+
+class Watchdog {
+ public:
+  // `tracker` may be null (no flight-recorder tails then).
+  explicit Watchdog(TelemetryEngine* engine, OpTracker* tracker = nullptr);
+
+  void add_rule(HealthRule rule);
+  // The generic rule set over add_default_series() names: dedup/deref
+  // backlog growth, RateController high-watermark dwell, recovery
+  // interference, and read-amplification regression.  Thresholds are
+  // conservative: quiet on a healthy rate-controlled run, loud when the
+  // controller is misconfigured (see tests/test_telemetry.cc).
+  void add_default_rules();
+  size_t num_rules() const { return rules_.size(); }
+
+  // Registers this watchdog as the engine's post-sample hook.
+  void arm();
+  // Evaluate every rule against the latest samples (called by the engine
+  // after each tick once armed).
+  void on_tick(SimTime now, uint64_t tick);
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  size_t open_incidents() const;
+
+  // Deterministic incident log.  With `with_tail` the flight-recorder text
+  // is included (serial-execution reproducibility only; see header note).
+  std::string log_text(bool with_tail = true) const;
+  void incidents_json(JsonWriter& w, bool with_tail = false) const;
+
+ private:
+  struct RuleState {
+    int unhealthy_streak = 0;
+    int healthy_streak = 0;
+    bool firing = false;
+    size_t open_idx = 0;
+    double last_probe = 0.0;
+  };
+
+  // Returns the rule's current value and whether it is unhealthy.
+  bool evaluate(const HealthRule& r, RuleState& st, SimTime now,
+                uint64_t tick, double* value) const;
+
+  TelemetryEngine* engine_;
+  OpTracker* tracker_;
+  std::vector<HealthRule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace gdedup::obs

@@ -15,6 +15,8 @@ Cluster::Cluster(ClusterConfig cfg)
       sched_(cfg.sim_shards > 0 ? cfg.sim_shards : Scheduler::env_shards()),
       exec_pool_(cfg.exec_threads > 0 ? cfg.exec_threads
                                       : ExecPool::env_threads()),
+      op_tracker_(obs::OpTracker::resolve_historic_cap(cfg.ops_history),
+                  obs::OpTracker::resolve_slow_cap(cfg.ops_slow_board)),
       net_(&sched_, cfg.storage_nodes + cfg.client_nodes, cfg.net),
       fp_fastpath_(cfg.fp_fastpath < 0 ? ClusterContext::env_fp_fastpath()
                                        : cfg.fp_fastpath != 0),
@@ -44,6 +46,17 @@ Cluster::Cluster(ClusterConfig cfg)
     sim_pc_ = b.create();
     perf_registry_.add(sim_pc_);
     sync_sim_counters();
+  }
+  {
+    obs::PerfCountersBuilder b("derived", l_derived_first, l_derived_last);
+    b.add_gauge(l_derived_dedup_ratio_ppm, "dedup_ratio_ppm");
+    b.add_gauge(l_derived_read_amp_objs_per_gb, "read_amp_objs_per_gb");
+    b.add_gauge(l_derived_read_rpcs, "read_rpcs");
+    b.add_gauge(l_derived_asm_hit_ppm, "asm_hit_ppm");
+    b.add_gauge(l_derived_sha_avoided_ppm, "sha_avoided_ppm");
+    b.add_gauge(l_derived_meta_read_amp_ppm, "meta_read_amp_ppm");
+    derived_pc_ = b.create();
+    perf_registry_.add(derived_pc_);
   }
   for (int n = 0; n < num_nodes(); n++) {
     node_cpus_.push_back(std::make_unique<CpuModel>(&sched_, cfg_.cpu));
@@ -640,6 +653,100 @@ void Cluster::sync_sim_counters() {
                      static_cast<int64_t>(st.shard_sync_barriers));
   sim_pc_->set_gauge(l_sim_windows, static_cast<int64_t>(st.windows));
   sim_pc_->set_gauge(l_sim_arena_bytes, static_cast<int64_t>(st.arena_bytes));
+}
+
+void Cluster::sync_pool_counters() {
+  for (PoolId pid : osdmap_.pool_ids()) {
+    auto it = pool_pcs_.find(pid);
+    if (it == pool_pcs_.end()) {
+      obs::PerfCountersBuilder b(
+          "pool." + std::to_string(pid) + "." + osdmap_.pool(pid).name,
+          l_pool_first, l_pool_last);
+      b.add_gauge(l_pool_objects, "objects");
+      b.add_gauge(l_pool_logical_bytes, "logical_bytes");
+      b.add_gauge(l_pool_stored_data_bytes, "stored_data_bytes");
+      b.add_gauge(l_pool_xattr_bytes, "xattr_bytes");
+      b.add_gauge(l_pool_omap_bytes, "omap_bytes");
+      b.add_gauge(l_pool_physical_bytes, "physical_bytes");
+      it = pool_pcs_.emplace(pid, b.create()).first;
+      perf_registry_.add(it->second);
+    }
+    const ObjectStore::Stats st = pool_stats(pid);
+    obs::PerfCounters& pc = *it->second;
+    pc.set_gauge(l_pool_objects, static_cast<int64_t>(st.objects));
+    pc.set_gauge(l_pool_logical_bytes, static_cast<int64_t>(st.logical_bytes));
+    pc.set_gauge(l_pool_stored_data_bytes,
+                 static_cast<int64_t>(st.stored_data_bytes));
+    pc.set_gauge(l_pool_xattr_bytes, static_cast<int64_t>(st.xattr_bytes));
+    pc.set_gauge(l_pool_omap_bytes, static_cast<int64_t>(st.omap_bytes));
+    pc.set_gauge(l_pool_physical_bytes,
+                 static_cast<int64_t>(st.physical_bytes));
+  }
+}
+
+void Cluster::sync_derived_counters() {
+  // The same prefix sums obs::summary_line prints, promoted to gauges so
+  // the telemetry sampler and the JSON dump see them as first-class
+  // series.  Gauges are int64, hence the fixed-point units.
+  uint64_t sha_computed = 0, sha_avoided = 0, memo_hits = 0;
+  uint64_t meta_read = 0;
+  uint64_t read_bytes = 0, read_objects = 0, read_rpcs = 0;
+  uint64_t asm_hits = 0, remote_chunks = 0;
+  for (const auto& pc : perf_registry_.sorted()) {
+    if (pc->name().rfind("tier.", 0) == 0) {
+      sha_computed += pc->get(l_tier_sha_computed);
+      sha_avoided += pc->get(l_tier_sha_avoided);
+      memo_hits += pc->get(l_tier_fingerprint_cache_hits);
+      read_bytes += pc->get(l_tier_read_logical_bytes);
+      read_objects += pc->get(l_tier_read_chunk_objects);
+      read_rpcs += pc->get(l_tier_read_chunk_rpcs);
+      asm_hits += pc->get(l_tier_asm_hits);
+      remote_chunks += pc->get(l_tier_redirected_read_chunks);
+    } else if (pc->name().rfind("osd.", 0) == 0) {
+      meta_read += pc->get(l_osd_meta_bytes_read);
+    }
+  }
+  uint64_t logical = 0, physical = 0;
+  for (PoolId pid : osdmap_.pool_ids()) {
+    const ObjectStore::Stats st = pool_stats(pid);
+    logical += st.logical_bytes;
+    physical += st.physical_bytes;
+  }
+  const auto ppm = [](uint64_t num, uint64_t den) -> int64_t {
+    return den > 0 ? static_cast<int64_t>(num * 1'000'000 / den) : 0;
+  };
+  // Can go negative under replication (physical > logical); that is the
+  // honest space-efficiency number, so no clamping.
+  derived_pc_->set_gauge(
+      l_derived_dedup_ratio_ppm,
+      logical > 0 ? 1'000'000 - static_cast<int64_t>(physical * 1'000'000 /
+                                                     logical)
+                  : 0);
+  derived_pc_->set_gauge(
+      l_derived_read_amp_objs_per_gb,
+      read_bytes > 0
+          ? static_cast<int64_t>(read_objects * (1ull << 30) / read_bytes)
+          : 0);
+  derived_pc_->set_gauge(l_derived_read_rpcs,
+                         static_cast<int64_t>(read_rpcs));
+  derived_pc_->set_gauge(l_derived_asm_hit_ppm, ppm(asm_hits, remote_chunks));
+  derived_pc_->set_gauge(
+      l_derived_sha_avoided_ppm,
+      ppm(sha_avoided + memo_hits, sha_computed + sha_avoided + memo_hits));
+  derived_pc_->set_gauge(l_derived_meta_read_amp_ppm, ppm(meta_read, logical));
+}
+
+void Cluster::sync_telemetry_gauges() {
+  sync_sim_counters();
+  for (auto& o : osds_) {
+    for (PoolId p : osdmap_.pool_ids()) {
+      if (auto* t = static_cast<DedupTier*>(o->tier(p))) {
+        t->sync_telemetry_gauges();
+      }
+    }
+  }
+  sync_pool_counters();
+  sync_derived_counters();
 }
 
 uint64_t Cluster::storage_cpu_busy_ns() const {

@@ -56,6 +56,11 @@ struct ClusterConfig {
   // from the environment (default on), 0 = off, 1 = on.  Host-side only,
   // digest-identical either way (see ClusterContext::restore_assembly).
   int restore_assembly = -1;
+  // OpTracker ring sizes.  0 = GDEDUP_OPS_HISTORY env / built-in defaults;
+  // out-of-range values are validated loudly and clamped (see
+  // obs::OpTracker::resolve_historic_cap).
+  int ops_history = 0;
+  int ops_slow_board = 0;
 };
 
 // Perf-counter indices for the event engine (registry entity "sim").
@@ -74,6 +79,36 @@ enum {
   l_sim_windows,
   l_sim_arena_bytes,
   l_sim_last,
+};
+
+// Per-pool capacity gauges (registry entity "pool.<id>.<name>"), mirrored
+// from ObjectStore::Stats by sync_telemetry_gauges().  Virtual-time
+// deterministic — safe to include in timelines at any shard count.
+enum {
+  l_pool_first = 5200,
+  l_pool_objects,
+  l_pool_logical_bytes,
+  l_pool_stored_data_bytes,
+  l_pool_xattr_bytes,
+  l_pool_omap_bytes,
+  l_pool_physical_bytes,
+  l_pool_last,
+};
+
+// Cluster-wide derived efficiency ratios (registry entity "derived") —
+// the summary_line numbers promoted to first-class gauges so the
+// telemetry sampler and the obs JSON dump see them.  Gauges are int64, so
+// ratios are fixed-point: _ppm = parts per million, read-amp = chunk
+// objects touched per GiB of logical read.
+enum {
+  l_derived_first = 5100,
+  l_derived_dedup_ratio_ppm,       // 1e6 * (1 - physical/logical)
+  l_derived_read_amp_objs_per_gb,  // chunk objects per GiB logical read
+  l_derived_read_rpcs,             // chunk-pool read round trips
+  l_derived_asm_hit_ppm,           // assembly-cache hits per redirected read
+  l_derived_sha_avoided_ppm,       // SHA computations avoided by fast path
+  l_derived_meta_read_amp_ppm,     // metadata bytes read per logical byte
+  l_derived_last,
 };
 
 class Cluster : public ClusterContext {
@@ -157,6 +192,15 @@ class Cluster : public ClusterContext {
   // entity (obs::dump calls this before walking the registry).
   void sync_sim_counters();
 
+  // Refresh every on-demand gauge: sim engine tallies, per-tier backlog /
+  // rate-controller posture, per-pool capacity entities, and the cluster-
+  // wide "derived" efficiency ratios.  Wire this as the TelemetryEngine
+  // presample hook; obs::dump also calls it so one-shot dumps are fresh.
+  // Pure reads of simulated state — never advances virtual time.
+  void sync_telemetry_gauges();
+  void sync_pool_counters();
+  void sync_derived_counters();
+
   // Sum of cumulative CPU busy-ns across storage nodes (for CPU% windows).
   uint64_t storage_cpu_busy_ns() const;
   double storage_cpu_utilization(uint64_t busy_before, SimTime t0,
@@ -173,6 +217,8 @@ class Cluster : public ClusterContext {
   obs::PerfRegistry perf_registry_;
   obs::OpTracker op_tracker_;
   obs::PerfCountersRef sim_pc_;  // "sim" entity; see sync_sim_counters()
+  obs::PerfCountersRef derived_pc_;  // "derived"; see sync_derived_counters()
+  std::map<PoolId, obs::PerfCountersRef> pool_pcs_;  // "pool.<id>.<name>"
   Network net_;
   OsdMap osdmap_;
   std::vector<std::unique_ptr<CpuModel>> node_cpus_;

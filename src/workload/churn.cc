@@ -1,0 +1,86 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdedup::workload {
+
+namespace {
+constexpr size_t kPaletteSize = 512;
+}  // namespace
+
+ChurnWorkload::ChurnWorkload(ChurnConfig cfg)
+    : cfg_(cfg),
+      rng_(mix64(cfg.seed ^ 0x636875726eULL)),  // "churn"
+      tenant_zipf_(static_cast<uint64_t>(std::max(1, cfg.tenants)),
+                   cfg.tenant_theta),
+      object_zipf_(static_cast<uint64_t>(std::max(1, cfg.objects_per_tenant)),
+                   cfg.object_theta) {
+  assert(cfg_.io_bytes > 0 && cfg_.object_bytes >= cfg_.io_bytes);
+  palette_.reserve(kPaletteSize);
+  for (size_t i = 0; i < kPaletteSize; i++) {
+    palette_.push_back(mix64(cfg.seed * 0x10001 + i));
+  }
+}
+
+std::string ChurnWorkload::oid(int tenant, int object) const {
+  return "t" + std::to_string(tenant) + "/o" + std::to_string(object);
+}
+
+uint64_t ChurnWorkload::content_seed() {
+  if (rng_.chance(cfg_.dedupe)) {
+    return palette_[rng_.below(palette_.size())];
+  }
+  return mix64(cfg_.seed ^ (0xABCDull << 48) ^ unique_next_++);
+}
+
+std::vector<ChurnOp> ChurnWorkload::onboarding_plan(int first_tenant,
+                                                    int n_tenants) {
+  std::vector<ChurnOp> plan;
+  const uint32_t blocks = cfg_.object_bytes / cfg_.io_bytes;
+  plan.reserve(static_cast<size_t>(n_tenants) *
+               static_cast<size_t>(cfg_.objects_per_tenant) * blocks);
+  for (int t = first_tenant; t < first_tenant + n_tenants; t++) {
+    for (int o = 0; o < cfg_.objects_per_tenant; o++) {
+      for (uint32_t b = 0; b < blocks; b++) {
+        ChurnOp op;
+        op.kind = ChurnOpKind::kWrite;
+        op.oid = oid(t, o);
+        op.offset = static_cast<uint64_t>(b) * cfg_.io_bytes;
+        op.length = cfg_.io_bytes;
+        op.content_seed = content_seed();
+        plan.push_back(std::move(op));
+      }
+    }
+  }
+  ops_ += plan.size();
+  return plan;
+}
+
+ChurnOp ChurnWorkload::next_op(double write_frac, double delete_frac) {
+  if (write_frac < 0.0) write_frac = cfg_.write_frac;
+  if (delete_frac < 0.0) delete_frac = cfg_.delete_frac;
+  ops_++;
+
+  const int tenant = static_cast<int>(tenant_zipf_.sample(rng_));
+  const int object = static_cast<int>(object_zipf_.sample(rng_));
+  const uint32_t blocks = cfg_.object_bytes / cfg_.io_bytes;
+
+  ChurnOp op;
+  op.oid = oid(tenant, object);
+  if (rng_.chance(delete_frac)) {
+    op.kind = ChurnOpKind::kRemove;
+    return op;
+  }
+  op.offset = rng_.below(blocks) * static_cast<uint64_t>(cfg_.io_bytes);
+  op.length = cfg_.io_bytes;
+  if (rng_.chance(write_frac)) {
+    op.kind = ChurnOpKind::kWrite;
+    op.content_seed = content_seed();
+  } else {
+    op.kind = ChurnOpKind::kRead;
+  }
+  return op;
+}
+
+}  // namespace gdedup::workload

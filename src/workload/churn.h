@@ -1,0 +1,80 @@
+#pragma once
+
+// Long-horizon multi-tenant churn (ROADMAP item 2, fed to the telemetry
+// engine by bench/bench_churn.cc).
+//
+// Models a hosted-storage population: `tenants` tenants each own a fixed
+// set of objects; steady-state traffic picks a tenant by one zipf draw and
+// an object within the tenant by another (hot tenants exist, and every
+// tenant has hot objects), then overwrites a block, reads a block, or
+// deletes the whole object (it is recreated by the next write that lands
+// on it — the overwrite/delete storm shape).  Onboarding plans generate
+// the full-object preload burst for a tenant range.
+//
+// Determinism: the stream is a pure function of (config, call order).
+// Content seeds are drawn from a bounded shared palette with probability
+// `dedupe` (cross-tenant duplicates — what makes *global* dedup matter)
+// and are otherwise unique, so the realized dedup ratio is controllable
+// the same way FioGenerator controls it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gdedup::workload {
+
+struct ChurnConfig {
+  int tenants = 16;
+  int objects_per_tenant = 48;
+  uint32_t object_bytes = 256 * 1024;  // logical size of a tenant object
+  uint32_t io_bytes = 16 * 1024;       // churn op size (aligned blocks)
+  double tenant_theta = 0.9;           // zipf skew across tenants
+  double object_theta = 0.8;           // zipf skew within a tenant
+  double write_frac = 0.7;             // steady-state write fraction
+  double delete_frac = 0.02;           // of ops: whole-object removes
+  double dedupe = 0.6;                 // duplicate-content probability
+  uint64_t seed = 1;
+};
+
+enum class ChurnOpKind { kWrite, kRead, kRemove };
+
+struct ChurnOp {
+  ChurnOpKind kind = ChurnOpKind::kWrite;
+  std::string oid;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint64_t content_seed = 0;  // writes only
+};
+
+class ChurnWorkload {
+ public:
+  explicit ChurnWorkload(ChurnConfig cfg);
+
+  const ChurnConfig& config() const { return cfg_; }
+  std::string oid(int tenant, int object) const;
+
+  // Full-object writes for tenants [first_tenant, first_tenant + n): the
+  // onboarding burst.  Objects are written in io_bytes blocks, in order.
+  std::vector<ChurnOp> onboarding_plan(int first_tenant, int n_tenants);
+
+  // Next steady-churn op.  `write_frac`/`delete_frac` overrides (< 0 =
+  // use config) let storm phases crank the mix without a second stream.
+  ChurnOp next_op(double write_frac = -1.0, double delete_frac = -1.0);
+
+  uint64_t ops_generated() const { return ops_; }
+
+ private:
+  uint64_t content_seed();
+
+  ChurnConfig cfg_;
+  Rng rng_;
+  ZipfDistribution tenant_zipf_;
+  ZipfDistribution object_zipf_;
+  std::vector<uint64_t> palette_;  // shared duplicate-content seeds
+  uint64_t unique_next_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace gdedup::workload
