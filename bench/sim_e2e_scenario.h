@@ -83,6 +83,11 @@ struct SimE2eConfig {
   // (default on), 0 = force off, 1 = force on.  The digest is the same
   // for every value — the fast path changes host-side work only.
   int fp_fastpath = -1;
+  // Recipe-chunk metadata dedup.  -1 = inherit GDEDUP_RECIPE_DEDUP
+  // (default off), 0 = force off, 1 = force on.  Unlike the knobs above
+  // this changes on-disk layout and chunk traffic, so each state has its
+  // own digest; either state is shard/thread-count invariant.
+  int recipe_dedup = -1;
   // Telemetry sampling cadence (0 = off).  Sampling is reported, never
   // digested: the digest is byte-identical with any value here — enforced
   // by test_telemetry.
@@ -232,6 +237,7 @@ inline SimE2eResult run_sim_e2e(const SimE2eConfig& cfg) {
   cc.exec_threads = cfg.exec_threads;
   cc.sim_shards = cfg.sim_shards;
   cc.fp_fastpath = cfg.fp_fastpath;
+  cc.recipe_dedup = cfg.recipe_dedup;
   Cluster c(cc);
 
   const PoolId base = cfg.ec ? c.create_ec_pool("base", 2, 1)

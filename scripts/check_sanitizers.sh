@@ -44,6 +44,10 @@ else
   # fingerprint fast path are the heaviest pointer-juggling paths —
   # surface ASan reports there before paying for the full suite.
   ctest --output-on-failure -L asan_smoke
+  # Recipe metadata-dedup smoke next: the packed codec, batched omap txns
+  # and the recipe compactor juggle buffers/iterators across async steps —
+  # cheap to fail fast here before the full suite.
+  ctest --output-on-failure -L meta_smoke
   ctest --output-on-failure -L "telemetry_smoke|churn_smoke"
   ctest --output-on-failure
 fi
@@ -61,7 +65,7 @@ cmake --build "${tsan_dir}" -j "$(nproc)" \
     --target test_observability perf_dump test_exec_pool \
     test_fault_campaign bench_micro_components bench_sim_e2e \
     test_sim_determinism test_sim_shards test_fp_fastpath bench_fp_lookup \
-    test_telemetry bench_churn
+    test_telemetry bench_churn test_recipe bench_meta
 
 cd "${tsan_dir}"
 # Four exec-pool workers and four engine shards (serial windows): the
@@ -89,3 +93,12 @@ GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 GDEDUP_SIM_PARALLEL=1 \
 GDEDUP_FP_FASTPATH=1 GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 \
     ctest --output-on-failure -R \
     'test_fp_fastpath|bench_fp_smoke|sim_e2e_smoke'
+
+# Recipe phase: recipe-chunk metadata dedup forced ON under four shards +
+# four kernel workers.  The compactor's async window stepper, the batched
+# omap apply and the recipe-chunk puts all interleave with shard windows
+# here; the recipe-mode digest (frozen in bench_meta --smoke) must not
+# move a byte.
+GDEDUP_RECIPE_DEDUP=1 GDEDUP_EXEC_THREADS=4 GDEDUP_SIM_SHARDS=4 \
+    ctest --output-on-failure -R \
+    'test_recipe|meta_smoke'

@@ -3,8 +3,9 @@
 # microbenchmark suite (BENCH_PIPELINE.json), the end-to-end simulation
 # bench (BENCH_SIM.json), the event-engine bench (BENCH_EVENTS.json), the
 # two-tier fingerprint lookup bench (BENCH_FP.json), the restore bench
-# (BENCH_RESTORE.json) and the long-horizon churn + telemetry bench
-# (BENCH_CHURN.json + BENCH_CHURN_TIMELINE.{jsonl,csv}), then append one
+# (BENCH_RESTORE.json), the long-horizon churn + telemetry bench
+# (BENCH_CHURN.json + BENCH_CHURN_TIMELINE.{jsonl,csv}) and the recipe
+# metadata-dedup bench (BENCH_META.json), then append one
 # timestamped line per point to BENCH_HISTORY.jsonl so the trajectory is a
 # log, not just a latest-wins snapshot.
 #
@@ -35,7 +36,7 @@ out_json="${1:-${repo_root}/BENCH_PIPELINE.json}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_micro_components bench_sim_e2e bench_events \
-  bench_fp_lookup bench_restore bench_churn perf_dump
+  bench_fp_lookup bench_restore bench_churn bench_meta perf_dump
 
 "${build_dir}/bench/bench_micro_components" --pipeline_json="${out_json}"
 
@@ -79,6 +80,14 @@ churn_timeline="${repo_root}/BENCH_CHURN_TIMELINE"
   --json="${churn_json}" --timeline="${churn_timeline}"
 
 echo "churn trajectory point recorded at ${churn_json}"
+
+# Recipe metadata dedup: packed-codec footprint, the >= 4x metadata-bytes
+# reduction gate on the churned multi-tenant fleet, omap txn counts and
+# the recipe-mode determinism digest.
+meta_json="${repo_root}/BENCH_META.json"
+"${build_dir}/bench/bench_meta" --json="${meta_json}"
+
+echo "metadata-dedup trajectory point recorded at ${meta_json}"
 
 # --- observability section merge -----------------------------------------
 
@@ -137,7 +146,7 @@ merge_obs "${repo_root}/BENCH_SIM.json"
 
 history="${repo_root}/BENCH_HISTORY.jsonl"
 python3 - "${history}" "${out_json}" "${sim_json}" "${events_json}" \
-    "${fp_json}" "${restore_json}" "${churn_json}" <<'HIST'
+    "${fp_json}" "${restore_json}" "${churn_json}" "${meta_json}" <<'HIST'
 import datetime, json, sys
 history, paths = sys.argv[1], sys.argv[2:]
 ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

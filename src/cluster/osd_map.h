@@ -84,6 +84,14 @@ struct DedupTierConfig {
   int rewrite_max_pct = 50;             // cap: % of the object's chunks
   int rewrite_run_len = 8;              // max chunks coalesced per container
 
+  // Recipe metadata dedup (Metadedup-style indirection): entries per
+  // fixed offset-aligned recipe window.  A window compacts into one
+  // content-addressed recipe chunk once its members are all flushed and
+  // clean; mutated members shadow the recipe as inline omap entries
+  // until enough accumulate to justify a rebuild.  Only consulted when
+  // the cluster-level recipe_dedup knob is on.
+  int recipe_entries = 32;
+
   bool enabled() const { return mode != DedupMode::kOff; }
 };
 

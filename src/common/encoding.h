@@ -33,6 +33,17 @@ class Encoder {
     put_raw(b.data(), b.size());
   }
 
+  // ULEB128: 7 value bits per byte, high bit = continuation.  Small values
+  // (offsets, lengths, counts) shrink to 1–3 bytes; the packed chunk-map
+  // entry codec is built on this.
+  void put_varint(uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+  }
+
   Buffer finish() const { return Buffer::copy_of(bytes_.data(), bytes_.size()); }
   size_t size() const { return bytes_.size(); }
 
@@ -73,6 +84,21 @@ class Decoder {
     *out = buf_.slice(pos_, n);
     pos_ += n;
     return Status::ok();
+  }
+
+  // ULEB128 decode; caps at 10 bytes (ceil(64/7)) so garbage can't loop.
+  Status get_varint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= buf_.size()) return Status::corruption("short varint");
+      const uint8_t b = buf_.data()[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        *out = v;
+        return Status::ok();
+      }
+    }
+    return Status::corruption("varint overflow");
   }
 
   bool at_end() const { return pos_ == buf_.size(); }

@@ -96,6 +96,7 @@ void FingerprintIndex::maybe_rebuild_bloom(Shard& s) {
   }
   s.bloom_inserts = s.lru.size();
   stats_.bloom_rebuilds++;
+  stats_.bloom_rebuild_keys += s.lru.size();
 }
 
 size_t FingerprintIndex::size() const {

@@ -68,7 +68,17 @@ class FingerprintIndex {
     uint64_t inserts = 0;
     uint64_t evictions = 0;
     uint64_t bloom_rebuilds = 0;
+    uint64_t bloom_rebuild_keys = 0;  // keys re-inserted across rebuilds
   };
+
+  // Modeled cost of the rebuilds so far, in ns: keys re-inserted times a
+  // fixed per-key constant.  Deterministic by construction (a wall-clock
+  // measurement would differ run to run and across shard/thread counts),
+  // which is what lets the telemetry timeline stay byte-identical.
+  static constexpr uint64_t kBloomRebuildNsPerKey = 50;
+  uint64_t bloom_rebuild_cost_ns() const {
+    return stats_.bloom_rebuild_keys * kBloomRebuildNsPerKey;
+  }
 
   struct ProbeResult {
     Outcome outcome = Outcome::kMiss;

@@ -51,9 +51,16 @@ std::map<ObjectKey, std::vector<OsdId>> holders(ClusterContext* ctx,
 // object's refs as dangling and let GC reclaim chunks that are still
 // referenced (an extra stale ref merely keeps a chunk alive one pass
 // longer; a missing live ref loses data).
-std::map<std::string, std::set<ChunkRef>> live_refs(ClusterContext* ctx,
-                                                    PoolId meta_pool,
-                                                    bool any_holder);
+//
+// Recipe-aware: maps are loaded through the resolving loader, so recipe
+// members contribute their data-chunk refs and every recipe record
+// contributes a {meta_pool, oid, kRecipeRefBit | base} ref on its recipe
+// chunk.  If some recipe chunk could not be fetched (all holders down)
+// the corresponding map is incomplete; `any_unresolved`, when non-null,
+// is set true so GC can refuse to reclaim against a partial live set.
+std::map<std::string, std::set<ChunkRef>> live_refs(
+    ClusterContext* ctx, PoolId meta_pool, bool any_holder,
+    bool* any_unresolved = nullptr);
 
 // True while any up OSD's tier holds volatile state for `oid` (dirty
 // entry, in-flight flush, or an unapplied client write).

@@ -1,0 +1,74 @@
+#pragma once
+
+// Recipe-chunk metadata dedup (Metadedup, MSST'19, applied to the paper's
+// self-contained chunk maps).
+//
+// A recipe chunk is a content-addressed chunk-pool object whose payload is
+// the varint-packed ChunkMapEntry records of one fixed offset-aligned
+// window of an object's chunk map.  Identical windows — e.g. the same
+// object uploaded by many tenants, or unchanged regions across versions —
+// hash to the same recipe chunk and deduplicate exactly like data chunks,
+// including refcounting, scrub and GC.  The object's own omap then holds
+// only short "dedup.rcp." records naming its recipe chunks plus a tail of
+// hot inline "dedup.ck." entries that overlay (win over) the recipe
+// content until the background flush compacts them back in.
+//
+// Everything here is host-side metadata plumbing: fetching a recipe chunk
+// for map materialization is a store peek (like the tier's degraded-peer
+// map pull), not a simulated RPC.  The simulated cost of the recipe layer
+// is carried by the real chunk-put/deref traffic the tier issues for
+// recipe chunks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "dedup/chunk_map.h"
+
+namespace gdedup {
+
+class ClusterContext;
+class ObjectStore;
+
+// --- recipe chunk payload codec -------------------------------------------
+
+// Payload layout: magic u32, version u8, count varint, then `count`
+// varint-length-prefixed packed entries in ascending offset order.  The
+// deterministic byte layout is what makes equal windows content-equal.
+inline constexpr uint32_t kRecipeChunkMagic = 0x47524350;  // "GRCP"
+
+Buffer encode_recipe_chunk(const std::vector<ChunkMapEntry>& entries);
+Result<std::vector<ChunkMapEntry>> decode_recipe_chunk(const Buffer& b);
+
+// --- host-side chunk fetch ------------------------------------------------
+
+// Read a chunk object's content directly from the stores of its holders:
+// acting order first, then any up OSD (degraded placements), with EC
+// pools shard-gathered and Reed-Solomon decoded (the deep-scrub path).
+// Returns not_found when no up holder can produce the bytes.
+Result<Buffer> peek_chunk_content(ClusterContext* ctx, int pool,
+                                  const std::string& oid);
+
+// Whether the chunk object exists on its current primary — the
+// deterministic existence probe the tier uses to classify a recipe-chunk
+// put as a dedup hit before issuing it.
+bool peek_chunk_exists(ClusterContext* ctx, int pool,
+                       const std::string& oid);
+
+// --- recipe-aware map loading ---------------------------------------------
+
+// Load an object's chunk map resolving recipe indirection: inline
+// "dedup.ck." entries first (inline_rec = true), then each "dedup.rcp."
+// record's chunk fetched and its entries materialized wherever no inline
+// entry shadows them (inline_rec = false).  A recipe chunk that cannot be
+// fetched sets the map's unresolved() flag and contributes nothing; ref
+// enumerators must then act conservatively.  `bytes_read` (optional)
+// accumulates omap + recipe payload bytes for the meta-read accounting.
+Result<ChunkMap> load_chunk_map_resolved(ClusterContext* ctx,
+                                         const ObjectStore& store,
+                                         const ObjectKey& key,
+                                         uint64_t* bytes_read = nullptr);
+
+}  // namespace gdedup

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "dedup/recipe.h"
 #include "hash/fingerprint.h"
 #include "hash/weak_hash.h"
 #include "osd/messages.h"
@@ -86,11 +87,19 @@ DedupTier::DedupTier(Osd* osd, PoolId pool)
   b.add_counter(l_tier_rewrite_runs, "rewrite_runs");
   b.add_counter(l_tier_rewrite_chunks, "rewrite_chunks");
   b.add_counter(l_tier_rewrite_bytes, "rewrite_bytes");
+  b.add_counter(l_tier_recipe_chunks, "recipe_chunks");
+  b.add_counter(l_tier_recipe_hits, "recipe_hits");
+  b.add_counter(l_tier_meta_txns, "meta_txns");
+  b.add_counter(l_tier_meta_bytes_baseline, "meta_bytes_baseline");
+  b.add_counter(l_tier_meta_bytes_actual, "meta_bytes_actual");
   b.add_gauge(l_tier_backlog, "backlog");
   b.add_gauge(l_tier_backlog_derefs, "backlog_derefs");
   b.add_gauge(l_tier_rate_credits_x1000, "rate_credits_x1000");
   b.add_gauge(l_tier_rate_demand, "rate_demand");
   b.add_gauge(l_tier_rate_regime, "rate_regime");
+  b.add_gauge(l_tier_recipe_inline_tail, "recipe_inline_tail");
+  b.add_gauge(l_tier_bloom_rebuilds, "bloom_rebuilds");
+  b.add_gauge(l_tier_bloom_rebuild_ns, "bloom_rebuild_ns");
   b.add_histogram(l_tier_write_lat, "write_lat");
   b.add_histogram(l_tier_read_lat, "read_lat");
   b.add_histogram(l_tier_fingerprint_lat, "fingerprint_lat");
@@ -143,6 +152,11 @@ void DedupTier::refresh_stats_view() const {
   stats_view_.rewrite_runs = perf_->get(l_tier_rewrite_runs);
   stats_view_.rewrite_chunks = perf_->get(l_tier_rewrite_chunks);
   stats_view_.rewrite_bytes = perf_->get(l_tier_rewrite_bytes);
+  stats_view_.recipe_chunks = perf_->get(l_tier_recipe_chunks);
+  stats_view_.recipe_hits = perf_->get(l_tier_recipe_hits);
+  stats_view_.meta_txns = perf_->get(l_tier_meta_txns);
+  stats_view_.meta_bytes_baseline = perf_->get(l_tier_meta_bytes_baseline);
+  stats_view_.meta_bytes_actual = perf_->get(l_tier_meta_bytes_actual);
 }
 
 void DedupTier::sync_telemetry_gauges() {
@@ -155,6 +169,23 @@ void DedupTier::sync_telemetry_gauges() {
   perf_->set_gauge(l_tier_rate_demand,
                    static_cast<int64_t>(rate_.current_demand(now)));
   perf_->set_gauge(l_tier_rate_regime, rate_.regime(now));
+  // Inline tail: loaded map entries whose on-disk form is still an inline
+  // omap record (not yet absorbed into a recipe chunk).  Pure cache scan.
+  int64_t tail = 0;
+  for (const auto& [oid, cm] : map_cache_) {
+    for (const auto& [off, e] : cm.entries()) {
+      if (e.inline_rec) tail++;
+    }
+  }
+  perf_->set_gauge(l_tier_recipe_inline_tail, tail);
+  // Bloom-rebuild visibility for the node-shared fingerprint index; every
+  // tier of the node mirrors the same totals (aggregate with max).
+  if (FingerprintIndex* idx = fp_index()) {
+    perf_->set_gauge(l_tier_bloom_rebuilds,
+                     static_cast<int64_t>(idx->stats().bloom_rebuilds));
+    perf_->set_gauge(l_tier_bloom_rebuild_ns,
+                     static_cast<int64_t>(idx->bloom_rebuild_cost_ns()));
+  }
 }
 
 // --------------------------------------------------------- object context
@@ -193,9 +224,14 @@ ChunkMap& DedupTier::cached_map(const std::string& oid) {
   }
   ChunkMap cm;
   if (st != nullptr) {
-    auto loaded = load_chunk_map(*st, key);
+    // The resolved loader is a strict superset of load_chunk_map: with no
+    // recipe records on disk (default mode) it reads the same omap and
+    // yields the same map, and the meta-read accounting is host-side.
+    uint64_t meta_read = 0;
+    auto loaded = load_chunk_map_resolved(&osd_->ctx(), *st, key, &meta_read);
     if (loaded.is_ok()) {
       cm = std::move(loaded).value();
+      osd_->perf().inc(l_osd_meta_bytes_read, meta_read);
     } else {
       LOG_ERROR("corrupt chunk map on %s: %s", oid.c_str(),
                 loaded.status().to_string().c_str());
@@ -269,14 +305,417 @@ void DedupTier::rebuild_dirty_list() {
   asm_windows_.clear();
   rewrite_queue_.clear();
   rewrite_set_.clear();
+  meta_batches_.clear();
   bump_map_stamp();
   in_tick_ = false;
   const ObjectStore* st = osd_->store_if_exists(pool_);
   if (st == nullptr) return;
   for (const auto& key : st->list(pool_)) {
+    // Dirty entries always have inline omap records (every mutation path
+    // writes an inline shadow), so the plain loader sees all of them
+    // without fetching recipe chunks.
     auto cm = load_chunk_map(*st, key);
     if (cm.is_ok() && cm.value().any_dirty()) mark_dirty(key.oid);
   }
+}
+
+// ------------------------------------------------- recipe metadata layer
+//
+// In recipe mode (ClusterConfig.recipe_dedup / GDEDUP_RECIPE_DEDUP) the
+// per-slot chunk-map records of an object are compacted into fixed
+// offset-aligned windows of `recipe_entries` slots.  Each fully-flushed
+// window serializes to a content-addressed "recipe chunk" stored through
+// the ordinary chunk-pool put path, so identical recipes across objects —
+// e.g. the same backup image written by many tenants — deduplicate exactly
+// like data chunks do.  The object's omap keeps one ~60-byte RecipeRecord
+// per window plus an inline tail of recently mutated entries; inline
+// records always overlay recipe members, so absorbing a window never has
+// to be undone to mutate a single slot.  All metadata mutations of one
+// flush cycle coalesce into one buffered transaction (MetaBatch), applied
+// once per object per cycle, with chunk derefs released strictly after it
+// (Figure 9's deref-last ordering survives the batching).
+
+Buffer DedupTier::encode_entry_record(const ChunkMapEntry& e) const {
+  return recipe_on() ? ChunkMap::encode_entry_packed(e)
+                     : ChunkMap::encode_entry(e);
+}
+
+void DedupTier::account_meta_entry_write(size_t key_bytes,
+                                         size_t value_bytes) {
+  const uint64_t actual = key_bytes + value_bytes;
+  osd_->perf().inc(l_osd_meta_bytes_written, actual);
+  perf_->inc(l_tier_meta_bytes_actual, actual);
+  perf_->inc(l_tier_meta_bytes_baseline,
+             key_bytes + ChunkMap::kEntryEncodedBytes);
+}
+
+void DedupTier::put_entry_record(Transaction* txn, const ObjectKey& key,
+                                 ChunkMapEntry* e) {
+  const std::string k = ChunkMap::omap_key(e->offset);
+  Buffer v;
+  if (recipe_on() && e->dirty && e->cached && e->flushed()) {
+    // A fully-cached dirty slot re-derives everything from its local bytes
+    // on redo; the superseded chunk id is only consulted by the in-memory
+    // deref, whose snapshot keeps it.  Persist the slot id-less (a packed
+    // dirty record is ~8 bytes, not ~41).  If a crash does lose the deref,
+    // the old ref is a dangling false positive the GC sweep already
+    // handles — the same window as a crash after the chunk put.
+    ChunkMapEntry stripped = *e;
+    stripped.chunk_id.clear();
+    stripped.chunk_off = 0;
+    stripped.container = false;
+    v = encode_entry_record(stripped);
+  } else {
+    v = encode_entry_record(*e);
+  }
+  account_meta_entry_write(k.size(), v.size());
+  e->inline_rec = true;
+  txn->omap_set(key, k, std::move(v));
+}
+
+void DedupTier::queue_deferred_deref(const std::string& oid,
+                                     const std::string& chunk_id,
+                                     const ChunkRef& ref) {
+  if (MetaBatch* b = meta_batch(oid)) {
+    b->derefs.push_back({chunk_id, ref});
+  } else {
+    pending_derefs_.push_back({chunk_id, ref});
+  }
+}
+
+void DedupTier::break_recipes(const std::string& oid, ChunkMap* cm,
+                              Transaction* txn) {
+  const ObjectKey key{pool_, oid};
+  for (const auto& [base, rec] : cm->recipes()) {
+    const std::string rk = RecipeRecord::omap_key(base);
+    osd_->perf().inc(l_osd_meta_bytes_written, rk.size());
+    perf_->inc(l_tier_meta_bytes_actual, rk.size());
+    txn->omap_rm(key, rk);
+    queue_deferred_deref(oid, rec.chunk_id,
+                         ChunkRef{pool_, oid, kRecipeRefBit | base});
+  }
+  cm->recipes().clear();
+}
+
+void DedupTier::persist_pending_slots(const std::string& oid,
+                                      const std::vector<uint64_t>& members) {
+  MetaBatch* b = meta_batch(oid);
+  if (b == nullptr) return;
+  auto it = map_cache_.find(oid);
+  const ObjectKey key{pool_, oid};
+  for (uint64_t off : members) {
+    if (b->pending.erase(off) == 0) continue;
+    if (it == map_cache_.end()) continue;  // context dropped; record is moot
+    ChunkMapEntry* e = it->second.find(off);
+    if (e != nullptr) put_entry_record(&b->txn, key, e);
+  }
+}
+
+void DedupTier::compact_recipes(const std::string& oid,
+                                std::function<void()> done) {
+  MetaBatch* b = meta_batch(oid);
+  if (b == nullptr || !osd_->local_exists(pool_, oid)) {
+    sched().after(0, std::move(done));
+    return;
+  }
+  const ObjectKey key{pool_, oid};
+  const uint64_t span = recipe_window_span();
+  const int want =
+      std::max(1, (cfg().recipe_entries > 0 ? cfg().recipe_entries : 32) / 2);
+
+  // Fixed offset-aligned windows in ascending order (std::map iteration),
+  // snapshotted up front: the walk below is asynchronous and re-validates
+  // every member when it acts.
+  struct Window {
+    uint64_t base = 0;
+    std::vector<uint64_t> members;
+  };
+  auto wins = std::make_shared<std::vector<Window>>();
+  {
+    ChunkMap& cm = cached_map(oid);
+    for (const auto& [off, e] : cm.entries()) {
+      const uint64_t base = off / span * span;
+      if (wins->empty() || wins->back().base != base) {
+        wins->push_back({base, {}});
+      }
+      wins->back().members.push_back(off);
+    }
+  }
+
+  auto idx = std::make_shared<size_t>(0);
+  auto done_sp = std::make_shared<std::function<void()>>(std::move(done));
+  auto step = std::make_shared<std::function<void()>>();
+  // Weak self-reference: see post_process_write's `proceed`.
+  std::weak_ptr<std::function<void()>> step_weak = step;
+  *step = [this, oid, key, wins, idx, want, step_weak, done_sp]() {
+    auto self = step_weak.lock();
+    if (!self) return;
+    // Re-resolve the batch each step: meta_batches_ may rehash while this
+    // walk is parked in a fingerprint or chunk put.
+    if (meta_batch(oid) == nullptr || *idx >= wins->size() ||
+        !osd_->local_exists(pool_, oid)) {
+      (*done_sp)();
+      return;
+    }
+    const Window& w = (*wins)[(*idx)++];
+    MetaBatch* b = meta_batch(oid);
+    ChunkMap& cm = cached_map(oid);
+
+    // Eligibility: >= 2 members, all flushed, clean and evicted — the
+    // canonical state whose packed form is identical across objects
+    // holding the same content (cached/dirty flags and dirty_gen never
+    // leak into a recipe payload).
+    std::vector<ChunkMapEntry> canon;
+    canon.reserve(w.members.size());
+    bool eligible = w.members.size() >= 2;
+    int shadows = 0;  // members inline on disk or pending this cycle
+    for (uint64_t off : w.members) {
+      ChunkMapEntry* e = cm.find(off);
+      if (e == nullptr) {
+        eligible = false;
+        continue;
+      }
+      if (e->inline_rec || b->pending.count(off) > 0) shadows++;
+      if (!e->flushed() || e->dirty || e->cached) {
+        eligible = false;
+        continue;
+      }
+      ChunkMapEntry c = *e;
+      c.dirty_gen = 0;
+      c.inline_rec = false;
+      canon.push_back(std::move(c));
+    }
+    if (!eligible) {
+      // Hot/partial window: stays (or goes back) inline.
+      persist_pending_slots(oid, w.members);
+      (*self)();
+      return;
+    }
+    if (shadows == 0) {
+      // Fully absorbed and untouched since — nothing to recompute.
+      (*self)();
+      return;
+    }
+
+    Buffer payload = encode_recipe_chunk(canon);
+    const size_t payload_bytes = payload.size();
+    fingerprint_async(
+        payload,
+        [this, oid, key, base = w.base, members = w.members,
+         canon = std::move(canon), payload, payload_bytes, shadows, want,
+         self, done_sp](const Fingerprint& fp) mutable {
+          MetaBatch* b = meta_batch(oid);
+          auto mit = map_cache_.find(oid);
+          if (b == nullptr) {
+            (*done_sp)();
+            return;
+          }
+          if (mit == map_cache_.end() || !osd_->local_exists(pool_, oid)) {
+            (*self)();
+            return;
+          }
+          ChunkMap& cm = mit->second;
+          const std::string rid = fp.hex();
+          auto account_rm = [this](const std::string& k) {
+            osd_->perf().inc(l_osd_meta_bytes_written, k.size());
+            perf_->inc(l_tier_meta_bytes_actual, k.size());
+          };
+          auto member_matches = [&cm](const ChunkMapEntry& c) {
+            const ChunkMapEntry* e = cm.find(c.offset);
+            return e != nullptr && !e->dirty && !e->cached &&
+                   e->chunk_id == c.chunk_id && e->chunk_off == c.chunk_off &&
+                   e->length == c.length && e->container == c.container;
+          };
+
+          auto rit = cm.recipes().find(base);
+          if (rit != cm.recipes().end() && rit->second.chunk_id == rid) {
+            // The recipe already holds exactly this content; the inline
+            // shadows are redundant copies — drop them.
+            for (const ChunkMapEntry& c : canon) {
+              ChunkMapEntry* e = cm.find(c.offset);
+              if (e == nullptr || !member_matches(c)) continue;
+              b->pending.erase(c.offset);
+              if (e->inline_rec) {
+                const std::string k = ChunkMap::omap_key(c.offset);
+                account_rm(k);
+                b->txn.omap_rm(key, k);
+                e->inline_rec = false;
+              }
+            }
+            (*self)();
+            return;
+          }
+          if (rit != cm.recipes().end() && shadows < want) {
+            // Hysteresis: a lightly diverged window is cheaper served by
+            // its inline overlay than by rewriting the recipe chunk every
+            // cycle.  Rebuild once at least half the window has shadows.
+            persist_pending_slots(oid, members);
+            (*self)();
+            return;
+          }
+
+          // Absorb or rebuild: content-address the packed window and put
+          // it through the ordinary chunk-pool path — identical windows
+          // across objects and tenants deduplicate here.
+          const PoolId cp = cfg().chunk_pool;
+          const bool hit = peek_chunk_exists(&osd_->ctx(), cp, rid);
+          const ChunkRef rref{pool_, oid, kRecipeRefBit | base};
+          send_chunk_put(
+              rid, payload, rref, /*foreground=*/false,
+              [this, oid, key, base, members, canon = std::move(canon), rid,
+               cp, hit, payload_bytes, rref, self, done_sp,
+               account_rm](Status s) mutable {
+                MetaBatch* b = meta_batch(oid);
+                auto mit = map_cache_.find(oid);
+                if (b == nullptr) {
+                  if (s.is_ok()) {
+                    pending_derefs_.push_back({rid, rref});
+                  }
+                  (*done_sp)();
+                  return;
+                }
+                if (!s.is_ok() || mit == map_cache_.end() ||
+                    !osd_->local_exists(pool_, oid)) {
+                  if (s.is_ok()) queue_deferred_deref(oid, rid, rref);
+                  persist_pending_slots(oid, members);
+                  (*self)();
+                  return;
+                }
+                ChunkMap& cm = mit->second;
+                // A foreground write may have raced the put; install the
+                // record only if every member still matches the snapshot
+                // (diverged members would be masked by inline overlay, but
+                // a fully re-validated install keeps record and map in
+                // lockstep).
+                bool all_match = true;
+                for (const ChunkMapEntry& c : canon) {
+                  const ChunkMapEntry* e = cm.find(c.offset);
+                  if (e == nullptr || e->dirty || e->cached ||
+                      e->chunk_id != c.chunk_id ||
+                      e->chunk_off != c.chunk_off || e->length != c.length ||
+                      e->container != c.container) {
+                    all_match = false;
+                    break;
+                  }
+                }
+                if (!all_match) {
+                  queue_deferred_deref(oid, rid, rref);
+                  persist_pending_slots(oid, members);
+                  (*self)();
+                  return;
+                }
+                perf_->inc(hit ? l_tier_recipe_hits : l_tier_recipe_chunks);
+                if (!hit) {
+                  // The payload only costs write bytes when the chunk is
+                  // new; a hit is the metadata dedup paying off.
+                  osd_->perf().inc(l_osd_meta_bytes_written, payload_bytes);
+                  perf_->inc(l_tier_meta_bytes_actual, payload_bytes);
+                }
+                RecipeRecord nr;
+                nr.base = base;
+                nr.count = static_cast<uint32_t>(canon.size());
+                nr.chunk_pool = cp;
+                nr.chunk_id = rid;
+                const std::string rk = RecipeRecord::omap_key(base);
+                Buffer rv = nr.encode();
+                osd_->perf().inc(l_osd_meta_bytes_written,
+                                 rk.size() + rv.size());
+                perf_->inc(l_tier_meta_bytes_actual, rk.size() + rv.size());
+                b->txn.omap_set(key, rk, std::move(rv));
+                auto rit = cm.recipes().find(base);
+                if (rit != cm.recipes().end() &&
+                    rit->second.chunk_id != rid) {
+                  queue_deferred_deref(
+                      oid, rit->second.chunk_id,
+                      ChunkRef{pool_, oid, kRecipeRefBit | base});
+                }
+                cm.recipes()[base] = std::move(nr);
+                for (const ChunkMapEntry& c : canon) {
+                  b->pending.erase(c.offset);
+                  ChunkMapEntry* e = cm.find(c.offset);
+                  if (e != nullptr && e->inline_rec) {
+                    const std::string k = ChunkMap::omap_key(c.offset);
+                    account_rm(k);
+                    b->txn.omap_rm(key, k);
+                    e->inline_rec = false;
+                  }
+                }
+                (*self)();
+              });
+        });
+  };
+  (*step)();
+}
+
+void DedupTier::apply_meta_batch(const std::string& oid, bool any_dirty,
+                                 std::function<void(bool)> done) {
+  auto it = meta_batches_.find(oid);
+  if (it == meta_batches_.end()) {
+    sched().after(0, [any_dirty, done = std::move(done)] { done(any_dirty); });
+    return;
+  }
+  if (!it->second.pending.empty() && osd_->local_exists(pool_, oid)) {
+    // Safety net for slots no compaction path persisted (the walk was cut
+    // short): their clean state must still reach disk.
+    const std::vector<uint64_t> rest(it->second.pending.begin(),
+                                     it->second.pending.end());
+    persist_pending_slots(oid, rest);
+  }
+  if (!it->second.evicts.empty() && osd_->local_exists(pool_, oid)) {
+    // Materialize the deferred data-part evictions, re-validated against
+    // the live map: a foreground write that re-dirtied a slot since its
+    // flush decided to evict holds the only copy of its bytes — punching
+    // it now would destroy them, so its eviction is simply dropped (the
+    // next flush decides again).
+    auto mit = map_cache_.find(oid);
+    if (mit != map_cache_.end()) {
+      ChunkMap& cm = mit->second;
+      const ObjectKey key{pool_, oid};
+      bool punched = false;
+      for (uint64_t off : it->second.evicts) {
+        const ChunkMapEntry* e = cm.find(off);
+        if (e == nullptr || e->dirty || e->cached || !e->flushed()) continue;
+        it->second.txn.punch_hole(key, off, e->length);
+        punched = true;
+      }
+      if (punched) {
+        bool any_local = false;
+        for (const auto& [eoff, ent] : cm.entries()) {
+          if (ent.cached || ent.dirty) {
+            any_local = true;
+            break;
+          }
+        }
+        if (!any_local) it->second.txn.truncate(key, 0);
+      }
+    }
+  }
+  MetaBatch batch = std::move(it->second);
+  meta_batches_.erase(it);
+  auto derefs = std::make_shared<std::vector<std::pair<std::string, ChunkRef>>>(
+      std::move(batch.derefs));
+  auto release = [this, derefs] {
+    // Deref-last: the queued releases only run once the batched map apply
+    // is durable (or moot, for a removed object whose refs the chunks
+    // still hold until GC or the queued deref lands).
+    for (auto& d : *derefs) pending_derefs_.push_back(std::move(d));
+  };
+  if (batch.txn.empty() || !osd_->local_exists(pool_, oid)) {
+    sched().after(0, [release = std::move(release), any_dirty,
+                      done = std::move(done)]() mutable {
+      release();
+      done(any_dirty);
+    });
+    return;
+  }
+  perf_->inc(l_tier_meta_txns);
+  osd_->submit_write(pool_, oid, std::move(batch.txn),
+                     [release = std::move(release), any_dirty,
+                      done = std::move(done)](Status) mutable {
+                       release();
+                       done(any_dirty);
+                     },
+                     /*foreground=*/false);
 }
 
 // ------------------------------------------------------- chunk-pool I/O
@@ -496,6 +935,10 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
         cm.erase(soff);
         txn.omap_rm(key, ChunkMap::omap_key(soff));
       }
+      // Every recipe of the old content is invalid now: drop the records
+      // and release the recipe chunks.  Survivors below the new end are
+      // re-inlined by the covering loop (write_full covers every slot).
+      break_recipes(oid, &cm, &txn);
       txn.create(key);
       txn.truncate(key, new_size);
     }
@@ -526,11 +969,12 @@ void DedupTier::post_process_write(const OsdOp& op, ReplyFn reply) {
       // keeping the read-modify-write OFF the foreground path.
       e.dirty = true;
       e.dirty_gen = dirty_gen_counter_++;
-      txn.omap_set(key, ChunkMap::omap_key(c), ChunkMap::encode_entry(e));
+      put_entry_record(&txn, key, &e);
     }
 
     bump_map_stamp();  // assembly plans over the old map are stale now
     mark_dirty(oid);
+    perf_->inc(l_tier_meta_txns);
     pending_writes_[oid]++;
     osd_->submit_write(pool_, oid, std::move(txn),
                        [this, oid, reply = std::move(reply)](Status s) {
@@ -587,9 +1031,10 @@ void DedupTier::inline_write(const OsdOp& op, ReplyFn reply) {
     txn.create(key);
     if (new_size != old_size) txn.truncate(key, new_size);
     ChunkMap& cm = cached_map(oid);
-    for (const auto& [eoff, ent] : cm.entries()) {
-      txn.omap_set(key, ChunkMap::omap_key(eoff), ChunkMap::encode_entry(ent));
+    for (auto& [eoff, ent] : cm.entries()) {
+      put_entry_record(&txn, key, &ent);
     }
+    perf_->inc(l_tier_meta_txns);
     osd_->submit_write(pool_, oid, std::move(txn),
                        [reply](Status s2) {
                          reply(OsdOpReply{s2, {}, 0, {}, nullptr});
@@ -972,6 +1417,10 @@ void DedupTier::handle_remove(const OsdOp& op, ReplyFn reply) {
       pending_derefs_.push_back({e.chunk_id, ChunkRef{pool_, oid, eoff}});
     }
   }
+  for (const auto& [base, rec] : cm.recipes()) {
+    pending_derefs_.push_back(
+        {rec.chunk_id, ChunkRef{pool_, oid, kRecipeRefBit | base}});
+  }
   dirty_set_.erase(oid);
   drop_context(oid);
   asm_windows_.erase(oid);
@@ -1187,6 +1636,12 @@ void DedupTier::flush_object(const std::string& oid, int max_chunks,
     sched().after(0, [done = std::move(done)] { done(false); });
     return;
   }
+  if (recipe_on()) {
+    // One buffered metadata apply per object per flush cycle: finish_flush
+    // and the recipe compactor stage into this batch, apply_meta_batch
+    // submits it once at cycle end.
+    meta_batches_.try_emplace(oid);
+  }
 
   struct FlushState {
     std::vector<uint64_t> offsets;
@@ -1215,9 +1670,23 @@ void DedupTier::flush_object(const std::string& oid, int max_chunks,
       });
     }
     if (fs->inflight == 0 && fs->next >= fs->offsets.size()) {
-      const ChunkMap* cm = cached_map_if_loaded(oid);
-      fs->done(cm != nullptr && cm->any_dirty());
+      auto done = std::move(fs->done);
       fs->done = [](bool) {};  // fire once
+      if (meta_batch(oid) != nullptr) {
+        // Recipe cycle: compact windows into recipe chunks, then apply
+        // the one buffered metadata transaction; dirtiness is re-read
+        // after both (a racy flush keeps its slot dirty).
+        auto done_sp =
+            std::make_shared<std::function<void(bool)>>(std::move(done));
+        compact_recipes(oid, [this, oid, done_sp] {
+          const ChunkMap* cm = cached_map_if_loaded(oid);
+          apply_meta_batch(oid, cm != nullptr && cm->any_dirty(),
+                           [done_sp](bool any) { (*done_sp)(any); });
+        });
+      } else {
+        const ChunkMap* cm = cached_map_if_loaded(oid);
+        done(cm != nullptr && cm->any_dirty());
+      }
     }
   };
   (*pump_chunks)();
@@ -1510,6 +1979,20 @@ void DedupTier::run_flush_pipeline(const std::string& oid,
                   (*done_sp)();
                   return;
                 }
+                if (meta_batch(oid) != nullptr) {
+                  // Batched cycle: the deref must not reach the chunk pool
+                  // before the buffered map apply does — queue it on the
+                  // batch (deref-last survives the batching; a crash that
+                  // drops the queue leaves a dangling ref for GC, the same
+                  // contract as a lost async deref).
+                  queue_deferred_deref(oid, entry.chunk_id, ref);
+                  if (fail_at(FailurePoint::kAfterDeref, oid)) {
+                    (*done_sp)();
+                    return;
+                  }
+                  (*done_sp)();
+                  return;
+                }
                 if (cfg().async_deref) {
                   // False-positive refcounting (Section 4.6): fire the
                   // de-reference without waiting; the GC mops up if it is
@@ -1591,6 +2074,7 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
   }
 
   Transaction txn;
+  MetaBatch* batch = meta_batch(oid);
   const bool racy = e->dirty_gen != snapshot_gen;
   // Unconditional: a noop flush normally implies chunk_id == new_id, but a
   // redo re-based onto an adopted chunk (see flush_chunk_at) reaches here
@@ -1617,22 +2101,42 @@ void DedupTier::finish_flush(const std::string& oid, uint64_t offset,
       // the chunk pool.
       if (e->cached) perf_->inc(l_tier_evictions);
       e->cached = false;
-      txn.punch_hole(key, e->offset, e->length);
-      // Once no chunk is cached or dirty, the object "contains no data
-      // but only metadata" (Figure 8, object 2): drop the data part
-      // entirely.  Hole-punching cannot reclaim space on erasure-coded
-      // pools (re-encoding densifies), but an empty object can.
-      bool any_local = false;
-      for (const auto& [eoff, ent] : cm.entries()) {
-        if (ent.cached || ent.dirty) {
-          any_local = true;
-          break;
+      if (batch != nullptr) {
+        // Batched cycle: the punch must land in the same transaction as
+        // the record that clears `cached` (see MetaBatch::evicts), so it
+        // is deferred to the apply, which re-validates against the live
+        // map first.
+        batch->evicts.insert(e->offset);
+      } else {
+        txn.punch_hole(key, e->offset, e->length);
+        // Once no chunk is cached or dirty, the object "contains no data
+        // but only metadata" (Figure 8, object 2): drop the data part
+        // entirely.  Hole-punching cannot reclaim space on erasure-coded
+        // pools (re-encoding densifies), but an empty object can.
+        bool any_local = false;
+        for (const auto& [eoff, ent] : cm.entries()) {
+          if (ent.cached || ent.dirty) {
+            any_local = true;
+            break;
+          }
         }
+        if (!any_local) txn.truncate(key, 0);
       }
-      if (!any_local) txn.truncate(key, 0);
     }
   }
-  txn.omap_set(key, ChunkMap::omap_key(e->offset), ChunkMap::encode_entry(*e));
+  if (batch != nullptr) {
+    // Defer the inline record too — the compactor may absorb this slot
+    // into a recipe and never write it at all.  Baseline charges what the
+    // unbatched engine would write right now.
+    perf_->inc(l_tier_meta_bytes_baseline,
+               ChunkMap::omap_key(e->offset).size() +
+                   ChunkMap::kEntryEncodedBytes);
+    batch->pending.insert(e->offset);
+    sched().after(0, std::move(done));
+    return;
+  }
+  put_entry_record(&txn, key, e);
+  perf_->inc(l_tier_meta_txns);
   osd_->submit_write(pool_, oid, std::move(txn),
                      [done = std::move(done)](Status) { done(); },
                      /*foreground=*/false);
@@ -1676,8 +2180,7 @@ void DedupTier::enforce_cache_capacity() {
       if (e.cached && !e.dirty && e.flushed()) {
         e.cached = false;
         txn.punch_hole(key, e.offset, e.length);
-        txn.omap_set(key, ChunkMap::omap_key(e.offset),
-                     ChunkMap::encode_entry(e));
+        put_entry_record(&txn, key, &e);
         reclaimed += e.length;
         perf_->inc(l_tier_capacity_evictions);
       } else if (e.cached || e.dirty) {
@@ -1689,6 +2192,7 @@ void DedupTier::enforce_cache_capacity() {
     bump_map_stamp();  // cached flags changed under any open window plans
     if (!any_local) txn.truncate(key, 0);
     total -= reclaimed;
+    perf_->inc(l_tier_meta_txns);
     osd_->submit_write(pool_, oid, std::move(txn), [](Status) {},
                        /*foreground=*/false);
   }
@@ -1740,11 +2244,11 @@ void DedupTier::promote_object(const std::string& oid,
           e->chunk_off == t.chunk_off && !e->dirty) {
         txn.write(key, t.offset, g->parts[i]);
         e->cached = true;
-        txn.omap_set(key, ChunkMap::omap_key(t.offset),
-                     ChunkMap::encode_entry(*e));
+        put_entry_record(&txn, key, e);
       }
     }
     bump_map_stamp();
+    perf_->inc(l_tier_meta_txns);
     osd_->submit_write(pool_, oid, std::move(txn),
                        [done = std::move(done)](Status) { done(); },
                        /*foreground=*/false);
@@ -1935,8 +2439,7 @@ void DedupTier::rewrite_object(const std::string& oid,
                   e->chunk_id = cid;
                   e->chunk_off = cum;
                   e->container = true;
-                  txn.omap_set(key, ChunkMap::omap_key(sl.offset),
-                               ChunkMap::encode_entry(*e));
+                  put_entry_record(&txn, key, e);
                   derefs->push_back({sl.chunk_id, r});
                   perf_->inc(l_tier_rewrite_chunks);
                   perf_->inc(l_tier_rewrite_bytes, sl.length);
@@ -1949,6 +2452,7 @@ void DedupTier::rewrite_object(const std::string& oid,
               }
               perf_->inc(l_tier_rewrite_runs);
               bump_map_stamp();
+              perf_->inc(l_tier_meta_txns);
               osd_->submit_write(
                   pool_, oid, std::move(txn),
                   [this, derefs, step](Status) {

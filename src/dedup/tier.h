@@ -40,6 +40,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -126,6 +127,17 @@ enum {
   l_tier_rewrite_runs,         // container objects written by selective rewrite
   l_tier_rewrite_chunks,       // map slots coalesced into containers
   l_tier_rewrite_bytes,        // bytes rewritten into containers
+  // Recipe metadata dedup (dedup/recipe.h).  Host-side observability,
+  // never digested.  The recipe counters only move in recipe mode (which
+  // carries its own frozen digest); the meta byte/txn counters move in
+  // both modes so off-vs-on runs compare on the same metric.  baseline =
+  // what the legacy 150-byte per-slot encoding would have written for the
+  // same mutations, so baseline/actual is the derived meta_dedup_ratio.
+  l_tier_recipe_chunks,        // recipe chunk objects put (created new)
+  l_tier_recipe_hits,          // recipe puts deduplicated (chunk existed)
+  l_tier_meta_txns,            // metadata-bearing transactions submitted
+  l_tier_meta_bytes_baseline,  // legacy-encoding bytes for the same updates
+  l_tier_meta_bytes_actual,    // metadata bytes actually written
   // Telemetry gauges mirrored on demand by sync_telemetry_gauges() — the
   // hot paths never touch them.
   l_tier_backlog,             // gauge: dirty_backlog() snapshot
@@ -133,6 +145,9 @@ enum {
   l_tier_rate_credits_x1000,  // gauge: RateController credits * 1000
   l_tier_rate_demand,         // gauge: sliding-window demand (iops or B/s)
   l_tier_rate_regime,         // gauge: 0 unthrottled / 1 mid / 2 high
+  l_tier_recipe_inline_tail,  // gauge: loaded entries still inline-on-disk
+  l_tier_bloom_rebuilds,      // gauge: node fp-index bloom rebuilds so far
+  l_tier_bloom_rebuild_ns,    // gauge: modeled ns spent in those rebuilds
   l_tier_write_lat,        // tier write handling, entry -> client ack, ns
   l_tier_read_lat,         // tier read handling, entry -> reply, ns
   l_tier_fingerprint_lat,  // costed fingerprint compute (cache hits = 0ns)
@@ -188,6 +203,12 @@ struct DedupTierStats {
   uint64_t rewrite_runs = 0;
   uint64_t rewrite_chunks = 0;
   uint64_t rewrite_bytes = 0;
+  // Recipe metadata dedup (only move in recipe mode).
+  uint64_t recipe_chunks = 0;
+  uint64_t recipe_hits = 0;
+  uint64_t meta_txns = 0;
+  uint64_t meta_bytes_baseline = 0;
+  uint64_t meta_bytes_actual = 0;
 };
 
 class DedupTier : public TierService {
@@ -367,6 +388,73 @@ class DedupTier : public TierService {
   // map entries and deref the old chunks via pending_derefs_.
   void rewrite_object(const std::string& oid, std::function<void()> done);
 
+  // -- recipe metadata dedup (dedup/recipe.h) --
+  bool recipe_on() const { return osd_->ctx().recipe_dedup(); }
+  // Fixed offset-aligned compaction window span in bytes.
+  uint64_t recipe_window_span() const {
+    const int n = cfg().recipe_entries > 0 ? cfg().recipe_entries : 32;
+    return static_cast<uint64_t>(n) * cfg().chunk_size;
+  }
+  // Encode an entry in the active codec (packed in recipe mode, legacy
+  // 150-byte otherwise).
+  Buffer encode_entry_record(const ChunkMapEntry& e) const;
+  // Metadata write accounting: actual bytes hit the osd/tier counters in
+  // both modes; baseline charges what the legacy per-slot encoding would
+  // have written for the same entry-set event.
+  void account_meta_entry_write(size_t key_bytes, size_t value_bytes);
+  // Stage an inline omap record for `e` into `txn`, marking it
+  // inline-on-disk and accounting the bytes.
+  void put_entry_record(Transaction* txn, const ObjectKey& key,
+                        ChunkMapEntry* e);
+
+  // One buffered metadata apply per object per flush cycle: finish_flush
+  // and the recipe compactor stage omap mutations here instead of issuing
+  // per-slot submit_writes, and chunk derefs queue here so the Figure 9
+  // deref-last ordering survives batching (they move to pending_derefs_
+  // only after the batch applies).
+  struct MetaBatch {
+    Transaction txn;
+    std::vector<std::pair<std::string, ChunkRef>> derefs;
+    // Slots whose clean post-flush state is not yet persisted:
+    // finish_flush defers the inline record so the compactor can absorb
+    // the slot into a recipe instead of writing it (the common case costs
+    // one ~60-byte record per window, not 150 bytes per slot).
+    std::set<uint64_t> pending;
+    // Slots whose data-part eviction (hole punch, possibly a trailing
+    // truncate-to-zero) was decided by finish_flush but must land in the
+    // SAME transaction as the records that clear their `cached` bits: a
+    // crash between an eager punch and a deferred record would leave an
+    // on-disk map claiming locally-cached bytes over a hole, and the redo
+    // would flush zeros.  apply_meta_batch re-validates each slot against
+    // the live map before punching, so a foreground write that re-dirtied
+    // the slot mid-cycle cancels its eviction.
+    std::set<uint64_t> evicts;
+  };
+  MetaBatch* meta_batch(const std::string& oid) {
+    auto it = meta_batches_.find(oid);
+    return it == meta_batches_.end() ? nullptr : &it->second;
+  }
+  // Queue a deref into the open batch for `oid`, or straight into
+  // pending_derefs_ when no batch is open (foreground paths).
+  void queue_deferred_deref(const std::string& oid,
+                            const std::string& chunk_id, const ChunkRef& ref);
+  // Stage inline records for the batch-pending slots among `members`
+  // (windows the compactor could not absorb fall back to per-slot form).
+  void persist_pending_slots(const std::string& oid,
+                             const std::vector<uint64_t>& members);
+  // Windowed recipe compaction with hysteresis: stage new/changed recipe
+  // records (and drop absorbed inline shadows) into the batch, putting
+  // any new recipe chunks first.  Calls done when all puts completed.
+  void compact_recipes(const std::string& oid, std::function<void()> done);
+  // Apply the object's batched metadata transaction, then release its
+  // queued derefs and report `any_dirty` through done.
+  void apply_meta_batch(const std::string& oid, bool any_dirty,
+                        std::function<void(bool)> done);
+  // Drop every recipe record of `oid` (staging omap_rms into `txn`) and
+  // queue derefs of the recipe chunks; the caller must re-inline any
+  // surviving entries.  Used by write_full truncation and remove.
+  void break_recipes(const std::string& oid, ChunkMap* cm, Transaction* txn);
+
   // Section 4.3's LRU cache manager: when cache_capacity_bytes is set,
   // evict the coldest objects' clean cached chunks until under the cap.
   void enforce_cache_capacity();
@@ -422,6 +510,8 @@ class DedupTier : public TierService {
   uint64_t map_mutation_stamp_ = 1;
   std::deque<std::string> rewrite_queue_;
   std::unordered_set<std::string> rewrite_set_;
+  // Recipe mode: per-object open metadata batches (one flush cycle each).
+  std::unordered_map<std::string, MetaBatch> meta_batches_;
 
   FailureHook failure_hook_;
   WeakHashHook weak_hash_hook_;

@@ -73,6 +73,8 @@ std::string summary_line(Cluster& cluster) {
   // registry is the source of truth).
   uint64_t sha_computed = 0, sha_avoided = 0, memo_hits = 0;
   uint64_t meta_read = 0, meta_written = 0;
+  uint64_t meta_baseline = 0, meta_actual = 0;
+  uint64_t recipe_chunks = 0, recipe_hits = 0;
   uint64_t read_bytes = 0, read_objects = 0, read_rpcs = 0;
   uint64_t asm_hits = 0, remote_chunks = 0;
   for (const auto& pc : reg.sorted()) {
@@ -85,6 +87,10 @@ std::string summary_line(Cluster& cluster) {
       read_rpcs += pc->get(l_tier_read_chunk_rpcs);
       asm_hits += pc->get(l_tier_asm_hits);
       remote_chunks += pc->get(l_tier_redirected_read_chunks);
+      meta_baseline += pc->get(l_tier_meta_bytes_baseline);
+      meta_actual += pc->get(l_tier_meta_bytes_actual);
+      recipe_chunks += pc->get(l_tier_recipe_chunks);
+      recipe_hits += pc->get(l_tier_recipe_hits);
     } else if (pc->name().rfind("osd.", 0) == 0) {
       meta_read += pc->get(l_osd_meta_bytes_read);
       meta_written += pc->get(l_osd_meta_bytes_written);
@@ -101,6 +107,14 @@ std::string summary_line(Cluster& cluster) {
                 safe_div(meta_read, client_bytes),
                 static_cast<unsigned long long>(meta_read / 1024),
                 static_cast<unsigned long long>(meta_written / 1024));
+  out += buf;
+  // meta_dedup: bytes of fixed-format metadata one actually-written byte
+  // stands in for (1.0 = parity; recipe mode drives it up).  recipes:
+  // recipe chunks created / deduplicated against an existing one.
+  std::snprintf(buf, sizeof(buf), " meta_dedup=%.2f recipes=%llu/%llu",
+                safe_div(meta_baseline, meta_actual),
+                static_cast<unsigned long long>(recipe_chunks),
+                static_cast<unsigned long long>(recipe_hits));
   out += buf;
   // read_amp: distinct chunk-pool objects touched per logical MB read
   // (Section 3.4's restore-locality figure of merit); asm_hit: fraction

@@ -114,6 +114,20 @@ void TelemetryEngine::add_default_series() {
     true);
   S("tier_read_chunk_rpcs", "tier.", "read_chunk_rpcs", SeriesAgg::kSum, true);
   S("tier_asm_hits", "tier.", "asm_hits", SeriesAgg::kSum, false);
+  // Recipe metadata dedup + batched omap path (counters move only in
+  // recipe mode; the meta byte counters move in both modes).
+  S("tier_recipe_chunks", "tier.", "recipe_chunks", SeriesAgg::kSum, false);
+  S("tier_recipe_hits", "tier.", "recipe_hits", SeriesAgg::kSum, false);
+  S("tier_recipe_inline_tail", "tier.", "recipe_inline_tail", SeriesAgg::kSum,
+    false);
+  S("tier_meta_txns", "tier.", "meta_txns", SeriesAgg::kSum, true);
+  S("tier_meta_bytes_actual", "tier.", "meta_bytes_actual", SeriesAgg::kSum,
+    true);
+  // Bloom rebuild observability (node-shared index mirrored into every
+  // tier entity on the node: kMax avoids double-counting).
+  S("tier_bloom_rebuilds", "tier.", "bloom_rebuilds", SeriesAgg::kMax, false);
+  S("tier_bloom_rebuild_ns", "tier.", "bloom_rebuild_ns", SeriesAgg::kMax,
+    false);
   S("tier_hot_skips", "tier.", "hot_skips", SeriesAgg::kSum, false);
   S("tier_evictions", "tier.", "evictions", SeriesAgg::kSum, false);
   S("tier_write_p99_ns", "tier.", "write_lat.p99", SeriesAgg::kMax, false);
@@ -136,6 +150,8 @@ void TelemetryEngine::add_default_series() {
     SeriesAgg::kMax, false);
   S("derived_sha_avoided_ppm", "derived", "sha_avoided_ppm", SeriesAgg::kMax,
     false);
+  S("derived_meta_dedup_ratio_ppm", "derived", "meta_dedup_ratio_ppm",
+    SeriesAgg::kMax, false);
 }
 
 void TelemetryEngine::start() {

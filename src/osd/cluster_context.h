@@ -77,6 +77,20 @@ class ClusterContext {
   }
   virtual bool restore_assembly() const { return env_restore_assembly(); }
 
+  // Recipe-chunk metadata dedup (dedup/recipe.h).  Unlike the two knobs
+  // above this one changes persisted bytes — chunk maps compact into
+  // content-addressed recipe chunks and omap writes batch per flush
+  // cycle — so it carries its own frozen determinism digest (byte-
+  // identical at any shards×threads, but different from default mode).
+  // Default: the GDEDUP_RECIPE_DEDUP environment variable, OFF unless
+  // set non-empty and not "0".  rados::Cluster overrides with its
+  // ClusterConfig knob.
+  static bool env_recipe_dedup() {
+    const char* v = std::getenv("GDEDUP_RECIPE_DEDUP");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }
+  virtual bool recipe_dedup() const { return env_recipe_dedup(); }
+
   // Node-local fingerprint index shared by the dedup tiers of one storage
   // node (every event of a node runs on that node's engine shard, so the
   // index needs no lock).  Default nullptr: tiers in cluster-less

@@ -22,7 +22,9 @@ Cluster::Cluster(ClusterConfig cfg)
                                        : cfg.fp_fastpath != 0),
       restore_assembly_(cfg.restore_assembly < 0
                             ? ClusterContext::env_restore_assembly()
-                            : cfg.restore_assembly != 0) {
+                            : cfg.restore_assembly != 0),
+      recipe_dedup_(cfg.recipe_dedup < 0 ? ClusterContext::env_recipe_dedup()
+                                         : cfg.recipe_dedup != 0) {
   // Storage nodes spread round-robin over shards; client nodes pin to
   // shard 0 so the bench harnesses' shared completion counters stay
   // single-shard.  The map is part of the determinism contract only in
@@ -55,6 +57,7 @@ Cluster::Cluster(ClusterConfig cfg)
     b.add_gauge(l_derived_asm_hit_ppm, "asm_hit_ppm");
     b.add_gauge(l_derived_sha_avoided_ppm, "sha_avoided_ppm");
     b.add_gauge(l_derived_meta_read_amp_ppm, "meta_read_amp_ppm");
+    b.add_gauge(l_derived_meta_dedup_ratio_ppm, "meta_dedup_ratio_ppm");
     derived_pc_ = b.create();
     perf_registry_.add(derived_pc_);
   }
@@ -195,6 +198,11 @@ DedupTierStats Cluster::tier_stats(PoolId metadata_pool) {
     agg.rewrite_runs += s.rewrite_runs;
     agg.rewrite_chunks += s.rewrite_chunks;
     agg.rewrite_bytes += s.rewrite_bytes;
+    agg.recipe_chunks += s.recipe_chunks;
+    agg.recipe_hits += s.recipe_hits;
+    agg.meta_txns += s.meta_txns;
+    agg.meta_bytes_baseline += s.meta_bytes_baseline;
+    agg.meta_bytes_actual += s.meta_bytes_actual;
   }
   return agg;
 }
@@ -690,6 +698,7 @@ void Cluster::sync_derived_counters() {
   // series.  Gauges are int64, hence the fixed-point units.
   uint64_t sha_computed = 0, sha_avoided = 0, memo_hits = 0;
   uint64_t meta_read = 0;
+  uint64_t meta_baseline = 0, meta_actual = 0;
   uint64_t read_bytes = 0, read_objects = 0, read_rpcs = 0;
   uint64_t asm_hits = 0, remote_chunks = 0;
   for (const auto& pc : perf_registry_.sorted()) {
@@ -702,6 +711,8 @@ void Cluster::sync_derived_counters() {
       read_rpcs += pc->get(l_tier_read_chunk_rpcs);
       asm_hits += pc->get(l_tier_asm_hits);
       remote_chunks += pc->get(l_tier_redirected_read_chunks);
+      meta_baseline += pc->get(l_tier_meta_bytes_baseline);
+      meta_actual += pc->get(l_tier_meta_bytes_actual);
     } else if (pc->name().rfind("osd.", 0) == 0) {
       meta_read += pc->get(l_osd_meta_bytes_read);
     }
@@ -734,6 +745,10 @@ void Cluster::sync_derived_counters() {
       l_derived_sha_avoided_ppm,
       ppm(sha_avoided + memo_hits, sha_computed + sha_avoided + memo_hits));
   derived_pc_->set_gauge(l_derived_meta_read_amp_ppm, ppm(meta_read, logical));
+  // How many bytes of fixed-format metadata one actually-written byte
+  // stands in for (1e6 = parity; recipe mode pushes this well above 1e6).
+  derived_pc_->set_gauge(l_derived_meta_dedup_ratio_ppm,
+                         ppm(meta_baseline, meta_actual));
 }
 
 void Cluster::sync_telemetry_gauges() {

@@ -56,6 +56,12 @@ struct ClusterConfig {
   // from the environment (default on), 0 = off, 1 = on.  Host-side only,
   // digest-identical either way (see ClusterContext::restore_assembly).
   int restore_assembly = -1;
+  // Recipe-chunk metadata dedup + batched omap write path: -1 = take
+  // GDEDUP_RECIPE_DEDUP from the environment (default OFF), 0 = off,
+  // 1 = on.  Changes on-disk omap layout and chunk-pool traffic, so the
+  // two states have *different* digests; each state is individually
+  // deterministic at any shards x threads (see DESIGN.md §14).
+  int recipe_dedup = -1;
   // OpTracker ring sizes.  0 = GDEDUP_OPS_HISTORY env / built-in defaults;
   // out-of-range values are validated loudly and clamped (see
   // obs::OpTracker::resolve_historic_cap).
@@ -108,6 +114,7 @@ enum {
   l_derived_asm_hit_ppm,           // assembly-cache hits per redirected read
   l_derived_sha_avoided_ppm,       // SHA computations avoided by fast path
   l_derived_meta_read_amp_ppm,     // metadata bytes read per logical byte
+  l_derived_meta_dedup_ratio_ppm,  // 1e6 * baseline/actual metadata bytes
   l_derived_last,
 };
 
@@ -132,6 +139,7 @@ class Cluster : public ClusterContext {
   ExecPool* exec_pool() override { return &exec_pool_; }
   bool fp_fastpath() const override { return fp_fastpath_; }
   bool restore_assembly() const override { return restore_assembly_; }
+  bool recipe_dedup() const override { return recipe_dedup_; }
   FingerprintIndex* fp_index(NodeId node) override;
 
   // --- topology ---
@@ -228,6 +236,7 @@ class Cluster : public ClusterContext {
   // (thread-confined to the node's engine shard; see fingerprint_index.h).
   bool fp_fastpath_;
   bool restore_assembly_;
+  bool recipe_dedup_;
   std::vector<std::unique_ptr<FingerprintIndex>> node_fp_indexes_;
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "dedup/recipe.h"
 #include "rados/cluster.h"
 #include "rados/sync.h"
 
@@ -42,12 +43,14 @@ inline DedupTierConfig test_tier_config(uint32_t chunk_size = 32 * 1024) {
   return t;
 }
 
-// Load the persisted chunk map of `oid` from one OSD's local store.
+// Load the persisted chunk map of `oid` from one OSD's local store,
+// resolving recipe indirection (a no-op in default mode, where every
+// entry has an inline omap record).
 inline ChunkMap load_map_at(Cluster& c, OsdId osd, PoolId pool,
                             const std::string& oid) {
   const ObjectStore* st = c.osd(osd)->store_if_exists(pool);
   if (st == nullptr) return ChunkMap();
-  auto r = load_chunk_map(*st, {pool, oid});
+  auto r = load_chunk_map_resolved(&c, *st, {pool, oid});
   return r.is_ok() ? std::move(r).value() : ChunkMap();
 }
 
@@ -126,15 +129,23 @@ inline ::testing::AssertionResult DedupHarness::refcounts_consistent() {
     if (st == nullptr) continue;
     for (const auto& key : st->list(meta)) {
       if (cluster->osdmap().primary(meta, key.oid) != o->id()) continue;
-      auto cm = load_chunk_map(*st, key);
+      auto cm = load_chunk_map_resolved(cluster.get(), *st, key);
       if (!cm.is_ok()) {
         return ::testing::AssertionFailure()
                << "corrupt chunk map on " << key.oid;
+      }
+      if (cm->unresolved()) {
+        return ::testing::AssertionFailure()
+               << "unresolvable recipe chunks on " << key.oid;
       }
       for (const auto& [off, e] : cm->entries()) {
         if (e.flushed()) {
           held[e.chunk_id].insert(key.oid + "@" + std::to_string(off));
         }
+      }
+      for (const auto& [base, rec] : cm->recipes()) {
+        held[rec.chunk_id].insert(key.oid + "@" +
+                                  std::to_string(kRecipeRefBit | base));
       }
     }
   }
